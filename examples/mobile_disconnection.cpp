@@ -1,0 +1,71 @@
+// Mobile-environment walkthrough: simulated wireless clients with frequent
+// disconnections run the Sec. VI-B workload against the GTM and against
+// strict 2PL, in virtual time. Shows the paper's two headline effects:
+//   - sleeping transactions survive disconnections unless an incompatible
+//     operation commits meanwhile, so the GTM aborts far fewer of them;
+//   - compatible bookings share objects, so latency stays near the ideal
+//     work time while 2PL serializes.
+
+#include <cstdio>
+
+#include "workload/gtm_experiment.h"
+
+using namespace preserial;
+using workload::ExperimentResult;
+using workload::GtmExperimentSpec;
+using workload::TwoPlPolicy;
+
+namespace {
+
+void PrintResult(const char* label, const ExperimentResult& r) {
+  std::printf(
+      "%-12s committed %4lld / aborted %3lld (%.1f%%)  avg exec %.2fs  "
+      "waits %lld\n",
+      label, static_cast<long long>(r.run.committed),
+      static_cast<long long>(r.run.aborted), r.run.AbortPercent(),
+      r.run.AvgLatency(), static_cast<long long>(r.waits));
+}
+
+}  // namespace
+
+int main() {
+  GtmExperimentSpec spec;
+  spec.num_txns = 600;
+  spec.num_objects = 5;
+  spec.alpha = 0.8;           // Mostly mobile bookings (subtractions).
+  spec.beta = 0.25;           // One in four mobile clients disconnects.
+  spec.interarrival = 0.5;    // Paper's arrival cadence.
+  spec.work_time = 2.0;       // Seconds of user activity per transaction.
+  spec.disconnect_mean = 15.0;  // Mean time away after a link drop.
+  spec.seed = 7;
+
+  std::puts("mobile booking workload: 600 txns, 5 objects, alpha=0.8, "
+            "beta=0.25, 15s mean disconnection\n");
+
+  const ExperimentResult g = RunGtmExperiment(spec);
+  PrintResult("GTM", g);
+  std::printf("             sleepers aborted at awake: %lld (only those hit "
+              "by an incompatible commit)\n\n",
+              static_cast<long long>(g.awake_aborts));
+
+  TwoPlPolicy patient;  // 2PL that waits out disconnections: long locks.
+  patient.lock_wait_timeout = 120.0;
+  patient.idle_timeout = 120.0;
+  const ExperimentResult t1 = RunTwoPlExperiment(spec, patient);
+  PrintResult("2PL patient", t1);
+  std::puts("             locks held across disconnections: waiters stall "
+            "behind absent holders\n");
+
+  TwoPlPolicy aggressive;  // 2PL that preventively aborts idle holders.
+  aggressive.lock_wait_timeout = 20.0;
+  aggressive.idle_timeout = 8.0;
+  const ExperimentResult t2 = RunTwoPlExperiment(spec, aggressive);
+  PrintResult("2PL killer", t2);
+  std::puts("             disconnected holders preventively aborted: the "
+            "paper's 'high rate of preventive aborts'\n");
+
+  std::puts("The GTM avoids both pathologies: disconnected transactions "
+            "sleep without blocking anyone,\nand awake+reconcile lets them "
+            "finish unless a genuinely incompatible operation committed.");
+  return 0;
+}

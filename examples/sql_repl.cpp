@@ -1,0 +1,75 @@
+// Interactive SQL shell over the LDBS substrate: statements from stdin run
+// against a WAL-backed database through the sql::Executor. Doubles as a
+// scriptable smoke test:  echo "SHOW TABLES;" | sql_repl [wal-path]
+//
+// With a wal-path argument the database persists across invocations
+// (crash-recovered on open); without one it is in-memory.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "sql/executor.h"
+#include "storage/database.h"
+
+using namespace preserial;
+
+int main(int argc, char** argv) {
+  std::unique_ptr<storage::Database> db;
+  if (argc > 1) {
+    db = std::make_unique<storage::Database>(
+        std::make_unique<storage::FileWalStorage>(argv[1]));
+  } else {
+    db = std::make_unique<storage::Database>();
+  }
+  Result<storage::RecoveryStats> opened = db->Open();
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  if (opened.value().records_scanned > 0) {
+    std::printf("-- recovered %zu WAL records (%zu committed txns)\n",
+                opened.value().records_scanned,
+                opened.value().txns_committed);
+  }
+  sql::Executor executor(db.get());
+
+  const bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::puts("preserial SQL shell — end statements with ';', ctrl-d to "
+              "quit.");
+  }
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) std::fputs(buffer.empty() ? "sql> " : "...> ", stdout);
+    if (!std::getline(std::cin, line)) break;
+    buffer += line;
+    buffer += '\n';
+    const size_t semi = buffer.find(';');
+    if (semi == std::string::npos) continue;
+    const std::string statement = buffer.substr(0, semi + 1);
+    buffer.erase(0, semi + 1);
+
+    // Skip pure whitespace/comments.
+    bool blank = true;
+    for (char c : statement) {
+      if (!std::isspace(static_cast<unsigned char>(c)) && c != ';') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+
+    Result<sql::ResultSet> result = executor.Run(statement);
+    if (result.ok()) {
+      std::fputs(result.value().ToString().c_str(), stdout);
+    } else {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace preserial {
+
+namespace {
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+SystemClock::SystemClock() : origin_ns_(MonotonicNanos()) {}
+
+TimePoint SystemClock::Now() const {
+  return static_cast<double>(MonotonicNanos() - origin_ns_) * 1e-9;
+}
+
+}  // namespace preserial

@@ -1,0 +1,48 @@
+#ifndef PRESERIAL_COMMON_CLOCK_H_
+#define PRESERIAL_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace preserial {
+
+// Time is carried as double seconds. The GTM only compares and subtracts
+// timestamps (commit time vs. sleep time, wait durations), so a scalar is
+// sufficient and keeps simulated and wall-clock drivers interchangeable.
+using TimePoint = double;
+using Duration = double;
+
+// Abstract time source. The GTM and lock manager read time only through
+// this interface, so the same code runs under the discrete-event simulator
+// (virtual time) and in a live multithreaded service (wall-clock time).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+};
+
+// Wall-clock implementation (monotonic, seconds since first use).
+class SystemClock : public Clock {
+ public:
+  SystemClock();
+  TimePoint Now() const override;
+
+ private:
+  int64_t origin_ns_;
+};
+
+// Manually advanced clock for unit tests and for embedding in simulators.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = 0.0) : now_(start) {}
+
+  TimePoint Now() const override { return now_; }
+  void Advance(Duration d) { now_ += d; }
+  void Set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace preserial
+
+#endif  // PRESERIAL_COMMON_CLOCK_H_

@@ -1,0 +1,19 @@
+#ifndef PRESERIAL_COMMON_CRC32_H_
+#define PRESERIAL_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace preserial {
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used to detect torn or
+// corrupted write-ahead-log records during recovery.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace preserial
+
+#endif  // PRESERIAL_COMMON_CRC32_H_

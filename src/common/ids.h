@@ -1,0 +1,17 @@
+#ifndef PRESERIAL_COMMON_IDS_H_
+#define PRESERIAL_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace preserial {
+
+// Transaction identifier, unique within one engine instance. Id 0 is
+// reserved for system work (checkpoint snapshots) and as the invalid
+// sentinel for user transactions.
+using TxnId = uint64_t;
+constexpr TxnId kSystemTxnId = 0;
+constexpr TxnId kInvalidTxnId = 0;
+
+}  // namespace preserial
+
+#endif  // PRESERIAL_COMMON_IDS_H_

@@ -1,0 +1,119 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace preserial {
+
+namespace {
+
+// SplitMix64, used to expand a single seed into the xoshiro state so that
+// nearby seeds (0, 1, 2, ...) still give uncorrelated streams.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(&sm);
+  // All-zero state is the one fixed point of xoshiro; SplitMix64 cannot
+  // produce four zero outputs in a row, but keep the guard cheap anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift with a rejection loop for exact uniformity.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  if (span == 0) return static_cast<int64_t>(Next());
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double mean) {
+  assert(mean > 0);
+  // Inverse CDF; guard against log(0).
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+size_t Rng::NextDiscrete(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+  double target = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  // Floating-point slack: fall back to the last non-zero weight.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    size_t j = NextBounded(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace preserial

@@ -1,0 +1,87 @@
+#ifndef PRESERIAL_COMMON_STATS_H_
+#define PRESERIAL_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace preserial {
+
+// Streaming accumulator for scalar samples (Welford's algorithm for a
+// numerically stable variance). Used by the experiment harnesses to report
+// execution times and abort rates.
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  void Add(double x);
+  void Merge(const RunningStat& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  // Sample variance / stddev (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-boundary histogram with exact percentile queries over retained
+// samples. Retains every sample (experiments here are <= a few hundred
+// thousand observations), so percentiles are exact rather than estimated.
+class Histogram {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  double mean() const;
+  // q in [0, 1]; linear interpolation between closest ranks. Returns 0 when
+  // empty.
+  double Percentile(double q) const;
+  double p50() const { return Percentile(0.50); }
+  double p95() const { return Percentile(0.95); }
+  double p99() const { return Percentile(0.99); }
+
+  // One-line summary "n=... mean=... p50=... p95=... max=...".
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Ratio counter for event rates (aborts/started, conflicts/requests, ...).
+class RateCounter {
+ public:
+  void AddHit() { ++hits_; ++total_; }
+  void AddMiss() { ++total_; }
+  void Add(bool hit) { hit ? AddHit() : AddMiss(); }
+
+  int64_t hits() const { return hits_; }
+  int64_t total() const { return total_; }
+  // Fraction in [0,1]; 0 when no observations.
+  double rate() const {
+    return total_ > 0 ? static_cast<double>(hits_) / static_cast<double>(total_)
+                      : 0.0;
+  }
+  double percent() const { return rate() * 100.0; }
+
+ private:
+  int64_t hits_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace preserial
+
+#endif  // PRESERIAL_COMMON_STATS_H_

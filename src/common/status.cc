@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace preserial {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kConflict:
+      return "CONFLICT";
+    case StatusCode::kWaiting:
+      return "WAITING";
+    case StatusCode::kDeadlock:
+      return "DEADLOCK";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kTimedOut:
+      return "TIMED_OUT";
+    case StatusCode::kConstraintViolation:
+      return "CONSTRAINT_VIOLATION";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace preserial

@@ -1,0 +1,161 @@
+#ifndef PRESERIAL_COMMON_STATUS_H_
+#define PRESERIAL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace preserial {
+
+// Canonical error codes used across the library. The set deliberately mirrors
+// the failure surface of a transactional middleware: most call sites only
+// distinguish "ok", "retryable conflict" and "hard error".
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // Caller passed something malformed.
+  kNotFound,           // Object / row / table does not exist.
+  kAlreadyExists,      // Uniqueness violated (insert of duplicate key, ...).
+  kFailedPrecondition, // Operation not legal in the current state machine
+                       // state (e.g. invoke after commit, paper Sec. IV).
+  kConflict,           // Semantic incompatibility with a concurrent
+                       // transaction (paper Definition 2).
+  kWaiting,            // Operation queued behind a lock; caller will be
+                       // resumed when the request is granted.
+  kDeadlock,           // Waits-for cycle detected; caller should abort.
+  kAborted,            // Transaction was aborted (by itself or the system).
+  kTimedOut,           // Lock wait or sleep exceeded its budget.
+  kConstraintViolation,// CHECK constraint failed at SST execution time.
+  kCorruption,         // Storage-level integrity failure (bad WAL CRC, ...).
+  kUnavailable,        // Transient condition, e.g. client disconnected.
+  kInternal,           // Invariant broken; indicates a library bug.
+};
+
+// Human-readable name of a code ("OK", "CONFLICT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Status carries a code plus an optional message. It is the only error
+// channel in the library: no exceptions are thrown past an API boundary.
+// Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Conflict(std::string m) {
+    return Status(StatusCode::kConflict, std::move(m));
+  }
+  static Status Waiting(std::string m) {
+    return Status(StatusCode::kWaiting, std::move(m));
+  }
+  static Status Deadlock(std::string m) {
+    return Status(StatusCode::kDeadlock, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status TimedOut(std::string m) {
+    return Status(StatusCode::kTimedOut, std::move(m));
+  }
+  static Status ConstraintViolation(std::string m) {
+    return Status(StatusCode::kConstraintViolation, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CONFLICT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> is a Status plus a value on success (a small subset of
+// absl::StatusOr). Accessing the value of a failed Result aborts the
+// process, so callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return 42;` / `return Status::NotFound("...")`.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define PRESERIAL_RETURN_IF_ERROR(expr)             \
+  do {                                              \
+    ::preserial::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#define PRESERIAL_STATUS_CONCAT_INNER_(a, b) a##b
+#define PRESERIAL_STATUS_CONCAT_(a, b) PRESERIAL_STATUS_CONCAT_INNER_(a, b)
+
+// Evaluate a Result-returning expression, propagate failure, otherwise bind
+// the value: PRESERIAL_ASSIGN_OR_RETURN(auto v, LookUp(k));
+#define PRESERIAL_ASSIGN_OR_RETURN(decl, expr)                             \
+  auto PRESERIAL_STATUS_CONCAT_(_preserial_res_, __LINE__) = (expr);       \
+  if (!PRESERIAL_STATUS_CONCAT_(_preserial_res_, __LINE__).ok())           \
+    return PRESERIAL_STATUS_CONCAT_(_preserial_res_, __LINE__).status();   \
+  decl = std::move(PRESERIAL_STATUS_CONCAT_(_preserial_res_, __LINE__)).value()
+
+}  // namespace preserial
+
+#endif  // PRESERIAL_COMMON_STATUS_H_

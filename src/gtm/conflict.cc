@@ -1,0 +1,76 @@
+#include "gtm/conflict.h"
+
+#include "semantics/compatibility.h"
+
+namespace preserial::gtm {
+
+using semantics::LogicalDependencies;
+using semantics::MemberId;
+using semantics::OpClass;
+
+bool DefaultClassConflict(OpClass held, OpClass requested) {
+  return !semantics::Compatible(held, requested);
+}
+
+bool ExclusiveClassConflict(OpClass held, OpClass requested) {
+  return !(held == OpClass::kRead && requested == OpClass::kRead);
+}
+
+bool OpsConflict(const MemberOps& held, MemberId member, OpClass cls,
+                 const LogicalDependencies& deps,
+                 const ClassConflictFn& conflict) {
+  for (const auto& [held_member, held_cls] : held) {
+    if (!deps.Dependent(held_member, member)) continue;
+    if (conflict(held_cls, cls)) return true;
+  }
+  return false;
+}
+
+bool OpsSetsConflict(const MemberOps& a, const MemberOps& b,
+                     const LogicalDependencies& deps,
+                     const ClassConflictFn& conflict) {
+  for (const auto& [member, cls] : a) {
+    if (OpsConflict(b, member, cls, deps, conflict)) return true;
+  }
+  return false;
+}
+
+std::optional<TxnId> FindAdmissionConflict(const ObjectState& obj,
+                                           TxnId requester, MemberId member,
+                                           OpClass cls,
+                                           const ClassConflictFn& conflict) {
+  for (const auto& [txn, ops] : obj.pending) {
+    if (txn == requester) continue;
+    if (obj.IsSleeping(txn)) continue;  // Sleepers do not block admission.
+    if (OpsConflict(ops, member, cls, obj.deps, conflict)) return txn;
+  }
+  for (const auto& [txn, ops] : obj.committing) {
+    if (txn == requester) continue;
+    if (OpsConflict(ops, member, cls, obj.deps, conflict)) return txn;
+  }
+  return std::nullopt;
+}
+
+std::optional<TxnId> FindAwakeConflict(const ObjectState& obj, TxnId sleeper,
+                                       TimePoint slept_at,
+                                       const ClassConflictFn& conflict) {
+  const MemberOps own = obj.OpsOf(sleeper);
+  if (own.empty()) return std::nullopt;
+  for (const auto& [txn, ops] : obj.pending) {
+    if (txn == sleeper) continue;
+    if (obj.IsSleeping(txn)) continue;  // A fellow sleeper is no threat yet.
+    if (OpsSetsConflict(own, ops, obj.deps, conflict)) return txn;
+  }
+  for (const auto& [txn, ops] : obj.committing) {
+    if (txn == sleeper) continue;
+    if (OpsSetsConflict(own, ops, obj.deps, conflict)) return txn;
+  }
+  for (const CommittedEntry& e : obj.committed) {
+    if (e.txn == sleeper) continue;
+    if (e.commit_time <= slept_at) continue;  // Predates the sleep.
+    if (OpsSetsConflict(own, e.ops, obj.deps, conflict)) return e.txn;
+  }
+  return std::nullopt;
+}
+
+}  // namespace preserial::gtm

@@ -1,0 +1,58 @@
+#ifndef PRESERIAL_GTM_CONFLICT_H_
+#define PRESERIAL_GTM_CONFLICT_H_
+
+#include <functional>
+#include <optional>
+
+#include "common/ids.h"
+#include "gtm/object_state.h"
+
+namespace preserial::gtm {
+
+// Predicate deciding whether two operation classes conflict. The default is
+// the negation of the paper's Table I; the semantic-sharing ablation swaps
+// in "everything but read/read conflicts".
+using ClassConflictFn =
+    std::function<bool(semantics::OpClass held, semantics::OpClass requested)>;
+
+// Table I conflict: !Compatible(held, requested).
+bool DefaultClassConflict(semantics::OpClass held,
+                          semantics::OpClass requested);
+
+// Exclusive-middleware conflict (ablation): only read/read shares.
+bool ExclusiveClassConflict(semantics::OpClass held,
+                            semantics::OpClass requested);
+
+// Paper Definition 2, member-level: does a request for (member, cls)
+// conflict with the holder's set of operations on the object? True iff some
+// held class conflicts with `cls` on the same or a logically dependent
+// member.
+bool OpsConflict(const MemberOps& held, semantics::MemberId member,
+                 semantics::OpClass cls,
+                 const semantics::LogicalDependencies& deps,
+                 const ClassConflictFn& conflict = DefaultClassConflict);
+
+// Symmetric conflict between two full operation sets (used by the awake
+// rule, where both sides hold sets).
+bool OpsSetsConflict(const MemberOps& a, const MemberOps& b,
+                     const semantics::LogicalDependencies& deps,
+                     const ClassConflictFn& conflict = DefaultClassConflict);
+
+// Admission check of Algorithm 2: the blocker, if any, among
+// (X_pending - X_sleeping) ∪ X_committing for a request by `requester`.
+// Sleeping holders do not block (they will be re-validated at awake).
+std::optional<TxnId> FindAdmissionConflict(
+    const ObjectState& obj, TxnId requester, semantics::MemberId member,
+    semantics::OpClass cls,
+    const ClassConflictFn& conflict = DefaultClassConflict);
+
+// Awake check of Algorithm 9: a blocker among X_pending ∪ X_committing,
+// or a transaction committed after `slept_at` whose classes conflict with
+// the sleeper's own ops on this object.
+std::optional<TxnId> FindAwakeConflict(
+    const ObjectState& obj, TxnId sleeper, TimePoint slept_at,
+    const ClassConflictFn& conflict = DefaultClassConflict);
+
+}  // namespace preserial::gtm
+
+#endif  // PRESERIAL_GTM_CONFLICT_H_

@@ -1,0 +1,221 @@
+#ifndef PRESERIAL_GTM_GTM_H_
+#define PRESERIAL_GTM_GTM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "gtm/conflict.h"
+#include "gtm/managed_txn.h"
+#include "gtm/metrics.h"
+#include "gtm/object_state.h"
+#include "gtm/policies.h"
+#include "gtm/sst.h"
+#include "gtm/trace.h"
+#include "lock/waits_for_graph.h"
+#include "semantics/operation.h"
+#include "storage/database.h"
+
+namespace preserial::gtm {
+
+// Notification emitted when a queued invocation is admitted (the waiting
+// transaction becomes Active again and its buffered operation has been
+// applied to a fresh virtual copy).
+struct GtmEvent {
+  TxnId txn = kInvalidTxnId;
+  ObjectId object;
+};
+
+// The Global Transaction Manager — the paper's middleware and this
+// library's primary contribution.
+//
+// The GTM pre-serializes long running transactions over *virtual copies* of
+// database data. Semantically compatible operations (Weihl forward
+// commutativity, Table I) share an object concurrently, each transaction
+// operating on its private copy (A_temp); at global commit the
+// reconciliation algorithms (eqs. 1-2) merge the copies and a Secure
+// System Transaction installs the result in the LDBS under strict 2PL.
+// Disconnected or idle transactions *sleep* instead of aborting and may
+// awake and finish unless an incompatible operation committed meanwhile.
+//
+// Event protocol (Algorithms 1-11 of the paper):
+//   Begin()          Alg 1    new Active transaction
+//   Invoke()         Alg 2    request + execute an operation on a member:
+//                             OK        granted, executed on the copy
+//                             kWaiting  queued; a GtmEvent fires on grant
+//                             kDeadlock refused (would close a WFG cycle);
+//                                       caller should RequestAbort
+//                             kConstraintViolation refused by the
+//                                       constraint-aware admission policy
+//   RequestCommit()  Alg 3+4  reconcile all copies, run the SST, install
+//   RequestAbort()   Alg 5+6  discard copies, release admissions
+//   Sleep()          Alg 7+8  park a disconnected/idle transaction
+//   Awake()          Alg 9+10 resume; kAborted when an incompatible
+//                             operation was admitted/committed meanwhile
+//
+// Unlock (Alg 11) is internal: whenever an object's pending set shrinks,
+// the longest FIFO prefix of mutually-admissible, non-sleeping waiters is
+// admitted. (This generalizes the paper's empty-pending trigger: admission
+// also happens when the remaining holders became compatible with the head
+// waiter, which strictly increases concurrency and preserves FIFO
+// fairness.)
+//
+// Externally synchronized; the discrete-event simulator drives it directly
+// and GtmService adds a thread-safe blocking facade.
+class Gtm {
+ public:
+  Gtm(storage::Database* db, const Clock* clock, GtmOptions options = {});
+
+  Gtm(const Gtm&) = delete;
+  Gtm& operator=(const Gtm&) = delete;
+
+  // --- object registry -------------------------------------------------------
+
+  // Binds a GTM object to database cells: member m lives in
+  // `member_columns[m]` of the row `key` in `table`. The committed values
+  // are cached as X_permanent. All writes to the bound cells must flow
+  // through this Gtm.
+  Status RegisterObject(const ObjectId& id, const std::string& table,
+                        const storage::Value& key,
+                        std::vector<size_t> member_columns,
+                        semantics::LogicalDependencies deps = {});
+
+  // Convenience: binds every non-primary-key column of the row as a member
+  // (member order = column order).
+  Status RegisterRowObject(const ObjectId& id, const std::string& table,
+                           const storage::Value& key);
+
+  bool HasObject(const ObjectId& id) const { return objects_.count(id) > 0; }
+  Result<const ObjectState*> GetObject(const ObjectId& id) const;
+
+  // Reloads X_permanent from the LDBS. Only legal while no transaction
+  // holds or waits on the object — it exists for rebinding after external
+  // writes (e.g. a bulk load or recovery that bypassed this Gtm), not for
+  // concurrent use.
+  Status RefreshPermanent(const ObjectId& id);
+  // Cached committed value (X_permanent) of a member.
+  Result<storage::Value> PermanentValue(const ObjectId& id,
+                                        semantics::MemberId member) const;
+
+  // --- the event interface (Algorithms 1-11) --------------------------------
+
+  // Starts a transaction. Higher-priority transactions queue ahead of
+  // lower-priority ones on every wait queue (Sec. VII starvation remedy);
+  // the default 0 gives plain FIFO.
+  TxnId Begin(int priority = 0);
+  Status Invoke(TxnId txn, const ObjectId& object, semantics::MemberId member,
+                const semantics::Operation& op);
+  // Reads the transaction's virtual copy (granting a read if necessary).
+  Result<storage::Value> ReadLocal(TxnId txn, const ObjectId& object,
+                                   semantics::MemberId member);
+  Status RequestCommit(TxnId txn);
+  Status RequestAbort(TxnId txn);
+  Status Sleep(TxnId txn);
+  Status Awake(TxnId txn);
+
+  // --- wait management -------------------------------------------------------
+
+  // Admission notifications since the last call (queued invocations that
+  // were granted).
+  std::vector<GtmEvent> TakeEvents();
+
+  // Aborts transactions that have been Waiting longer than `max_wait`
+  // (timeout-based deadlock/starvation resolution). Returns their ids.
+  std::vector<TxnId> AbortExpiredWaits(Duration max_wait);
+
+  // The inactivity oracle Ξ (paper Alg 8): puts every Active or Waiting
+  // transaction whose last middleware interaction is older than
+  // `idle_timeout` to Sleep, exactly as an explicit disconnection would.
+  // Returns the newly sleeping transactions.
+  std::vector<TxnId> SleepIdleTransactions(Duration idle_timeout);
+
+  // Waits-for-graph sweep: finds every deadlock cycle and aborts one
+  // victim per cycle (the youngest transaction, i.e. highest id). Returns
+  // the victims. Complements at-enqueue detection for deployments that
+  // disable it (the paper's classical 2PL treatment of deadlocks).
+  std::vector<TxnId> DetectAndResolveDeadlocks();
+
+  // --- introspection ---------------------------------------------------------
+
+  Result<TxnState> StateOf(TxnId txn) const;
+  const ManagedTxn* GetTxn(TxnId txn) const;
+  // Ids of transactions currently in `state` (ascending).
+  std::vector<TxnId> TransactionsInState(TxnState state) const;
+  // Transactions that are not yet Committed/Aborted.
+  size_t live_transaction_count() const;
+  GtmMetrics& metrics() { return metrics_; }
+  const GtmMetrics& metrics() const { return metrics_; }
+  const GtmOptions& options() const { return options_; }
+  const SstExecutor& sst() const { return sst_; }
+  // For failure injection in tests/chaos runs.
+  SstExecutor* mutable_sst() { return &sst_; }
+
+  // Event trace (disabled by default): trace()->Enable(capacity) records
+  // every externally visible state transition for audits and debugging.
+  TraceLog* trace() { return &trace_; }
+  const TraceLog& trace() const { return trace_; }
+
+  // Waits-for graph over waiting transactions (for tests and diagnostics).
+  lock::WaitsForGraph BuildWaitsForGraph() const;
+
+  // Cross-checks internal invariants (object/txn agreement, queue
+  // consistency); used heavily by the test suite.
+  Status CheckInvariants() const;
+
+ private:
+  ManagedTxn* GetLiveTxn(TxnId txn);
+  ObjectState* GetObjectMutable(const ObjectId& id);
+
+  // Member-level conflict respecting the semantic_sharing ablation switch.
+  bool EffectiveConflict(semantics::OpClass held, semantics::OpClass requested,
+                         semantics::MemberId held_member,
+                         semantics::MemberId req_member,
+                         const semantics::LogicalDependencies& deps) const;
+  std::optional<TxnId> AdmissionConflict(const ObjectState& obj,
+                                         TxnId requester,
+                                         semantics::MemberId member,
+                                         semantics::OpClass cls) const;
+  std::optional<TxnId> AwakeConflict(const ObjectState& obj, TxnId sleeper,
+                                     TimePoint slept_at) const;
+
+  // Grants (member, op.cls) to txn on obj with a fresh snapshot and applies
+  // `op` to the new copy.
+  Status GrantAndApply(ManagedTxn* t, ObjectState* obj,
+                       semantics::MemberId member,
+                       const semantics::Operation& op);
+  // Applies `op` to an existing virtual copy.
+  Status ApplyToCopy(ManagedTxn* t, ObjectState* obj,
+                     semantics::MemberId member,
+                     const semantics::Operation& op);
+  // Constraint-aware admission projection (Sec. VII mitigation 2).
+  Status CheckConstraintAdmission(const ManagedTxn& t, const ObjectState& obj,
+                                  semantics::MemberId member,
+                                  const semantics::Operation& op) const;
+
+  // Alg 11 generalization: admit the FIFO prefix of admissible waiters.
+  void PumpWaiters(ObjectState* obj);
+
+  // Shared abort path (Alg 5+6); `counter` points at the cause counter to
+  // bump.
+  void AbortInternal(ManagedTxn* t, int64_t* cause_counter);
+
+  void FinishWait(ManagedTxn* t, const ObjectId& object);
+
+  storage::Database* db_;
+  const Clock* clock_;
+  GtmOptions options_;
+  SstExecutor sst_;
+  std::map<ObjectId, std::unique_ptr<ObjectState>> objects_;
+  std::map<TxnId, std::unique_ptr<ManagedTxn>> txns_;
+  std::vector<GtmEvent> events_;
+  GtmMetrics metrics_;
+  TraceLog trace_;
+};
+
+}  // namespace preserial::gtm
+
+#endif  // PRESERIAL_GTM_GTM_H_

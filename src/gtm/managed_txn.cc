@@ -1,0 +1,31 @@
+#include "gtm/managed_txn.h"
+
+#include "common/strings.h"
+
+namespace preserial::gtm {
+
+Result<storage::Value> ManagedTxn::GetTemp(const Cell& cell) const {
+  auto it = temp_.find(cell);
+  if (it == temp_.end()) {
+    return Status::NotFound(StrFormat(
+        "txn %llu has no virtual copy of %s#%zu",
+        static_cast<unsigned long long>(id_), cell.object.c_str(),
+        cell.member));
+  }
+  return it->second;
+}
+
+Result<semantics::OpClass> ManagedTxn::GrantedClass(const Cell& cell) const {
+  auto it = granted_.find(cell);
+  if (it == granted_.end()) {
+    return Status::NotFound(StrFormat(
+        "txn %llu holds no grant on %s#%zu",
+        static_cast<unsigned long long>(id_), cell.object.c_str(),
+        cell.member));
+  }
+  return it->second;
+}
+
+std::set<ObjectId> ManagedTxn::InvolvedObjects() const { return involved_; }
+
+}  // namespace preserial::gtm

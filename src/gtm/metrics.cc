@@ -1,0 +1,46 @@
+#include "gtm/metrics.h"
+
+#include "common/strings.h"
+
+namespace preserial::gtm {
+
+double GtmMetrics::AbortPercent() const {
+  if (counters_.begun == 0) return 0.0;
+  return 100.0 * static_cast<double>(counters_.aborted) /
+         static_cast<double>(counters_.begun);
+}
+
+std::string GtmMetrics::Summary() const {
+  std::string out;
+  out += StrFormat(
+      "txns: begun=%lld committed=%lld aborted=%lld (%.2f%%)\n",
+      static_cast<long long>(counters_.begun),
+      static_cast<long long>(counters_.committed),
+      static_cast<long long>(counters_.aborted), AbortPercent());
+  out += StrFormat(
+      "invocations: total=%lld immediate=%lld shared=%lld waits=%lld\n",
+      static_cast<long long>(counters_.invocations),
+      static_cast<long long>(counters_.granted_immediately),
+      static_cast<long long>(counters_.shared_grants),
+      static_cast<long long>(counters_.waits));
+  out += StrFormat(
+      "sleep: sleeps=%lld awakes=%lld awake_aborts=%lld\n",
+      static_cast<long long>(counters_.sleeps),
+      static_cast<long long>(counters_.awakes),
+      static_cast<long long>(counters_.awake_aborts));
+  out += StrFormat(
+      "aborts: deadlock_refusals=%lld timeout=%lld constraint=%lld "
+      "user=%lld\n",
+      static_cast<long long>(counters_.deadlock_refusals),
+      static_cast<long long>(counters_.timeout_aborts),
+      static_cast<long long>(counters_.constraint_aborts),
+      static_cast<long long>(counters_.user_aborts));
+  out += StrFormat("sst: executed=%lld failed=%lld\n",
+                   static_cast<long long>(counters_.sst_executed),
+                   static_cast<long long>(counters_.sst_failed));
+  out += "exec_time: " + execution_time_.Summary() + "\n";
+  out += "wait_time: " + wait_time_.Summary() + "\n";
+  return out;
+}
+
+}  // namespace preserial::gtm

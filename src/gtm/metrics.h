@@ -1,0 +1,67 @@
+#ifndef PRESERIAL_GTM_METRICS_H_
+#define PRESERIAL_GTM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+
+namespace preserial::gtm {
+
+// Cheap always-on counters; one instance per Gtm.
+struct GtmCounters {
+  int64_t begun = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+
+  int64_t invocations = 0;
+  int64_t granted_immediately = 0;
+  int64_t shared_grants = 0;  // Granted while another txn held the object.
+  int64_t waits = 0;
+
+  int64_t sleeps = 0;
+  int64_t awakes = 0;
+
+  int64_t awake_aborts = 0;      // Algorithm 9, conflict during sleep.
+  int64_t deadlock_refusals = 0;  // Requests refused at enqueue time.
+  int64_t deadlock_aborts = 0;    // Victims of the periodic WFG sweep.
+  int64_t timeout_aborts = 0;
+  int64_t constraint_aborts = 0;  // SST failed a CHECK constraint.
+  int64_t disconnect_aborts = 0;  // Sleep() with sleeping disabled.
+  int64_t user_aborts = 0;
+
+  int64_t sst_executed = 0;
+  int64_t sst_failed = 0;
+  int64_t sst_retries = 0;  // Transient failures absorbed by the retry policy.
+
+  int64_t starvation_denials = 0;
+  int64_t admission_denials = 0;  // Constraint-aware admission refusals.
+};
+
+// Counters plus latency distributions (virtual-time seconds under the
+// simulator).
+class GtmMetrics {
+ public:
+  GtmCounters& counters() { return counters_; }
+  const GtmCounters& counters() const { return counters_; }
+
+  Histogram& execution_time() { return execution_time_; }
+  const Histogram& execution_time() const { return execution_time_; }
+
+  Histogram& wait_time() { return wait_time_; }
+  const Histogram& wait_time() const { return wait_time_; }
+
+  // Abort percentage over started transactions (0-100).
+  double AbortPercent() const;
+  // Multi-line human-readable dump.
+  std::string Summary() const;
+
+ private:
+  GtmCounters counters_;
+  Histogram execution_time_;  // Begin -> committed, committed txns only.
+  Histogram wait_time_;       // Per completed wait episode.
+};
+
+}  // namespace preserial::gtm
+
+#endif  // PRESERIAL_GTM_METRICS_H_

@@ -1,0 +1,19 @@
+#include "gtm/policies.h"
+
+#include "semantics/compatibility.h"
+
+namespace preserial::gtm {
+
+int CountIncompatibleWaiters(const ObjectState& obj, TxnId requester,
+                             semantics::MemberId member,
+                             semantics::OpClass cls) {
+  int n = 0;
+  for (const WaitEntry& w : obj.waiting) {
+    if (w.txn == requester) continue;
+    if (!obj.deps.Dependent(w.member, member)) continue;
+    if (!semantics::Compatible(w.op.cls, cls)) ++n;
+  }
+  return n;
+}
+
+}  // namespace preserial::gtm

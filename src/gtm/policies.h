@@ -1,0 +1,72 @@
+#ifndef PRESERIAL_GTM_POLICIES_H_
+#define PRESERIAL_GTM_POLICIES_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "gtm/object_state.h"
+
+namespace preserial::gtm {
+
+// Tunable behaviour of the Gtm. Defaults reproduce the paper's model;
+// the remaining knobs implement its Sec. VII "future work" mitigations and
+// the ablations in bench/.
+struct GtmOptions {
+  // --- paper model ----------------------------------------------------------
+
+  // When false, the compatibility matrix degenerates to "reads share,
+  // everything else conflicts": the GTM behaves like an exclusive-lock
+  // middleware (ablation bench_ablation_semantics).
+  bool semantic_sharing = true;
+
+  // When false, Sleep() aborts the transaction instead of parking it —
+  // the 2PL-style treatment of disconnections (bench_ablation_sleep).
+  bool sleep_enabled = true;
+
+  // --- deadlock -------------------------------------------------------------
+
+  // Check the waits-for graph when an invocation queues; a request that
+  // would close a cycle is refused (kDeadlock) so the caller can abort.
+  bool deadlock_detection = true;
+
+  // --- Sec. VII mitigation 1: starvation guard ------------------------------
+
+  // Deny the compatible fast path when at least this many incompatible
+  // waiters are queued on the object (the "lock-deny" proposal), forcing
+  // newcomers to queue behind them. 0 disables the guard.
+  int starvation_waiter_threshold = 0;
+
+  // --- Sec. VII mitigation 2: constraint-aware admission ---------------------
+
+  // Before applying an add/sub operation, verify that the *pessimistic*
+  // projection of the bound cell — X_permanent plus every pending holder's
+  // negative net delta plus this operation — still satisfies the table's
+  // CHECK constraints. Violating operations are refused up front instead of
+  // failing the whole transaction at SST time.
+  bool constraint_aware_admission = false;
+
+  // --- Sec. VII open problem: SST failure recovery ---------------------------
+
+  // Transient SST failures (kUnavailable, e.g. a flaky link to the LDBS)
+  // are retried up to this many times before the GTM aborts the
+  // transaction. Deterministic failures (constraint violations) are never
+  // retried. 0 = no retries (the paper's assumption that SSTs always
+  // succeed).
+  int sst_retry_limit = 0;
+
+  // --- housekeeping ----------------------------------------------------------
+
+  // Committed entries (X_tc traces) older than this are pruned; they can
+  // only matter to sleepers that slept longer, which the experiments bound.
+  Duration committed_retention = 1e9;
+};
+
+// Counts incompatible (w.r.t. `cls` on `member`) wait-queue entries of
+// other transactions — the quantity the starvation guard thresholds on.
+int CountIncompatibleWaiters(const ObjectState& obj, TxnId requester,
+                             semantics::MemberId member,
+                             semantics::OpClass cls);
+
+}  // namespace preserial::gtm
+
+#endif  // PRESERIAL_GTM_POLICIES_H_

@@ -1,0 +1,41 @@
+#include "gtm/sst.h"
+
+namespace preserial::gtm {
+
+SstExecutor::SstExecutor(storage::Database* db) : db_(db), engine_(db) {}
+
+Status SstExecutor::Execute(const std::vector<CellWrite>& writes) {
+  if (injector_) {
+    Status injected = injector_(writes);
+    if (!injected.ok()) {
+      ++counters_.failed;
+      ++counters_.injected_failures;
+      return injected;
+    }
+  }
+  const TxnId sst = engine_.Begin();
+  for (const CellWrite& w : writes) {
+    Status s = engine_.Write(sst, w.table, w.key, w.column, w.value);
+    if (s.code() == StatusCode::kWaiting) {
+      (void)engine_.Abort(sst);
+      ++counters_.failed;
+      return Status::Internal(
+          "SST blocked on a lock; the GTM must own the database");
+    }
+    if (!s.ok()) {
+      (void)engine_.Abort(sst);
+      ++counters_.failed;
+      return s;
+    }
+  }
+  Status s = engine_.Commit(sst);
+  if (!s.ok()) {
+    ++counters_.failed;
+    return s;
+  }
+  ++counters_.executed;
+  counters_.cells_written += static_cast<int64_t>(writes.size());
+  return Status::Ok();
+}
+
+}  // namespace preserial::gtm

@@ -1,0 +1,73 @@
+#ifndef PRESERIAL_GTM_SST_H_
+#define PRESERIAL_GTM_SST_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/value.h"
+#include "txn/txn_manager.h"
+
+namespace preserial::gtm {
+
+// Executor of Secure System Transactions: the paper's bridge from the
+// GTM's virtual context to the LDBS. At global commit the GTM hands this
+// class the reconciled cell values; they are installed in one strict-2PL
+// transaction so the data layer provides consistency and durability
+// (constraints checked, WAL forced at commit).
+class SstExecutor {
+ public:
+  struct CellWrite {
+    std::string table;
+    storage::Value key;
+    size_t column = 0;
+    storage::Value value;
+  };
+
+  struct Counters {
+    int64_t executed = 0;
+    int64_t failed = 0;
+    int64_t cells_written = 0;
+    int64_t injected_failures = 0;
+  };
+
+  // Test/chaos hook: called before each execution attempt; a non-OK return
+  // makes the attempt fail with that status (before touching the engine).
+  // Models the transient SST failures whose recovery the paper leaves as
+  // future work (Sec. VII).
+  using FailureInjector = std::function<Status(const std::vector<CellWrite>&)>;
+
+  explicit SstExecutor(storage::Database* db);
+
+  SstExecutor(const SstExecutor&) = delete;
+  SstExecutor& operator=(const SstExecutor&) = delete;
+
+  // Applies all writes atomically. On any failure (typically a CHECK
+  // constraint violation) the underlying transaction rolls back and the
+  // error is returned; the database is untouched.
+  //
+  // SSTs run to completion within the call — the GTM serializes commits, so
+  // SST lock requests can never wait. A kWaiting from the engine would mean
+  // a foreign transaction shares this database's lock space and is reported
+  // as kInternal.
+  Status Execute(const std::vector<CellWrite>& writes);
+
+  void set_failure_injector(FailureInjector injector) {
+    injector_ = std::move(injector);
+  }
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  storage::Database* db_;
+  txn::TwoPhaseLockingEngine engine_;
+  FailureInjector injector_;
+  Counters counters_;
+};
+
+}  // namespace preserial::gtm
+
+#endif  // PRESERIAL_GTM_SST_H_

@@ -1,0 +1,92 @@
+#include "gtm/trace.h"
+
+#include "common/strings.h"
+
+namespace preserial::gtm {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kBegin:
+      return "BEGIN";
+    case TraceEventKind::kGrant:
+      return "GRANT";
+    case TraceEventKind::kWait:
+      return "WAIT";
+    case TraceEventKind::kCommit:
+      return "COMMIT";
+    case TraceEventKind::kAbort:
+      return "ABORT";
+    case TraceEventKind::kSleep:
+      return "SLEEP";
+    case TraceEventKind::kAwake:
+      return "AWAKE";
+    case TraceEventKind::kAwakeAbort:
+      return "AWAKE_ABORT";
+    case TraceEventKind::kDeadlockRefusal:
+      return "DEADLOCK_REFUSAL";
+    case TraceEventKind::kAdmissionDenial:
+      return "ADMISSION_DENIAL";
+  }
+  return "?";
+}
+
+std::string TraceEvent::ToString() const {
+  std::string s = StrFormat("[%10.3f] txn %-4llu %-16s", time,
+                            static_cast<unsigned long long>(txn),
+                            TraceEventKindName(kind));
+  if (!object.empty()) s += " " + object;
+  if (!detail.empty()) s += " (" + detail + ")";
+  return s;
+}
+
+void TraceLog::Enable(size_t capacity) {
+  capacity_ = capacity;
+  ring_.assign(capacity, TraceEvent{});
+  next_ = 0;
+  size_ = 0;
+}
+
+void TraceLog::Record(TimePoint time, TraceEventKind kind, TxnId txn,
+                      std::string object, std::string detail) {
+  ++total_recorded_;
+  if (capacity_ == 0) return;
+  ring_[next_] = TraceEvent{time, kind, txn, std::move(object),
+                            std::move(detail)};
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+std::vector<TraceEvent> TraceLog::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest entry sits at next_ when the ring has wrapped, else at 0.
+  const size_t start = size_ == capacity_ ? next_ : 0;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::ForTxn(TxnId txn) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : Snapshot()) {
+    if (e.txn == txn) out.push_back(e);
+  }
+  return out;
+}
+
+void TraceLog::Clear() {
+  next_ = 0;
+  size_ = 0;
+}
+
+std::string TraceLog::Dump() const {
+  std::string out;
+  for (const TraceEvent& e : Snapshot()) {
+    out += e.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace preserial::gtm

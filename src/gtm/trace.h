@@ -1,0 +1,76 @@
+#ifndef PRESERIAL_GTM_TRACE_H_
+#define PRESERIAL_GTM_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+
+namespace preserial::gtm {
+
+// Kinds of middleware events recorded by the trace (one per externally
+// visible transition of the paper's state machines).
+enum class TraceEventKind {
+  kBegin,
+  kGrant,        // Invocation admitted (immediately or from the queue).
+  kWait,         // Invocation queued.
+  kCommit,
+  kAbort,
+  kSleep,
+  kAwake,
+  kAwakeAbort,
+  kDeadlockRefusal,
+  kAdmissionDenial,  // Constraint-aware admission refused an operation.
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  TimePoint time = 0;
+  TraceEventKind kind = TraceEventKind::kBegin;
+  TxnId txn = kInvalidTxnId;
+  std::string object;  // Empty for transaction-level events.
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+// Bounded ring buffer of middleware events. Disabled (capacity 0) by
+// default so the hot path stays allocation-free; enable for debugging,
+// audits, or the examples' --trace output.
+class TraceLog {
+ public:
+  TraceLog() = default;
+
+  void Enable(size_t capacity);
+  void Disable() { Enable(0); }
+  bool enabled() const { return capacity_ > 0; }
+
+  void Record(TimePoint time, TraceEventKind kind, TxnId txn,
+              std::string object = "", std::string detail = "");
+
+  // Events in chronological order (oldest first), up to capacity.
+  std::vector<TraceEvent> Snapshot() const;
+  // Events of one transaction, chronological.
+  std::vector<TraceEvent> ForTxn(TxnId txn) const;
+
+  size_t size() const { return size_; }
+  int64_t total_recorded() const { return total_recorded_; }
+  void Clear();
+
+  // Multi-line rendering of Snapshot().
+  std::string Dump() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t capacity_ = 0;
+  size_t next_ = 0;   // Slot for the next write.
+  size_t size_ = 0;   // Live entries (<= capacity).
+  int64_t total_recorded_ = 0;
+};
+
+}  // namespace preserial::gtm
+
+#endif  // PRESERIAL_GTM_TRACE_H_

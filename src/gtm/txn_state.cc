@@ -1,0 +1,29 @@
+#include "gtm/txn_state.h"
+
+namespace preserial::gtm {
+
+const char* TxnStateName(TxnState s) {
+  switch (s) {
+    case TxnState::kActive:
+      return "Active";
+    case TxnState::kWaiting:
+      return "Waiting";
+    case TxnState::kSleeping:
+      return "Sleeping";
+    case TxnState::kCommitting:
+      return "Committing";
+    case TxnState::kAborting:
+      return "Aborting";
+    case TxnState::kCommitted:
+      return "Committed";
+    case TxnState::kAborted:
+      return "Aborted";
+  }
+  return "?";
+}
+
+bool IsLive(TxnState s) {
+  return s != TxnState::kCommitted && s != TxnState::kAborted;
+}
+
+}  // namespace preserial::gtm

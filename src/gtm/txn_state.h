@@ -1,0 +1,32 @@
+#ifndef PRESERIAL_GTM_TXN_STATE_H_
+#define PRESERIAL_GTM_TXN_STATE_H_
+
+namespace preserial::gtm {
+
+// Operating states of a GTM-managed transaction (paper Sec. IV):
+//
+//   Active     - normally running
+//   Waiting    - queued behind an incompatible holder on some object
+//   Sleeping   - disconnected or idle; holds no admission rights but is not
+//                aborted (the paper's key departure from 2PL)
+//   Committing - user requested commit; the SST has not finished
+//   Aborting   - abort requested; local aborts not yet finished
+//   Committed  / Aborted - terminal
+enum class TxnState {
+  kActive,
+  kWaiting,
+  kSleeping,
+  kCommitting,
+  kAborting,
+  kCommitted,
+  kAborted,
+};
+
+const char* TxnStateName(TxnState s);
+
+// True for states in which the transaction still owns resources.
+bool IsLive(TxnState s);
+
+}  // namespace preserial::gtm
+
+#endif  // PRESERIAL_GTM_TXN_STATE_H_

@@ -1,0 +1,141 @@
+#include "lock/lock_manager.h"
+
+namespace preserial::lock {
+
+ResourceQueue* LockManager::QueueFor(const ResourceId& resource) {
+  return &queues_[resource];
+}
+
+LockResult LockManager::Acquire(TxnId txn, const ResourceId& resource,
+                                LockMode mode) {
+  ResourceQueue* q = QueueFor(resource);
+  const AcquireOutcome outcome = q->Acquire(txn, mode);
+  txn_resources_[txn].insert(resource);
+  if (outcome == AcquireOutcome::kGranted) return LockResult::kGranted;
+
+  // The request is queued: would it close a cycle?
+  WaitsForGraph wfg = BuildWaitsForGraph();
+  if (wfg.HasCycleFrom(txn)) {
+    // Back the request out; the caller must abort (or retry later).
+    std::vector<LockGrant> grants;
+    NoteGrants(resource, q->CancelWait(txn), &grants);
+    // Backing out a wait can never grant anyone new locks beyond what the
+    // pump finds, but if it does, those grants are genuine; they are
+    // reported through the next Release call's path in practice. Assert
+    // the common case.
+    if (!q->HeldBy(txn)) {
+      auto it = txn_resources_.find(txn);
+      if (it != txn_resources_.end()) it->second.erase(resource);
+    }
+    GarbageCollect(resource);
+    pending_grants_.insert(pending_grants_.end(), grants.begin(),
+                           grants.end());
+    return LockResult::kDeadlock;
+  }
+  return LockResult::kWaiting;
+}
+
+void LockManager::NoteGrants(const ResourceId& resource,
+                             const std::vector<ResourceQueue::Grant>& grants,
+                             std::vector<LockGrant>* out) {
+  for (const ResourceQueue::Grant& g : grants) {
+    out->push_back(LockGrant{g.txn, resource, g.mode});
+  }
+}
+
+std::vector<LockGrant> LockManager::Release(TxnId txn,
+                                            const ResourceId& resource) {
+  std::vector<LockGrant> out = TakePendingGrants();
+  auto it = queues_.find(resource);
+  if (it == queues_.end()) return out;
+  NoteGrants(resource, it->second.Release(txn), &out);
+  auto tr = txn_resources_.find(txn);
+  if (tr != txn_resources_.end()) tr->second.erase(resource);
+  GarbageCollect(resource);
+  return out;
+}
+
+std::vector<LockGrant> LockManager::ReleaseAll(TxnId txn) {
+  std::vector<LockGrant> out = TakePendingGrants();
+  auto tr = txn_resources_.find(txn);
+  if (tr == txn_resources_.end()) return out;
+  const std::unordered_set<ResourceId> resources = std::move(tr->second);
+  txn_resources_.erase(tr);
+  for (const ResourceId& r : resources) {
+    auto it = queues_.find(r);
+    if (it == queues_.end()) continue;
+    NoteGrants(r, it->second.Release(txn), &out);
+    GarbageCollect(r);
+  }
+  return out;
+}
+
+std::vector<LockGrant> LockManager::CancelWaits(TxnId txn) {
+  std::vector<LockGrant> out = TakePendingGrants();
+  auto tr = txn_resources_.find(txn);
+  if (tr == txn_resources_.end()) return out;
+  std::vector<ResourceId> to_forget;
+  for (const ResourceId& r : tr->second) {
+    auto it = queues_.find(r);
+    if (it == queues_.end()) continue;
+    if (!it->second.IsWaiting(txn)) continue;
+    NoteGrants(r, it->second.CancelWait(txn), &out);
+    if (!it->second.HeldBy(txn)) to_forget.push_back(r);
+    GarbageCollect(r);
+  }
+  for (const ResourceId& r : to_forget) tr->second.erase(r);
+  return out;
+}
+
+bool LockManager::Holds(TxnId txn, const ResourceId& resource,
+                        LockMode* mode) const {
+  auto it = queues_.find(resource);
+  if (it == queues_.end()) return false;
+  return it->second.HeldBy(txn, mode);
+}
+
+bool LockManager::IsWaiting(TxnId txn) const {
+  auto tr = txn_resources_.find(txn);
+  if (tr == txn_resources_.end()) return false;
+  for (const ResourceId& r : tr->second) {
+    auto it = queues_.find(r);
+    if (it != queues_.end() && it->second.IsWaiting(txn)) return true;
+  }
+  return false;
+}
+
+std::vector<ResourceId> LockManager::HeldResources(TxnId txn) const {
+  std::vector<ResourceId> out;
+  auto tr = txn_resources_.find(txn);
+  if (tr == txn_resources_.end()) return out;
+  for (const ResourceId& r : tr->second) {
+    auto it = queues_.find(r);
+    if (it != queues_.end() && it->second.HeldBy(txn)) out.push_back(r);
+  }
+  return out;
+}
+
+WaitsForGraph LockManager::BuildWaitsForGraph() const {
+  WaitsForGraph wfg;
+  for (const auto& [resource, queue] : queues_) {
+    for (const ResourceQueue::WaitingRequest& w : queue.waiting()) {
+      for (TxnId blocker : queue.BlockersOf(w.txn)) {
+        wfg.AddEdge(w.txn, blocker);
+      }
+    }
+  }
+  return wfg;
+}
+
+void LockManager::GarbageCollect(const ResourceId& resource) {
+  auto it = queues_.find(resource);
+  if (it != queues_.end() && it->second.Empty()) queues_.erase(it);
+}
+
+std::vector<LockGrant> LockManager::TakePendingGrants() {
+  std::vector<LockGrant> out;
+  out.swap(pending_grants_);
+  return out;
+}
+
+}  // namespace preserial::lock

@@ -1,0 +1,96 @@
+#ifndef PRESERIAL_LOCK_LOCK_MANAGER_H_
+#define PRESERIAL_LOCK_LOCK_MANAGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "lock/lock_table.h"
+#include "lock/waits_for_graph.h"
+
+namespace preserial::lock {
+
+// Result of LockManager::Acquire.
+enum class LockResult {
+  kGranted,
+  kWaiting,   // Queued; the caller will be handed a Grant on release.
+  kDeadlock,  // Granting would close a waits-for cycle; the request was
+              // backed out and the requester should abort.
+};
+
+// A request that became runnable after a release/cancel.
+struct LockGrant {
+  TxnId txn = kInvalidTxnId;
+  ResourceId resource;
+  LockMode mode = LockMode::kShared;
+};
+
+// Non-blocking strict-2PL lock manager over named resources.
+//
+// Deliberately event-style: Acquire never blocks; instead a waiting caller
+// is resumed when Release/CancelWait returns its LockGrant. This lets the
+// same engine run under the discrete-event simulator (waits take virtual
+// time) and under a thread wrapper (waits park on a condvar).
+//
+// Deadlock policy: detection at acquire time on the waits-for graph; the
+// requester whose wait would close a cycle is refused (kDeadlock), which
+// under strict 2PL means the transaction aborts and retries — matching the
+// behaviour the paper ascribes to classical 2PL in Sec. II.
+//
+// Not thread-safe; callers serialize externally.
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  LockResult Acquire(TxnId txn, const ResourceId& resource, LockMode mode);
+
+  // Releases one resource; returns requests that became grantable.
+  std::vector<LockGrant> Release(TxnId txn, const ResourceId& resource);
+
+  // Releases everything txn holds or waits for (commit/abort under strict
+  // 2PL). Returns requests that became grantable.
+  std::vector<LockGrant> ReleaseAll(TxnId txn);
+
+  // Backs out txn's waiting requests only (lock-wait timeout); held locks
+  // stay. Returns requests that became grantable.
+  std::vector<LockGrant> CancelWaits(TxnId txn);
+
+  // Grants that materialized as a side effect of a kDeadlock back-out in
+  // Acquire. Callers should drain this after an Acquire that returned
+  // kDeadlock (Release/ReleaseAll/CancelWaits drain it implicitly).
+  std::vector<LockGrant> TakePendingGrants();
+
+  bool Holds(TxnId txn, const ResourceId& resource,
+             LockMode* mode = nullptr) const;
+  bool IsWaiting(TxnId txn) const;
+
+  // Resources txn currently holds (any mode).
+  std::vector<ResourceId> HeldResources(TxnId txn) const;
+
+  // Rebuilds the waits-for graph from current queues (exposed for tests and
+  // for periodic detection policies).
+  WaitsForGraph BuildWaitsForGraph() const;
+
+  size_t resource_count() const { return queues_.size(); }
+
+ private:
+  ResourceQueue* QueueFor(const ResourceId& resource);
+  void NoteGrants(const ResourceId& resource,
+                  const std::vector<ResourceQueue::Grant>& grants,
+                  std::vector<LockGrant>* out);
+  void GarbageCollect(const ResourceId& resource);
+
+  std::unordered_map<ResourceId, ResourceQueue> queues_;
+  // txn -> resources it holds or waits on (superset; validated on use).
+  std::unordered_map<TxnId, std::unordered_set<ResourceId>> txn_resources_;
+  std::vector<LockGrant> pending_grants_;
+};
+
+}  // namespace preserial::lock
+
+#endif  // PRESERIAL_LOCK_LOCK_MANAGER_H_

@@ -1,0 +1,37 @@
+#include "lock/lock_mode.h"
+
+namespace preserial::lock {
+
+const char* LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kShared:
+      return "S";
+    case LockMode::kUpdate:
+      return "U";
+    case LockMode::kExclusive:
+      return "X";
+  }
+  return "?";
+}
+
+bool Compatible(LockMode held, LockMode requested) {
+  switch (held) {
+    case LockMode::kShared:
+      return requested != LockMode::kExclusive;
+    case LockMode::kUpdate:
+      return requested == LockMode::kShared;
+    case LockMode::kExclusive:
+      return false;
+  }
+  return false;
+}
+
+bool IsUpgrade(LockMode from, LockMode to) {
+  return static_cast<int>(to) > static_cast<int>(from);
+}
+
+LockMode Stronger(LockMode a, LockMode b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+}  // namespace preserial::lock

@@ -1,0 +1,33 @@
+#ifndef PRESERIAL_LOCK_LOCK_MODE_H_
+#define PRESERIAL_LOCK_LOCK_MODE_H_
+
+namespace preserial::lock {
+
+// Classical lock modes for the strict-2PL baseline engine.
+//   kShared    - read
+//   kUpdate    - read with intent to write (compatible with kShared holders,
+//                incompatible with other kUpdate/kExclusive; prevents the
+//                classic S->X upgrade deadlock of the paper's Sec. II
+//                motivating example)
+//   kExclusive - write
+enum class LockMode {
+  kShared,
+  kUpdate,
+  kExclusive,
+};
+
+const char* LockModeName(LockMode m);
+
+// True when a new request of mode `requested` can run alongside an existing
+// holder of mode `held`.
+bool Compatible(LockMode held, LockMode requested);
+
+// True when `from` -> `to` is a strengthening conversion (S->U, S->X, U->X).
+bool IsUpgrade(LockMode from, LockMode to);
+
+// The weaker/stronger of two modes (total order S < U < X).
+LockMode Stronger(LockMode a, LockMode b);
+
+}  // namespace preserial::lock
+
+#endif  // PRESERIAL_LOCK_LOCK_MODE_H_

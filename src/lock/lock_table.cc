@@ -1,0 +1,118 @@
+#include "lock/lock_table.h"
+
+#include <algorithm>
+
+namespace preserial::lock {
+
+bool ResourceQueue::CompatibleWithGranted(TxnId txn, LockMode mode) const {
+  for (const auto& [holder, held] : granted_) {
+    if (holder == txn) continue;
+    if (!Compatible(held, mode)) return false;
+  }
+  return true;
+}
+
+AcquireOutcome ResourceQueue::Acquire(TxnId txn, LockMode mode) {
+  auto held = granted_.find(txn);
+  if (held != granted_.end() && !IsUpgrade(held->second, mode)) {
+    return AcquireOutcome::kGranted;  // Already strong enough.
+  }
+  const bool upgrade = held != granted_.end();
+
+  // A fresh request must queue behind existing waiters (FIFO fairness);
+  // an upgrade only needs compatibility with the other holders.
+  const bool can_grant_now =
+      CompatibleWithGranted(txn, mode) && (upgrade || waiting_.empty());
+  if (can_grant_now) {
+    granted_[txn] = mode;
+    return AcquireOutcome::kGranted;
+  }
+
+  WaitingRequest req{txn, mode, upgrade};
+  if (upgrade) {
+    // Upgrades go ahead of plain waiters (but behind earlier upgrades).
+    auto pos = waiting_.begin();
+    while (pos != waiting_.end() && pos->upgrade) ++pos;
+    waiting_.insert(pos, req);
+  } else {
+    waiting_.push_back(req);
+  }
+  return AcquireOutcome::kWaiting;
+}
+
+std::vector<ResourceQueue::Grant> ResourceQueue::PumpQueue() {
+  std::vector<Grant> grants;
+  while (!waiting_.empty()) {
+    const WaitingRequest& head = waiting_.front();
+    if (!CompatibleWithGranted(head.txn, head.mode)) break;
+    granted_[head.txn] = head.mode;
+    grants.push_back(Grant{head.txn, head.mode});
+    waiting_.pop_front();
+  }
+  return grants;
+}
+
+std::vector<ResourceQueue::Grant> ResourceQueue::Release(TxnId txn) {
+  granted_.erase(txn);
+  waiting_.erase(std::remove_if(waiting_.begin(), waiting_.end(),
+                                [txn](const WaitingRequest& w) {
+                                  return w.txn == txn;
+                                }),
+                 waiting_.end());
+  return PumpQueue();
+}
+
+std::vector<ResourceQueue::Grant> ResourceQueue::CancelWait(TxnId txn) {
+  waiting_.erase(std::remove_if(waiting_.begin(), waiting_.end(),
+                                [txn](const WaitingRequest& w) {
+                                  return w.txn == txn;
+                                }),
+                 waiting_.end());
+  return PumpQueue();
+}
+
+bool ResourceQueue::HeldBy(TxnId txn, LockMode* mode) const {
+  auto it = granted_.find(txn);
+  if (it == granted_.end()) return false;
+  if (mode != nullptr) *mode = it->second;
+  return true;
+}
+
+bool ResourceQueue::IsWaiting(TxnId txn) const {
+  for (const WaitingRequest& w : waiting_) {
+    if (w.txn == txn) return true;
+  }
+  return false;
+}
+
+std::vector<TxnId> ResourceQueue::BlockersOf(TxnId waiter) const {
+  std::vector<TxnId> blockers;
+  LockMode mode = LockMode::kShared;
+  bool found = false;
+  // Find the waiter's queued request.
+  size_t waiter_pos = waiting_.size();
+  for (size_t i = 0; i < waiting_.size(); ++i) {
+    if (waiting_[i].txn == waiter) {
+      mode = waiting_[i].mode;
+      waiter_pos = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return blockers;
+  for (const auto& [holder, held] : granted_) {
+    if (holder != waiter && !Compatible(held, mode)) {
+      blockers.push_back(holder);
+    }
+  }
+  // FIFO semantics: earlier incompatible waiters also gate this request.
+  for (size_t i = 0; i < waiter_pos; ++i) {
+    if (waiting_[i].txn != waiter &&
+        !Compatible(waiting_[i].mode, mode)) {
+      blockers.push_back(waiting_[i].txn);
+    }
+  }
+  return blockers;
+}
+
+}  // namespace preserial::lock

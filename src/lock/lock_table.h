@@ -1,0 +1,76 @@
+#ifndef PRESERIAL_LOCK_LOCK_TABLE_H_
+#define PRESERIAL_LOCK_LOCK_TABLE_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "lock/lock_mode.h"
+
+namespace preserial::lock {
+
+// Lockable resource name. The 2PL engine uses "table\x1fkey" row names.
+using ResourceId = std::string;
+
+// Outcome of a lock request against one resource queue.
+enum class AcquireOutcome {
+  kGranted,
+  kWaiting,
+};
+
+// One resource's lock state: granted set + FIFO wait queue. Upgrade
+// requests (a holder strengthening its mode) jump to the front of the wait
+// queue, as is conventional.
+class ResourceQueue {
+ public:
+  struct WaitingRequest {
+    TxnId txn = kInvalidTxnId;
+    LockMode mode = LockMode::kShared;
+    bool upgrade = false;  // Txn already holds a weaker mode.
+  };
+  struct Grant {
+    TxnId txn = kInvalidTxnId;
+    LockMode mode = LockMode::kShared;
+  };
+
+  // Requests `mode` for `txn`. Re-requesting an already-held equal/weaker
+  // mode is a granted no-op; a stronger mode follows the upgrade path.
+  AcquireOutcome Acquire(TxnId txn, LockMode mode);
+
+  // Drops txn's granted lock and/or waiting request. Returns requests that
+  // became grantable (in grant order).
+  std::vector<Grant> Release(TxnId txn);
+
+  // Removes only txn's waiting request (lock-wait timeout / deadlock victim
+  // backing out). Returns newly grantable requests.
+  std::vector<Grant> CancelWait(TxnId txn);
+
+  // Mode held by txn, if any.
+  bool HeldBy(TxnId txn, LockMode* mode = nullptr) const;
+  bool IsWaiting(TxnId txn) const;
+
+  // Transactions this waiter is blocked behind: incompatible holders plus
+  // incompatible earlier waiters (FIFO queues make those real blockers).
+  std::vector<TxnId> BlockersOf(TxnId waiter) const;
+
+  bool Empty() const { return granted_.empty() && waiting_.empty(); }
+  size_t granted_count() const { return granted_.size(); }
+  size_t waiting_count() const { return waiting_.size(); }
+  const std::deque<WaitingRequest>& waiting() const { return waiting_; }
+
+ private:
+  // True when `txn` could run `mode` given current grants (ignoring its own
+  // grant, which it may be upgrading).
+  bool CompatibleWithGranted(TxnId txn, LockMode mode) const;
+  std::vector<Grant> PumpQueue();
+
+  std::map<TxnId, LockMode> granted_;
+  std::deque<WaitingRequest> waiting_;
+};
+
+}  // namespace preserial::lock
+
+#endif  // PRESERIAL_LOCK_LOCK_TABLE_H_

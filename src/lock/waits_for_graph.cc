@@ -1,0 +1,102 @@
+#include "lock/waits_for_graph.h"
+
+#include <functional>
+
+namespace preserial::lock {
+
+namespace {
+const std::unordered_set<TxnId>& EmptySet() {
+  static const std::unordered_set<TxnId>* empty =
+      new std::unordered_set<TxnId>();
+  return *empty;
+}
+}  // namespace
+
+void WaitsForGraph::AddEdge(TxnId from, TxnId to) {
+  if (from == to) return;
+  adj_[from].insert(to);
+}
+
+void WaitsForGraph::Clear() { adj_.clear(); }
+
+size_t WaitsForGraph::edge_count() const {
+  size_t n = 0;
+  for (const auto& [_, succ] : adj_) n += succ.size();
+  return n;
+}
+
+const std::unordered_set<TxnId>& WaitsForGraph::Successors(TxnId t) const {
+  auto it = adj_.find(t);
+  return it == adj_.end() ? EmptySet() : it->second;
+}
+
+bool WaitsForGraph::HasCycleFrom(TxnId start, std::vector<TxnId>* cycle) const {
+  // DFS looking for a path that returns to `start`.
+  std::vector<TxnId> path;
+  std::unordered_set<TxnId> visited;
+  std::function<bool(TxnId)> dfs = [&](TxnId node) -> bool {
+    for (TxnId next : Successors(node)) {
+      if (next == start) {
+        path.push_back(node);
+        return true;
+      }
+      if (visited.insert(next).second) {
+        if (dfs(next)) {
+          path.push_back(node);
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  visited.insert(start);
+  if (!dfs(start)) return false;
+  if (cycle != nullptr) {
+    cycle->clear();
+    cycle->push_back(start);
+    // `path` holds the cycle nodes in reverse (excluding start).
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      if (*it != start) cycle->push_back(*it);
+    }
+  }
+  return true;
+}
+
+bool WaitsForGraph::DetectAnyCycle(std::vector<TxnId>* cycle) const {
+  // Iterative three-color DFS over the whole graph.
+  enum class Color { kWhite, kGray, kBlack };
+  std::unordered_map<TxnId, Color> color;
+  for (const auto& [node, _] : adj_) color.emplace(node, Color::kWhite);
+
+  std::function<bool(TxnId, std::vector<TxnId>&)> dfs =
+      [&](TxnId node, std::vector<TxnId>& stack) -> bool {
+    color[node] = Color::kGray;
+    stack.push_back(node);
+    for (TxnId next : Successors(node)) {
+      auto it = color.find(next);
+      const Color c = it == color.end() ? Color::kBlack : it->second;
+      if (c == Color::kGray) {
+        if (cycle != nullptr) {
+          // Trim the stack down to the cycle entry point.
+          cycle->clear();
+          auto from = stack.begin();
+          while (from != stack.end() && *from != next) ++from;
+          cycle->assign(from, stack.end());
+        }
+        return true;
+      }
+      if (c == Color::kWhite && dfs(next, stack)) return true;
+    }
+    stack.pop_back();
+    color[node] = Color::kBlack;
+    return false;
+  };
+
+  std::vector<TxnId> stack;
+  for (const auto& [node, _] : adj_) {
+    if (color[node] == Color::kWhite && dfs(node, stack)) return true;
+  }
+  return false;
+}
+
+}  // namespace preserial::lock

@@ -1,0 +1,38 @@
+#ifndef PRESERIAL_LOCK_WAITS_FOR_GRAPH_H_
+#define PRESERIAL_LOCK_WAITS_FOR_GRAPH_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace preserial::lock {
+
+// Directed waits-for graph: an edge A -> B means "A waits for B". Built on
+// demand by the lock manager from its queues and queried for cycles, which
+// are deadlocks.
+class WaitsForGraph {
+ public:
+  void AddEdge(TxnId from, TxnId to);
+  void Clear();
+
+  size_t edge_count() const;
+
+  // True iff `start` lies on some cycle; fills `cycle` with the transactions
+  // along it (start first) when non-null.
+  bool HasCycleFrom(TxnId start, std::vector<TxnId>* cycle = nullptr) const;
+
+  // True iff any cycle exists; fills `cycle` with one of them.
+  bool DetectAnyCycle(std::vector<TxnId>* cycle = nullptr) const;
+
+  const std::unordered_set<TxnId>& Successors(TxnId t) const;
+
+ private:
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> adj_;
+};
+
+}  // namespace preserial::lock
+
+#endif  // PRESERIAL_LOCK_WAITS_FOR_GRAPH_H_

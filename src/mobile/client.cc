@@ -1,0 +1,14 @@
+#include "mobile/client.h"
+
+namespace preserial::mobile {
+
+void ArrivalProcess::Schedule(size_t count,
+                              const std::function<void(size_t)>& on_arrival) {
+  TimePoint t = sim_->Now();
+  for (size_t i = 0; i < count; ++i) {
+    sim_->At(t, [on_arrival, i] { on_arrival(i); });
+    t += interarrival_->Sample(*rng_);
+  }
+}
+
+}  // namespace preserial::mobile

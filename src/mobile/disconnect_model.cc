@@ -1,0 +1,26 @@
+#include "mobile/disconnect_model.h"
+
+#include <utility>
+
+namespace preserial::mobile {
+
+DisconnectModel::DisconnectModel(
+    double probability, std::unique_ptr<sim::Distribution> duration_dist)
+    : probability_(probability), duration_dist_(std::move(duration_dist)) {}
+
+DisconnectModel DisconnectModel::WithExponentialDuration(
+    double probability, double mean_duration) {
+  return DisconnectModel(
+      probability, std::make_unique<sim::ExponentialDist>(mean_duration));
+}
+
+DisconnectPlan DisconnectModel::Sample(Rng& rng, Duration work_span) const {
+  DisconnectPlan plan;
+  plan.disconnects = rng.NextBool(probability_);
+  if (!plan.disconnects) return plan;
+  plan.offset = rng.NextDouble() * work_span;
+  plan.duration = duration_dist_->Sample(rng);
+  return plan;
+}
+
+}  // namespace preserial::mobile

@@ -1,0 +1,359 @@
+#include "mobile/multi_session.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace preserial::mobile {
+
+// --- MultiGtmSession ------------------------------------------------------------
+
+MultiGtmSession::MultiGtmSession(gtm::Gtm* gtm, sim::Simulator* simulator,
+                                 MultiTxnPlan plan, PumpFn pump, DoneFn done)
+    : gtm_(gtm),
+      sim_(simulator),
+      plan_(std::move(plan)),
+      pump_(std::move(pump)),
+      done_(std::move(done)) {}
+
+void MultiGtmSession::Start() {
+  stats_.arrival = sim_->Now();
+  stats_.disconnected = plan_.disconnect.disconnects;
+  stats_.tag = plan_.tag;
+  txn_ = gtm_->Begin();
+  stats_.txn = txn_;
+  if (plan_.disconnect.disconnects) {
+    sim_->After(plan_.disconnect.offset, [this] { DoSleep(); });
+  }
+  if (plan_.steps.empty()) {
+    DoCommit();
+  } else {
+    RunStep();
+  }
+  pump_();
+}
+
+void MultiGtmSession::RunStep() {
+  if (finished_) return;
+  if (sleeping_) {
+    resume_pending_ = true;
+    resume_action_ = 1;
+    return;
+  }
+  const TourStep& step = plan_.steps[current_step_];
+  const Status s = gtm_->Invoke(txn_, step.object, step.member, step.op);
+  switch (s.code()) {
+    case StatusCode::kOk:
+      StepDone();
+      return;
+    case StatusCode::kWaiting:
+      waiting_ = true;
+      return;
+    case StatusCode::kDeadlock:
+      (void)gtm_->RequestAbort(txn_);
+      Finish(false, AbortCause::kDeadlock);
+      return;
+    case StatusCode::kConstraintViolation:
+      (void)gtm_->RequestAbort(txn_);
+      Finish(false, AbortCause::kConstraint);
+      return;
+    default:
+      (void)gtm_->RequestAbort(txn_);
+      Finish(false, AbortCause::kOther);
+      return;
+  }
+}
+
+void MultiGtmSession::OnGranted() {
+  if (finished_ || sleeping_ || !waiting_) return;
+  StepDone();
+}
+
+void MultiGtmSession::OnSystemAbort(AbortCause cause) {
+  if (finished_) return;
+  Finish(false, cause);
+}
+
+void MultiGtmSession::StepDone() {
+  waiting_ = false;
+  const Duration think = plan_.steps[current_step_].think_time;
+  sim_->After(think, [this] { AdvanceOrCommit(); });
+}
+
+void MultiGtmSession::AdvanceOrCommit() {
+  if (finished_) return;
+  if (sleeping_) {
+    resume_pending_ = true;
+    resume_action_ = 0;
+    return;
+  }
+  ++current_step_;
+  if (current_step_ < plan_.steps.size()) {
+    RunStep();
+    pump_();
+    return;
+  }
+  sim_->After(plan_.final_think, [this] { DoCommit(); });
+}
+
+void MultiGtmSession::DoSleep() {
+  if (finished_) return;
+  const Status s = gtm_->Sleep(txn_);
+  if (!s.ok()) {
+    // Sleeping disabled (ablation) aborts on disconnection.
+    Finish(false, AbortCause::kAwakeConflict);
+    pump_();
+    return;
+  }
+  sleeping_ = true;
+  sim_->After(plan_.disconnect.duration, [this] { DoAwake(); });
+  pump_();
+}
+
+void MultiGtmSession::DoAwake() {
+  if (finished_) return;
+  const Status s = gtm_->Awake(txn_);
+  if (!s.ok()) {
+    Finish(false, s.code() == StatusCode::kAborted
+                      ? AbortCause::kAwakeConflict
+                      : AbortCause::kOther);
+    pump_();
+    return;
+  }
+  sleeping_ = false;
+  if (waiting_) {
+    // Algorithm 9 case 1 admitted our queued invocation at awake.
+    StepDone();
+  } else if (resume_pending_) {
+    resume_pending_ = false;
+    switch (resume_action_) {
+      case 0:
+        AdvanceOrCommit();
+        break;
+      case 1:
+        RunStep();
+        break;
+      default:
+        DoCommit();
+        break;
+    }
+  }
+  pump_();
+}
+
+void MultiGtmSession::DoCommit() {
+  if (finished_) return;
+  if (sleeping_) {
+    resume_pending_ = true;
+    resume_action_ = 2;
+    return;
+  }
+  const Status s = gtm_->RequestCommit(txn_);
+  if (s.ok()) {
+    Finish(true, AbortCause::kNone);
+  } else {
+    Finish(false, AbortCause::kConstraint);
+  }
+  pump_();
+}
+
+void MultiGtmSession::Finish(bool committed, AbortCause cause) {
+  if (finished_) return;
+  finished_ = true;
+  stats_.finish = sim_->Now();
+  stats_.committed = committed;
+  stats_.cause = cause;
+  done_(stats_);
+}
+
+// --- MultiTwoPlSession ----------------------------------------------------------
+
+MultiTwoPlSession::MultiTwoPlSession(txn::TwoPhaseLockingEngine* engine,
+                                     sim::Simulator* simulator,
+                                     MultiTwoPlPlan plan, PumpFn pump,
+                                     DoneFn done)
+    : engine_(engine),
+      sim_(simulator),
+      plan_(std::move(plan)),
+      pump_(std::move(pump)),
+      done_(std::move(done)) {}
+
+void MultiTwoPlSession::Start() {
+  stats_.arrival = sim_->Now();
+  stats_.disconnected = plan_.disconnect.disconnects;
+  stats_.tag = plan_.tag;
+  txn_ = engine_->Begin();
+  stats_.txn = txn_;
+  if (plan_.disconnect.disconnects) ScheduleDisconnect();
+  if (plan_.steps.empty()) {
+    DoCommit();
+  } else {
+    RunStep();
+  }
+  pump_();
+}
+
+void MultiTwoPlSession::ScheduleDisconnect() {
+  sim_->After(plan_.disconnect.offset, [this] {
+    if (finished_) return;
+    disconnected_now_ = true;
+    // Locks stay held. The system may preventively abort us while away.
+    if (plan_.idle_timeout < plan_.disconnect.duration) {
+      sim_->After(plan_.idle_timeout, [this] {
+        if (finished_) return;
+        (void)engine_->Abort(txn_);
+        Finish(false, AbortCause::kDisconnectTimeout);
+        pump_();
+      });
+      return;
+    }
+    sim_->After(plan_.disconnect.duration, [this] {
+      if (finished_) return;
+      disconnected_now_ = false;
+      // Pick up whatever landed while we were away; if nothing did (still
+      // parked on a lock, or mid-think with the timer yet to fire), the
+      // normal paths resume us.
+      if (resume_commit_pending_) {
+        resume_commit_pending_ = false;
+        DoCommit();
+      } else if (resume_run_pending_) {
+        resume_run_pending_ = false;
+        RunStep();
+        pump_();
+      }
+    });
+  });
+}
+
+void MultiTwoPlSession::ArmWaitTimeout() {
+  waiting_ = true;
+  const uint64_t epoch = ++wait_epoch_;
+  if (plan_.lock_wait_timeout >= 1e29) return;
+  sim_->After(plan_.lock_wait_timeout, [this, epoch] {
+    if (finished_ || !waiting_ || wait_epoch_ != epoch) return;
+    (void)engine_->Abort(txn_);
+    Finish(false, AbortCause::kLockWaitTimeout);
+    pump_();
+  });
+}
+
+void MultiTwoPlSession::OnRunnable() {
+  if (finished_ || !waiting_) return;
+  waiting_ = false;
+  ++wait_epoch_;
+  if (disconnected_now_) {
+    // Granted while the client is away: the lock is held, but the client
+    // retries the step only after reconnection.
+    resume_run_pending_ = true;
+    return;
+  }
+  RunStep();
+}
+
+void MultiTwoPlSession::RunStep() {
+  if (finished_ || disconnected_now_) return;
+  const TwoPlTourStep& step = plan_.steps[current_step_];
+  if (phase_ == Phase::kAcquire) {
+    if (!step.is_subtract) {
+      phase_ = Phase::kWrite;
+    } else {
+      Result<storage::Value> v =
+          engine_->ReadForUpdate(txn_, step.table, step.key, step.column);
+      if (!v.ok()) {
+        if (v.status().code() == StatusCode::kWaiting) {
+          ArmWaitTimeout();
+          return;
+        }
+        (void)engine_->Abort(txn_);
+        Finish(false, v.status().code() == StatusCode::kDeadlock
+                          ? AbortCause::kDeadlock
+                          : AbortCause::kOther);
+        return;
+      }
+      read_value_ = v.value();
+      phase_ = Phase::kWrite;
+    }
+  }
+  // Write phase.
+  storage::Value target;
+  if (step.is_subtract) {
+    Result<storage::Value> next =
+        storage::Value::Sub(read_value_, storage::Value::Int(1));
+    if (!next.ok()) {
+      (void)engine_->Abort(txn_);
+      Finish(false, AbortCause::kOther);
+      return;
+    }
+    target = std::move(next).value();
+  } else {
+    target = step.assign_value;
+  }
+  const Status s =
+      engine_->Write(txn_, step.table, step.key, step.column, target);
+  if (s.code() == StatusCode::kWaiting) {
+    ArmWaitTimeout();
+    return;
+  }
+  if (s.code() == StatusCode::kDeadlock) {
+    (void)engine_->Abort(txn_);
+    Finish(false, AbortCause::kDeadlock);
+    return;
+  }
+  if (s.code() == StatusCode::kConstraintViolation) {
+    (void)engine_->Abort(txn_);
+    Finish(false, AbortCause::kConstraint);
+    return;
+  }
+  if (!s.ok()) {
+    (void)engine_->Abort(txn_);
+    Finish(false, AbortCause::kOther);
+    return;
+  }
+  StepDone();
+}
+
+void MultiTwoPlSession::StepDone() {
+  const Duration think = plan_.steps[current_step_].think_time;
+  sim_->After(think, [this] {
+    if (finished_) return;
+    ++current_step_;
+    phase_ = Phase::kAcquire;
+    if (current_step_ < plan_.steps.size()) {
+      if (disconnected_now_) {
+        resume_run_pending_ = true;  // Reconnect resumes the next step.
+      } else {
+        RunStep();
+        pump_();
+      }
+      return;
+    }
+    sim_->After(plan_.final_think, [this] { DoCommit(); });
+  });
+}
+
+void MultiTwoPlSession::DoCommit() {
+  if (finished_) return;
+  if (disconnected_now_) {
+    resume_commit_pending_ = true;  // Commit once reconnected.
+    return;
+  }
+  const Status s = engine_->Commit(txn_);
+  if (s.ok()) {
+    Finish(true, AbortCause::kNone);
+  } else {
+    (void)engine_->Abort(txn_);
+    Finish(false, AbortCause::kOther);
+  }
+  pump_();
+}
+
+void MultiTwoPlSession::Finish(bool committed, AbortCause cause) {
+  if (finished_) return;
+  finished_ = true;
+  stats_.finish = sim_->Now();
+  stats_.committed = committed;
+  stats_.cause = cause;
+  done_(stats_);
+}
+
+}  // namespace preserial::mobile

@@ -1,0 +1,143 @@
+#ifndef PRESERIAL_MOBILE_MULTI_SESSION_H_
+#define PRESERIAL_MOBILE_MULTI_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "mobile/session.h"
+
+namespace preserial::mobile {
+
+// One step of a multi-operation long running transaction (the paper's
+// Sec. II package tour: book a flight, think, book a hotel, ...).
+struct TourStep {
+  gtm::ObjectId object;
+  semantics::MemberId member = 0;
+  semantics::Operation op;
+  // User think time after this step completes, before the next one.
+  Duration think_time = 0;
+};
+
+struct MultiTxnPlan {
+  std::vector<TourStep> steps;
+  Duration final_think = 0;  // Between the last step and the commit.
+  // Disconnection at an absolute offset from the session start; the client
+  // sleeps wherever it happens to be (thinking or queued).
+  DisconnectPlan disconnect;
+  int tag = 0;
+};
+
+// Simulated client running a multi-step GTM transaction. Steps execute in
+// order; queued invocations park the session until OnGranted; a
+// disconnection triggers Sleep wherever the session is and Awake resumes
+// (or ends it with an awake-abort).
+class MultiGtmSession : public GtmWaiter {
+ public:
+  using DoneFn = std::function<void(const SessionStats&)>;
+  using PumpFn = std::function<void()>;
+
+  MultiGtmSession(gtm::Gtm* gtm, sim::Simulator* simulator, MultiTxnPlan plan,
+                  PumpFn pump, DoneFn done);
+
+  void Start();
+  void OnGranted() override;
+  void OnSystemAbort(AbortCause cause) override;
+
+  TxnId txn() const { return txn_; }
+  bool finished() const { return finished_; }
+
+ private:
+  void RunStep();          // Invoke steps_[current_step_].
+  void StepDone();         // Think, then advance.
+  void AdvanceOrCommit();
+  void DoSleep();
+  void DoAwake();
+  void DoCommit();
+  void Finish(bool committed, AbortCause cause);
+
+  gtm::Gtm* gtm_;
+  sim::Simulator* sim_;
+  MultiTxnPlan plan_;
+  PumpFn pump_;
+  DoneFn done_;
+  TxnId txn_ = kInvalidTxnId;
+  SessionStats stats_;
+  size_t current_step_ = 0;
+  bool finished_ = false;
+  bool waiting_ = false;
+  bool sleeping_ = false;
+  // A timeline event (think-timer) fired while asleep; run it on awake.
+  bool resume_pending_ = false;
+  // What to resume: 0 = advance/commit, 1 = run current step.
+  int resume_action_ = 0;
+};
+
+// The strict-2PL counterpart: each step locks its cell (read-for-update +
+// write for subtractions, blind write for assignments) and all locks are
+// held until the final commit — the paper's long-running-transaction
+// pathology in its purest form.
+struct TwoPlTourStep {
+  std::string table;
+  storage::Value key;
+  size_t column = 0;
+  bool is_subtract = true;
+  storage::Value assign_value;
+  Duration think_time = 0;
+};
+
+struct MultiTwoPlPlan {
+  std::vector<TwoPlTourStep> steps;
+  Duration final_think = 0;
+  DisconnectPlan disconnect;  // Locks stay held while away.
+  Duration lock_wait_timeout = 1e30;
+  Duration idle_timeout = 1e30;  // System abort of disconnected holders.
+  int tag = 0;
+};
+
+class MultiTwoPlSession : public TwoPlWaiter {
+ public:
+  using DoneFn = std::function<void(const SessionStats&)>;
+  using PumpFn = std::function<void()>;
+
+  MultiTwoPlSession(txn::TwoPhaseLockingEngine* engine,
+                    sim::Simulator* simulator, MultiTwoPlPlan plan,
+                    PumpFn pump, DoneFn done);
+
+  void Start();
+  void OnRunnable() override;
+
+  TxnId txn() const { return txn_; }
+  bool finished() const { return finished_; }
+
+ private:
+  enum class Phase { kAcquire, kWrite };
+
+  void RunStep();
+  void StepDone();
+  void DoCommit();
+  void Finish(bool committed, AbortCause cause);
+  void ArmWaitTimeout();
+  void ScheduleDisconnect();
+
+  txn::TwoPhaseLockingEngine* engine_;
+  sim::Simulator* sim_;
+  MultiTwoPlPlan plan_;
+  PumpFn pump_;
+  DoneFn done_;
+  TxnId txn_ = kInvalidTxnId;
+  SessionStats stats_;
+  size_t current_step_ = 0;
+  Phase phase_ = Phase::kAcquire;
+  storage::Value read_value_;
+  bool finished_ = false;
+  bool waiting_ = false;
+  bool disconnected_now_ = false;
+  // Progress that landed while the client was away, replayed on reconnect.
+  bool resume_run_pending_ = false;
+  bool resume_commit_pending_ = false;
+  uint64_t wait_epoch_ = 0;
+};
+
+}  // namespace preserial::mobile
+
+#endif  // PRESERIAL_MOBILE_MULTI_SESSION_H_

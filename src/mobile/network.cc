@@ -1,0 +1,23 @@
+#include "mobile/network.h"
+
+#include <utility>
+
+namespace preserial::mobile {
+
+NetworkModel::NetworkModel() = default;
+
+NetworkModel::NetworkModel(Duration fixed)
+    : latency_(std::make_unique<sim::ConstantDist>(fixed)) {}
+
+NetworkModel::NetworkModel(std::unique_ptr<sim::Distribution> latency)
+    : latency_(std::move(latency)) {}
+
+Duration NetworkModel::SampleDelay(Rng& rng) const {
+  return latency_ == nullptr ? 0.0 : latency_->Sample(rng);
+}
+
+double NetworkModel::mean_delay() const {
+  return latency_ == nullptr ? 0.0 : latency_->Mean();
+}
+
+}  // namespace preserial::mobile

@@ -1,0 +1,40 @@
+#ifndef PRESERIAL_MOBILE_NETWORK_H_
+#define PRESERIAL_MOBILE_NETWORK_H_
+
+#include <memory>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "sim/distributions.h"
+
+namespace preserial::mobile {
+
+// Latency model for the wireless hop between a client and the middleware:
+// each request/response pays one sampled delay. Zero by default so that the
+// paper's experiments (which ignore transport latency) stay exact; the
+// latency ablation turns it on.
+class NetworkModel {
+ public:
+  // No latency.
+  NetworkModel();
+  // Fixed one-way latency.
+  explicit NetworkModel(Duration fixed);
+  // Sampled one-way latency.
+  explicit NetworkModel(std::unique_ptr<sim::Distribution> latency);
+
+  // One-way delay for the next message.
+  Duration SampleDelay(Rng& rng) const;
+  // Round trip (request + response).
+  Duration SampleRtt(Rng& rng) const {
+    return SampleDelay(rng) + SampleDelay(rng);
+  }
+
+  double mean_delay() const;
+
+ private:
+  std::unique_ptr<sim::Distribution> latency_;  // Null => zero latency.
+};
+
+}  // namespace preserial::mobile
+
+#endif  // PRESERIAL_MOBILE_NETWORK_H_

@@ -1,0 +1,181 @@
+#ifndef PRESERIAL_MOBILE_SESSION_H_
+#define PRESERIAL_MOBILE_SESSION_H_
+
+#include <functional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "gtm/gtm.h"
+#include "mobile/disconnect_model.h"
+#include "sim/simulator.h"
+#include "txn/txn_manager.h"
+
+namespace preserial::mobile {
+
+// Why a session ended.
+enum class AbortCause {
+  kNone,             // Committed.
+  kDeadlock,         // Engine/GTM refused a wait that would cycle.
+  kAwakeConflict,    // GTM Algorithm 9: incompatible work during sleep.
+  kConstraint,       // SST / admission constraint failure.
+  kLockWaitTimeout,  // Gave up waiting for a lock (2PL baseline).
+  kDisconnectTimeout,// System aborted a disconnected holder (2PL baseline).
+  kOther,
+};
+
+const char* AbortCauseName(AbortCause c);
+
+// Outcome record handed to the completion callback.
+struct SessionStats {
+  TxnId txn = kInvalidTxnId;
+  TimePoint arrival = 0;
+  TimePoint finish = 0;
+  bool committed = false;
+  bool disconnected = false;  // The plan included a disconnection.
+  AbortCause cause = AbortCause::kNone;
+  int tag = 0;  // Caller-defined class label (e.g. subtract vs assign).
+
+  Duration Latency() const { return finish - arrival; }
+};
+
+// What one simulated transaction intends to do: a single semantic operation
+// on one object member (the shape of the paper's Sec. VI-B workload),
+// `work_time` seconds of user activity between grant and commit, and an
+// optional mid-execution disconnection.
+struct TxnPlan {
+  gtm::ObjectId object;
+  semantics::MemberId member = 0;
+  semantics::Operation op;
+  Duration work_time = 1.0;
+  DisconnectPlan disconnect;
+  // Wireless-hop delays (sampled from a NetworkModel by the workload
+  // builder): paid before the invocation reaches the middleware and before
+  // the commit request does.
+  Duration invoke_delay = 0;
+  Duration commit_delay = 0;
+  int tag = 0;  // Copied into SessionStats.tag.
+};
+
+// Interface the experiment runners use to resume parked GTM clients.
+class GtmWaiter {
+ public:
+  virtual ~GtmWaiter() = default;
+  // The queued invocation was admitted.
+  virtual void OnGranted() = 0;
+  // The system aborted this transaction (e.g. wait-timeout sweep).
+  virtual void OnSystemAbort(AbortCause cause) = 0;
+};
+
+// Likewise for strict-2PL clients.
+class TwoPlWaiter {
+ public:
+  virtual ~TwoPlWaiter() = default;
+  // A blocked lock request of this session was granted; retry the step.
+  virtual void OnRunnable() = 0;
+};
+
+// Simulated mobile client running one transaction against the GTM. Driven
+// entirely by the discrete-event simulator; the owner must forward
+// admission events (Gtm::TakeEvents) to OnGranted via the pump callback it
+// supplies (see workload::ExperimentRunner).
+class GtmSession : public GtmWaiter {
+ public:
+  using DoneFn = std::function<void(const SessionStats&)>;
+  using PumpFn = std::function<void()>;
+
+  GtmSession(gtm::Gtm* gtm, sim::Simulator* simulator, TxnPlan plan,
+             PumpFn pump, DoneFn done);
+
+  // Schedules nothing; call at the arrival time.
+  void Start();
+
+  void OnGranted() override;
+  void OnSystemAbort(AbortCause cause) override;
+
+  TxnId txn() const { return txn_; }
+  bool finished() const { return finished_; }
+
+ private:
+  void DoInvoke();
+  void ProceedAfterGrant();
+  void DoSleep();
+  void DoAwake();
+  void DoCommit();
+  void Finish(bool committed, AbortCause cause);
+
+  gtm::Gtm* gtm_;
+  sim::Simulator* sim_;
+  TxnPlan plan_;
+  PumpFn pump_;
+  DoneFn done_;
+  TxnId txn_ = kInvalidTxnId;
+  SessionStats stats_;
+  bool finished_ = false;
+  bool granted_ = false;
+};
+
+// The same client shape against the strict-2PL baseline engine: lock the
+// cell up front (read-for-update + write for subtractions, blind write for
+// assignments), hold the lock through the user's work and any
+// disconnection, then commit. Two system policies make the baseline honest:
+// a lock-wait timeout (waiters behind a disconnected holder eventually give
+// up) and an idle timeout (the system preventively aborts disconnected
+// holders) — exactly the 2PL pathologies the paper's Sec. II motivates
+// against.
+struct TwoPlPlan {
+  std::string table;
+  storage::Value key;
+  size_t column = 0;
+  bool is_subtract = true;           // Subtract 1, else assign.
+  storage::Value assign_value;       // For assignments.
+  Duration work_time = 1.0;
+  DisconnectPlan disconnect;
+  Duration lock_wait_timeout = 1e30;
+  Duration idle_timeout = 1e30;
+  Duration invoke_delay = 0;   // Wireless hop before the first operation.
+  Duration commit_delay = 0;   // Wireless hop before the commit request.
+  int tag = 0;                 // Copied into SessionStats.tag.
+};
+
+class TwoPlSession : public TwoPlWaiter {
+ public:
+  using DoneFn = std::function<void(const SessionStats&)>;
+  using PumpFn = std::function<void()>;
+
+  TwoPlSession(txn::TwoPhaseLockingEngine* engine, sim::Simulator* simulator,
+               TwoPlPlan plan, PumpFn pump, DoneFn done);
+
+  void Start();
+  void OnRunnable() override;
+
+  TxnId txn() const { return txn_; }
+  bool finished() const { return finished_; }
+
+ private:
+  enum class Step { kAcquire, kWrite, kTimeline, kCommit, kDone };
+
+  void RunStep();
+  void StartTimeline();
+  void DoCommit();
+  void Finish(bool committed, AbortCause cause);
+  void ArmWaitTimeout();
+
+  txn::TwoPhaseLockingEngine* engine_;
+  sim::Simulator* sim_;
+  TwoPlPlan plan_;
+  PumpFn pump_;
+  DoneFn done_;
+  TxnId txn_ = kInvalidTxnId;
+  SessionStats stats_;
+  Step step_ = Step::kAcquire;
+  storage::Value read_value_;
+  bool finished_ = false;
+  // Guards stale wait-timeout events: each new wait bumps the epoch.
+  uint64_t wait_epoch_ = 0;
+  bool waiting_ = false;
+};
+
+}  // namespace preserial::mobile
+
+#endif  // PRESERIAL_MOBILE_SESSION_H_

@@ -1,0 +1,68 @@
+#include "model/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace preserial::model {
+
+double LogBinomial(int64_t n, int64_t k) {
+  if (k < 0 || k > n || n < 0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return std::lgamma(static_cast<double>(n) + 1) -
+         std::lgamma(static_cast<double>(k) + 1) -
+         std::lgamma(static_cast<double>(n - k) + 1);
+}
+
+double TwoPlExecutionTime(int64_t n, int64_t c, double tau_e) {
+  if (n <= 0) return tau_e;
+  const double nn = static_cast<double>(n);
+  const double cc = static_cast<double>(std::clamp<int64_t>(c, 0, n));
+  return ((nn - cc) * tau_e + cc * (tau_e + tau_e / 2.0)) / nn;
+}
+
+double IncompatibleConflictProbability(int64_t n, int64_t i, int64_t c,
+                                       int64_t k) {
+  const double log_p = LogBinomial(i, k) + LogBinomial(n - i, c - k) -
+                       LogBinomial(n, c);
+  if (!std::isfinite(log_p)) return 0.0;
+  return std::exp(log_p);
+}
+
+double OurExecutionTime(int64_t n, int64_t c, int64_t i, double tau_e) {
+  if (n <= 0) return tau_e;
+  c = std::clamp<int64_t>(c, 0, n);
+  i = std::clamp<int64_t>(i, 0, n);
+  const int64_t k_max = std::min(i, c);
+  double t = 0.0;
+  double total_p = 0.0;
+  for (int64_t k = 0; k <= k_max; ++k) {
+    const double p = IncompatibleConflictProbability(n, i, c, k);
+    t += p * TwoPlExecutionTime(n, k, tau_e);
+    total_p += p;
+  }
+  // The hypergeometric mass over [max(0, c-(n-i)), min(i, c)] is 1; if the
+  // lower tail is cut (c > n - i) renormalize over the reachable support.
+  if (total_p > 0.0) t /= total_p;
+  return t;
+}
+
+double OurExecutionTimeClosedForm(int64_t n, int64_t c, int64_t i,
+                                  double tau_e) {
+  if (n <= 0) return tau_e;
+  const double nn = static_cast<double>(n);
+  const double cc = static_cast<double>(std::clamp<int64_t>(c, 0, n));
+  const double ii = static_cast<double>(std::clamp<int64_t>(i, 0, n));
+  return tau_e * (1.0 + cc * ii / (2.0 * nn * nn));
+}
+
+double SleeperAbortProbability(double p_disconnect, double p_conflict,
+                               double p_incompatible) {
+  const double d = std::clamp(p_disconnect, 0.0, 1.0);
+  const double c = std::clamp(p_conflict, 0.0, 1.0);
+  const double i = std::clamp(p_incompatible, 0.0, 1.0);
+  return d * c * i;
+}
+
+}  // namespace preserial::model

@@ -1,0 +1,51 @@
+#ifndef PRESERIAL_MODEL_ANALYTIC_H_
+#define PRESERIAL_MODEL_ANALYTIC_H_
+
+#include <cstdint>
+
+namespace preserial::model {
+
+// Analytic model of Sec. VI-A. All functions are pure; the Fig. 1 / Fig. 2
+// benches sweep them over the paper's parameter grids.
+
+// log C(n, k), computed with lgamma so large n stay finite. Returns -inf
+// for invalid (k < 0 or k > n).
+double LogBinomial(int64_t n, int64_t k);
+
+// Paper eq. (3): average 2PL execution time with c conflicting transactions
+// out of n, each with ideal execution time tau_e. A conflicting arrival is
+// assumed to land halfway through the holder's execution, so
+//   tau(c) = ((n - c) tau_e + c (tau_e + tau_e / 2)) / n
+//          = tau_e (1 + c / (2n)).
+// Note the 2PL model does not depend on operation compatibility.
+double TwoPlExecutionTime(int64_t n, int64_t c, double tau_e);
+
+// Paper eq. (4): probability that exactly k of the c conflicts involve one
+// of the i incompatible operations — hypergeometric(n, i, c):
+//   P(k) = C(i, k) C(n - i, c - k) / C(n, c).
+double IncompatibleConflictProbability(int64_t n, int64_t i, int64_t c,
+                                       int64_t k);
+
+// Paper eq. (5): the proposed scheme's average execution time. Only the K
+// incompatible conflicts cost 2PL-style waiting; compatible conflicts
+// proceed on virtual copies for free (SSTs assumed instantaneous):
+//   tau(c, i) = sum_k P(k) tau_2PL(k) = E[tau_2PL(K)], K ~ Hyper(n, i, c).
+double OurExecutionTime(int64_t n, int64_t c, int64_t i, double tau_e);
+
+// Closed form of eq. (5): E[K] = c i / n, hence
+//   tau(c, i) = tau_e (1 + c i / (2 n^2)).
+// Exposed so tests can cross-check the summation; at c = n, i = 0 the
+// improvement over 2PL is exactly the paper's headline 50 %.
+double OurExecutionTimeClosedForm(int64_t n, int64_t c, int64_t i,
+                                  double tau_e);
+
+// Sec. VI-A abort model for Fig. 2: a sleeping transaction aborts iff it
+// disconnected AND conflicted AND the conflict was incompatible,
+//   P(abort) = P(d) P(c) P(i).
+// Probabilities are clamped to [0, 1].
+double SleeperAbortProbability(double p_disconnect, double p_conflict,
+                               double p_incompatible);
+
+}  // namespace preserial::model
+
+#endif  // PRESERIAL_MODEL_ANALYTIC_H_

@@ -1,0 +1,156 @@
+#include "semantics/commutativity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "semantics/compatibility.h"
+
+namespace preserial::semantics {
+
+using storage::Value;
+
+Result<Value> Transition(const Value& state, const Operation& op) {
+  PRESERIAL_RETURN_IF_ERROR(op.Validate());
+  if (state.is_null()) {
+    if (op.cls == OpClass::kInsert) return op.operand;
+    return Status::FailedPrecondition(
+        "operation on absent object: " + op.ToString());
+  }
+  switch (op.cls) {
+    case OpClass::kInsert:
+      return Status::FailedPrecondition("insert on existing object");
+    case OpClass::kDelete:
+      return Value::Null();
+    case OpClass::kRead:
+      return state;
+    case OpClass::kUpdateAssign:
+      return op.operand;
+    case OpClass::kUpdateAddSub:
+      return op.inverse ? Value::Sub(state, op.operand)
+                        : Value::Add(state, op.operand);
+    case OpClass::kUpdateMulDiv: {
+      // Computed in double: the class only commutes over the reals (integer
+      // truncation breaks commutativity), which is the paper's assumption.
+      PRESERIAL_ASSIGN_OR_RETURN(double s, state.ToDouble());
+      const double c = op.operand.ToDouble().value();
+      return Value::Double(op.inverse ? s / c : s * c);
+    }
+  }
+  return Status::Internal("unreachable op class");
+}
+
+namespace {
+
+// Value equality with a relative tolerance on numerics: mul/div chains pick
+// up floating-point rounding that must not count as non-commutativity.
+bool ApproxEqual(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    const double x = a.ToDouble().value();
+    const double y = b.ToDouble().value();
+    const double scale = std::max({1.0, std::fabs(x), std::fabs(y)});
+    return std::fabs(x - y) <= 1e-9 * scale;
+  }
+  return a == b;
+}
+
+}  // namespace
+
+bool CommutesAt(const Value& state, const Operation& a, const Operation& b) {
+  const Result<Value> sa = Transition(state, a);
+  const Result<Value> sb = Transition(state, b);
+  const Result<Value> ab =
+      sa.ok() ? Transition(sa.value(), b)
+              : Result<Value>(Status::FailedPrecondition("a undefined"));
+  const Result<Value> ba =
+      sb.ok() ? Transition(sb.value(), a)
+              : Result<Value>(Status::FailedPrecondition("b undefined"));
+
+  if (ab.ok() && ba.ok()) return ApproxEqual(ab.value(), ba.value());
+  if (!ab.ok() && !ba.ok()) {
+    // Both compositions undefined. If each operation was individually
+    // defined here, the pair genuinely fails to compose (insert/insert,
+    // delete/delete); otherwise the state is simply out of both domains.
+    return !(sa.ok() && sb.ok());
+  }
+  // Exactly one order defined: order matters.
+  return false;
+}
+
+bool ForwardCommutes(const Operation& a, const Operation& b,
+                     const std::vector<Value>& probe_states) {
+  for (const Value& s : probe_states) {
+    if (!CommutesAt(s, a, b)) return false;
+  }
+  return true;
+}
+
+std::vector<Value> DefaultProbeStates() {
+  return {
+      Value::Null(),      Value::Int(-7),      Value::Int(-1),
+      Value::Int(0),      Value::Int(1),       Value::Int(3),
+      Value::Int(100),    Value::Double(-2.5), Value::Double(0.5),
+      Value::Double(8.0),
+  };
+}
+
+Operation SampleOperation(OpClass cls, Rng& rng) {
+  const int64_t c = rng.NextInt(-20, 20);
+  switch (cls) {
+    case OpClass::kRead:
+      return Operation::Read();
+    case OpClass::kInsert:
+      return Operation::Insert(Value::Int(c));
+    case OpClass::kDelete:
+      return Operation::Delete();
+    case OpClass::kUpdateAssign:
+      return Operation::Assign(Value::Int(c));
+    case OpClass::kUpdateAddSub:
+      return rng.NextBool(0.5) ? Operation::Add(Value::Int(c))
+                               : Operation::Sub(Value::Int(c));
+    case OpClass::kUpdateMulDiv: {
+      int64_t f = c;
+      if (f == 0) f = 2;
+      return rng.NextBool(0.5) ? Operation::Mul(Value::Int(f))
+                               : Operation::Div(Value::Int(f));
+    }
+  }
+  return Operation::Read();
+}
+
+Status VerifyCompatibilityTable(Rng& rng, int samples_per_pair) {
+  const std::vector<Value> states = DefaultProbeStates();
+  static constexpr OpClass kAll[] = {
+      OpClass::kRead,         OpClass::kInsert,       OpClass::kDelete,
+      OpClass::kUpdateAssign, OpClass::kUpdateAddSub, OpClass::kUpdateMulDiv,
+  };
+  for (OpClass ca : kAll) {
+    for (OpClass cb : kAll) {
+      const bool declared = Compatible(ca, cb);
+      bool found_violation = false;
+      for (int i = 0; i < samples_per_pair; ++i) {
+        const Operation a = SampleOperation(ca, rng);
+        const Operation b = SampleOperation(cb, rng);
+        const bool commutes = ForwardCommutes(a, b, states);
+        if (declared && !commutes) {
+          return Status::Internal(StrFormat(
+              "Table I unsound: %s declared compatible with %s but %s / %s "
+              "do not forward-commute",
+              OpClassName(ca), OpClassName(cb), a.ToString().c_str(),
+              b.ToString().c_str()));
+        }
+        if (!commutes) found_violation = true;
+      }
+      if (!declared && !found_violation) {
+        return Status::Internal(StrFormat(
+            "Table I conservative check failed: %s vs %s declared "
+            "incompatible but no sampled pair violated commutativity",
+            OpClassName(ca), OpClassName(cb)));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace preserial::semantics

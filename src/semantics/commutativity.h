@@ -1,0 +1,53 @@
+#ifndef PRESERIAL_SEMANTICS_COMMUTATIVITY_H_
+#define PRESERIAL_SEMANTICS_COMMUTATIVITY_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "semantics/operation.h"
+#include "storage/value.h"
+
+namespace preserial::semantics {
+
+// The serial specification S(X) of an object data member as a state
+// machine: states are Values (Null = "object absent"), and the transition
+// function T(s, op) yields the next state or an error (the paper's bottom).
+//
+//   absent + insert(v)  -> v          present + insert   -> bottom
+//   absent + <other>    -> bottom     present + delete   -> absent
+//                                     present + read     -> unchanged
+//                                     present + assign c -> c
+//                                     present + add c    -> s + c
+//                                     present + mul c    -> s * c (c != 0)
+Result<storage::Value> Transition(const storage::Value& state,
+                                  const Operation& op);
+
+// Condition (2) of Definition 1 at one probe state: both application orders
+// defined and equal. (State equality only — Weihl's forward commutativity
+// on the machine; return values are private to each transaction's virtual
+// copy in the paper's model.)
+bool CommutesAt(const storage::Value& state, const Operation& a,
+                const Operation& b);
+
+// Checks commutativity across a set of probe states; true iff it holds at
+// every state where at least one order is defined.
+bool ForwardCommutes(const Operation& a, const Operation& b,
+                     const std::vector<storage::Value>& probe_states);
+
+// Default numeric probe states (a spread of int and double values,
+// including negatives and zero, plus Null for the insert/delete cases).
+std::vector<storage::Value> DefaultProbeStates();
+
+// Randomized sample operations of a class (operands drawn from rng).
+Operation SampleOperation(OpClass cls, Rng& rng);
+
+// Machine-checks Table I: for every pair of classes, samples operations and
+// verifies that Compatible(a, b) == ForwardCommutes over the probe states
+// (compatible pairs must always commute; incompatible pairs must fail for
+// at least one sample). Returns kInternal with details on any mismatch.
+Status VerifyCompatibilityTable(Rng& rng, int samples_per_pair = 64);
+
+}  // namespace preserial::semantics
+
+#endif  // PRESERIAL_SEMANTICS_COMMUTATIVITY_H_

@@ -1,0 +1,72 @@
+#include "semantics/compatibility.h"
+
+#include "common/strings.h"
+
+namespace preserial::semantics {
+
+bool Compatible(OpClass a, OpClass b) {
+  // Insert/delete share with nothing (strongest row wins).
+  if (a == OpClass::kInsert || a == OpClass::kDelete ||
+      b == OpClass::kInsert || b == OpClass::kDelete) {
+    return false;
+  }
+  // Reads share with every surviving class, including each other.
+  if (a == OpClass::kRead || b == OpClass::kRead) return true;
+  // Updates share only within their own dual class; assignment shares with
+  // nothing but reads.
+  if (a == OpClass::kUpdateAddSub && b == OpClass::kUpdateAddSub) return true;
+  if (a == OpClass::kUpdateMulDiv && b == OpClass::kUpdateMulDiv) return true;
+  return false;
+}
+
+std::string CompatibilityTableString() {
+  static constexpr OpClass kAll[] = {
+      OpClass::kRead,         OpClass::kInsert,       OpClass::kDelete,
+      OpClass::kUpdateAssign, OpClass::kUpdateAddSub, OpClass::kUpdateMulDiv,
+  };
+  constexpr size_t kW = 16;
+  std::string out = PadRight("", kW);
+  for (OpClass c : kAll) out += PadRight(OpClassName(c), kW);
+  out += "\n";
+  for (OpClass row : kAll) {
+    out += PadRight(OpClassName(row), kW);
+    for (OpClass col : kAll) {
+      out += PadRight(Compatible(row, col) ? "yes" : "-", kW);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void LogicalDependencies::EnsureSize(MemberId m) const {
+  while (parent_.size() <= m) parent_.push_back(parent_.size());
+}
+
+MemberId LogicalDependencies::Find(MemberId m) const {
+  EnsureSize(m);
+  // Path halving.
+  while (parent_[m] != m) {
+    parent_[m] = parent_[parent_[m]];
+    m = parent_[m];
+  }
+  return m;
+}
+
+void LogicalDependencies::AddDependency(MemberId a, MemberId b) {
+  const MemberId ra = Find(a);
+  const MemberId rb = Find(b);
+  if (ra != rb) parent_[ra] = rb;
+}
+
+bool LogicalDependencies::Dependent(MemberId a, MemberId b) const {
+  if (a == b) return true;
+  return Find(a) == Find(b);
+}
+
+bool CompatibleOnMembers(MemberId member_a, OpClass a, MemberId member_b,
+                         OpClass b, const LogicalDependencies& deps) {
+  if (!deps.Dependent(member_a, member_b)) return true;
+  return Compatible(a, b);
+}
+
+}  // namespace preserial::semantics

@@ -1,0 +1,55 @@
+#ifndef PRESERIAL_SEMANTICS_COMPATIBILITY_H_
+#define PRESERIAL_SEMANTICS_COMPATIBILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "semantics/op_class.h"
+#include "semantics/operation.h"
+
+namespace preserial::semantics {
+
+// Class-level compatibility — the paper's Table I:
+//
+//   read            <-> read, assign, add/sub, mul/div
+//   insert / delete <-> nothing
+//   update-assign   <-> read
+//   update-add/sub  <-> update-add/sub, read
+//   update-mul/div  <-> update-mul/div, read
+//
+// The relation is symmetric. (The table's "read: all classes" row is
+// qualified by the stricter insert/delete row: reads do not share with
+// object creation/removal, which the machine-checked commutativity test in
+// commutativity.h confirms is the only safe reading.)
+bool Compatible(OpClass a, OpClass b);
+
+// Renders Table I as fixed-width text (used by bench_table1).
+std::string CompatibilityTableString();
+
+// Union-find over data members expressing the paper's "logical dependence"
+// relaxation: operations on members in different groups never conflict;
+// operations on the same member or on logically dependent members (e.g.
+// quantity and price) conflict per the class matrix.
+class LogicalDependencies {
+ public:
+  // Declares members a and b logically dependent (merges their groups).
+  void AddDependency(MemberId a, MemberId b);
+
+  // Reflexive, symmetric, transitive.
+  bool Dependent(MemberId a, MemberId b) const;
+
+ private:
+  MemberId Find(MemberId m) const;
+  // parent_[m] absent => m is its own singleton group.
+  mutable std::vector<MemberId> parent_;
+  void EnsureSize(MemberId m) const;
+};
+
+// Member-aware compatibility: compatible when the members are independent,
+// otherwise the class matrix decides.
+bool CompatibleOnMembers(MemberId member_a, OpClass a, MemberId member_b,
+                         OpClass b, const LogicalDependencies& deps);
+
+}  // namespace preserial::semantics
+
+#endif  // PRESERIAL_SEMANTICS_COMPATIBILITY_H_

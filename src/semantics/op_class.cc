@@ -1,0 +1,30 @@
+#include "semantics/op_class.h"
+
+namespace preserial::semantics {
+
+const char* OpClassName(OpClass c) {
+  switch (c) {
+    case OpClass::kRead:
+      return "read";
+    case OpClass::kInsert:
+      return "insert";
+    case OpClass::kDelete:
+      return "delete";
+    case OpClass::kUpdateAssign:
+      return "update-assign";
+    case OpClass::kUpdateAddSub:
+      return "update-add/sub";
+    case OpClass::kUpdateMulDiv:
+      return "update-mul/div";
+  }
+  return "?";
+}
+
+bool IsUpdate(OpClass c) {
+  return c == OpClass::kUpdateAssign || c == OpClass::kUpdateAddSub ||
+         c == OpClass::kUpdateMulDiv;
+}
+
+bool IsMutation(OpClass c) { return c != OpClass::kRead; }
+
+}  // namespace preserial::semantics

@@ -1,0 +1,58 @@
+#include "semantics/operation.h"
+
+#include "common/strings.h"
+
+namespace preserial::semantics {
+
+using storage::Value;
+
+Status Operation::Validate() const {
+  switch (cls) {
+    case OpClass::kRead:
+    case OpClass::kDelete:
+      return Status::Ok();
+    case OpClass::kInsert:
+    case OpClass::kUpdateAssign:
+      if (operand.is_null()) {
+        return Status::InvalidArgument("operand required for " +
+                                       std::string(OpClassName(cls)));
+      }
+      return Status::Ok();
+    case OpClass::kUpdateAddSub:
+      if (!operand.is_numeric()) {
+        return Status::InvalidArgument("add/sub operand must be numeric");
+      }
+      return Status::Ok();
+    case OpClass::kUpdateMulDiv: {
+      if (!operand.is_numeric()) {
+        return Status::InvalidArgument("mul/div operand must be numeric");
+      }
+      const double c = operand.ToDouble().value();
+      if (c == 0.0) {
+        return Status::InvalidArgument("mul/div operand must be non-zero");
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable op class");
+}
+
+std::string Operation::ToString() const {
+  switch (cls) {
+    case OpClass::kRead:
+      return "read";
+    case OpClass::kDelete:
+      return "delete";
+    case OpClass::kInsert:
+      return "insert(" + operand.ToString() + ")";
+    case OpClass::kUpdateAssign:
+      return "assign(" + operand.ToString() + ")";
+    case OpClass::kUpdateAddSub:
+      return (inverse ? "sub(" : "add(") + operand.ToString() + ")";
+    case OpClass::kUpdateMulDiv:
+      return (inverse ? "div(" : "mul(") + operand.ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace preserial::semantics

@@ -1,0 +1,58 @@
+#ifndef PRESERIAL_SEMANTICS_OPERATION_H_
+#define PRESERIAL_SEMANTICS_OPERATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "semantics/op_class.h"
+#include "storage/value.h"
+
+namespace preserial::semantics {
+
+// Index of a data member within a (structured) object.
+using MemberId = size_t;
+
+// One semantic operation on an object data member: a class plus its
+// operand. `inverse` selects the second half of a dual class (subtract for
+// add/sub, divide for mul/div); it is ignored for the other classes.
+//
+// An Operation is pure data: applying it to a state is Transition() in
+// commutativity.h; merging its effect into the database at commit time is
+// Reconcile() in reconcile.h.
+struct Operation {
+  OpClass cls = OpClass::kRead;
+  storage::Value operand;  // Unused for kRead / kDelete.
+  bool inverse = false;    // Subtract / divide instead of add / multiply.
+
+  static Operation Read() { return Operation{OpClass::kRead, {}, false}; }
+  static Operation Insert(storage::Value initial) {
+    return Operation{OpClass::kInsert, std::move(initial), false};
+  }
+  static Operation Delete() { return Operation{OpClass::kDelete, {}, false}; }
+  static Operation Assign(storage::Value v) {
+    return Operation{OpClass::kUpdateAssign, std::move(v), false};
+  }
+  static Operation Add(storage::Value c) {
+    return Operation{OpClass::kUpdateAddSub, std::move(c), false};
+  }
+  static Operation Sub(storage::Value c) {
+    return Operation{OpClass::kUpdateAddSub, std::move(c), true};
+  }
+  static Operation Mul(storage::Value c) {
+    return Operation{OpClass::kUpdateMulDiv, std::move(c), false};
+  }
+  static Operation Div(storage::Value c) {
+    return Operation{OpClass::kUpdateMulDiv, std::move(c), true};
+  }
+
+  // Structural validity: operand present and sane for the class (e.g.
+  // mul/div operand non-zero and numeric).
+  Status Validate() const;
+
+  // "add(3)", "assign('x')", "read", ...
+  std::string ToString() const;
+};
+
+}  // namespace preserial::semantics
+
+#endif  // PRESERIAL_SEMANTICS_OPERATION_H_

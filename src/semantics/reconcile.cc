@@ -1,0 +1,45 @@
+#include "semantics/reconcile.h"
+
+namespace preserial::semantics {
+
+using storage::Value;
+
+Result<Value> ReconcileAddSub(const Value& read, const Value& temp,
+                              const Value& permanent) {
+  PRESERIAL_ASSIGN_OR_RETURN(Value sum, Value::Add(temp, permanent));
+  return Value::Sub(sum, read);
+}
+
+Result<Value> ReconcileMulDiv(const Value& read, const Value& temp,
+                              const Value& permanent) {
+  if (!read.is_numeric() || !temp.is_numeric() || !permanent.is_numeric()) {
+    return Status::InvalidArgument("mul/div reconciliation needs numerics");
+  }
+  const double r = read.ToDouble().value();
+  if (r == 0.0) {
+    return Status::InvalidArgument(
+        "mul/div reconciliation undefined for X_read = 0");
+  }
+  const double factor = temp.ToDouble().value() / r;
+  return Value::Double(factor * permanent.ToDouble().value());
+}
+
+Result<Value> Reconcile(OpClass cls, const Value& read, const Value& temp,
+                        const Value& permanent) {
+  switch (cls) {
+    case OpClass::kRead:
+      return permanent;
+    case OpClass::kInsert:
+    case OpClass::kUpdateAssign:
+      return temp;
+    case OpClass::kDelete:
+      return Value::Null();
+    case OpClass::kUpdateAddSub:
+      return ReconcileAddSub(read, temp, permanent);
+    case OpClass::kUpdateMulDiv:
+      return ReconcileMulDiv(read, temp, permanent);
+  }
+  return Status::Internal("unreachable op class");
+}
+
+}  // namespace preserial::semantics

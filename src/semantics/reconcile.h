@@ -1,0 +1,44 @@
+#ifndef PRESERIAL_SEMANTICS_RECONCILE_H_
+#define PRESERIAL_SEMANTICS_RECONCILE_H_
+
+#include "common/status.h"
+#include "semantics/op_class.h"
+#include "storage/value.h"
+
+namespace preserial::semantics {
+
+// Reconciliation algorithms (Definition 1, condition 3): given what a
+// transaction read (X_read), the value of its private virtual copy at
+// commit request (A_temp), and the current committed value (X_permanent,
+// which compatible peers may have advanced in the meantime), compute the
+// value to install (X_new).
+//
+// Paper eq. (1), add/sub class:
+//     X_new = A_temp + X_permanent - X_read
+// i.e. re-apply this transaction's net delta on top of whatever the peers
+// committed. Exact for int64 and double.
+Result<storage::Value> ReconcileAddSub(const storage::Value& read,
+                                       const storage::Value& temp,
+                                       const storage::Value& permanent);
+
+// Paper eq. (2), mul/div class:
+//     X_new = (A_temp / X_read) * X_permanent
+// re-apply this transaction's net factor. Computed in double (integer
+// division does not commute); X_read must be non-zero.
+Result<storage::Value> ReconcileMulDiv(const storage::Value& read,
+                                       const storage::Value& temp,
+                                       const storage::Value& permanent);
+
+// Dispatch by operation class:
+//   read           -> X_permanent (no change)
+//   insert, assign -> A_temp      (holder is exclusive, so temp is final)
+//   delete         -> Null
+//   add/sub        -> eq. (1)
+//   mul/div        -> eq. (2)
+Result<storage::Value> Reconcile(OpClass cls, const storage::Value& read,
+                                 const storage::Value& temp,
+                                 const storage::Value& permanent);
+
+}  // namespace preserial::semantics
+
+#endif  // PRESERIAL_SEMANTICS_RECONCILE_H_

@@ -1,0 +1,27 @@
+#include "sim/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace preserial::sim {
+
+ZipfIndexDist::ZipfIndexDist(size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+size_t ZipfIndexDist::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace preserial::sim

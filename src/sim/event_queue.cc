@@ -1,0 +1,95 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace preserial::sim {
+
+namespace {
+// Heap order: earlier time first; FIFO (smaller id) among equal times.
+bool Before(const EventQueue::Entry& a, const EventQueue::Entry& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.id < b.id;
+}
+}  // namespace
+
+EventId EventQueue::Push(TimePoint time, std::function<void()> action) {
+  Entry e;
+  e.time = time;
+  e.id = next_id_++;
+  e.action = std::move(action);
+  const EventId id = e.id;
+  heap_.push_back(std::move(e));
+  SiftUp(heap_.size() - 1);
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) return false;
+  // Only cancel events that are actually still in the heap.
+  bool present = false;
+  for (const Entry& e : heap_) {
+    if (e.id == id) {
+      present = true;
+      break;
+    }
+  }
+  if (!present || cancelled_.count(id) > 0) return false;
+  cancelled_.insert(id);
+  assert(live_count_ > 0);
+  --live_count_;
+  return true;
+}
+
+TimePoint EventQueue::PeekTime() {
+  DropDeadHead();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+EventQueue::Entry EventQueue::Pop() {
+  DropDeadHead();
+  assert(!heap_.empty());
+  Entry top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  assert(live_count_ > 0);
+  --live_count_;
+  return top;
+}
+
+void EventQueue::DropDeadHead() {
+  while (!heap_.empty() && cancelled_.count(heap_.front().id) > 0) {
+    cancelled_.erase(heap_.front().id);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  }
+}
+
+void EventQueue::SiftUp(size_t i) {
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!Before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    size_t smallest = i;
+    const size_t left = 2 * i + 1;
+    const size_t right = 2 * i + 2;
+    if (left < n && Before(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && Before(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace preserial::sim

@@ -1,0 +1,66 @@
+#ifndef PRESERIAL_SIM_EVENT_QUEUE_H_
+#define PRESERIAL_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace preserial::sim {
+
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+// Pending-event set of a discrete-event simulation. A hand-rolled binary
+// min-heap ordered by (time, sequence) — the sequence number makes ties
+// FIFO-stable, which matters for reproducing the paper's arrival-order
+// semantics (transactions are labelled by arrival order lambda).
+//
+// Cancellation is lazy: Cancel() records the id and Pop() skips dead
+// entries, so both operations stay O(log n) amortized.
+class EventQueue {
+ public:
+  struct Entry {
+    TimePoint time = 0;
+    EventId id = kInvalidEventId;
+    std::function<void()> action;
+  };
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `action` at absolute time `time`. Returns a handle usable with
+  // Cancel().
+  EventId Push(TimePoint time, std::function<void()> action);
+
+  // Cancels a pending event; returns false if it already fired, was already
+  // cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  // True when no live events remain.
+  bool Empty() const { return live_count_ == 0; }
+  size_t Size() const { return live_count_; }
+
+  // Time of the earliest live event; undefined when Empty().
+  TimePoint PeekTime();
+
+  // Removes and returns the earliest live event; undefined when Empty().
+  Entry Pop();
+
+ private:
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  void DropDeadHead();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace preserial::sim
+
+#endif  // PRESERIAL_SIM_EVENT_QUEUE_H_

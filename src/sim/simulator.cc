@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace preserial::sim {
+
+EventId Simulator::After(Duration delay, std::function<void()> action) {
+  PRESERIAL_CHECK(delay >= 0) << "negative delay " << delay;
+  return queue_.Push(clock_.Now() + delay, std::move(action));
+}
+
+EventId Simulator::At(TimePoint when, std::function<void()> action) {
+  PRESERIAL_CHECK(when >= clock_.Now())
+      << "scheduling into the past: " << when << " < " << clock_.Now();
+  return queue_.Push(when, std::move(action));
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) return false;
+  EventQueue::Entry e = queue_.Pop();
+  clock_.Set(e.time);
+  ++events_executed_;
+  e.action();
+  return true;
+}
+
+uint64_t Simulator::Run(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && Step()) ++n;
+  return n;
+}
+
+uint64_t Simulator::RunUntil(TimePoint until) {
+  uint64_t n = 0;
+  while (!queue_.Empty() && queue_.PeekTime() <= until) {
+    Step();
+    ++n;
+  }
+  if (clock_.Now() < until) clock_.Set(until);
+  return n;
+}
+
+}  // namespace preserial::sim

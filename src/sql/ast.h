@@ -1,0 +1,79 @@
+#ifndef PRESERIAL_SQL_AST_H_
+#define PRESERIAL_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/constraint.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace preserial::sql {
+
+// A simple predicate `column op literal`; WHERE clauses are conjunctions of
+// these (no OR / nesting — enough for the workloads this LDBS serves).
+struct Predicate {
+  std::string column;
+  storage::CompareOp op = storage::CompareOp::kEq;
+  storage::Value literal;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<storage::ColumnDef> columns;
+  size_t primary_key = 0;
+};
+
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::string column;
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<storage::Value> values;  // Positional, full row.
+};
+
+struct SelectStmt {
+  std::string table;
+  std::vector<std::string> columns;  // Empty = *.
+  std::vector<Predicate> where;      // ANDed.
+  std::optional<std::string> order_by;
+  bool order_desc = false;
+  std::optional<int64_t> limit;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, storage::Value>> assignments;
+  std::vector<Predicate> where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::vector<Predicate> where;
+};
+
+struct AlterAddConstraintStmt {
+  std::string table;
+  std::string constraint;
+  Predicate check;  // CHECK (column op literal).
+};
+
+struct ShowTablesStmt {};
+
+using Statement =
+    std::variant<CreateTableStmt, CreateIndexStmt, DropTableStmt, InsertStmt,
+                 SelectStmt, UpdateStmt, DeleteStmt, AlterAddConstraintStmt,
+                 ShowTablesStmt>;
+
+}  // namespace preserial::sql
+
+#endif  // PRESERIAL_SQL_AST_H_

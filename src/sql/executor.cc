@@ -1,0 +1,294 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "sql/parser.h"
+#include "storage/table.h"
+
+namespace preserial::sql {
+
+namespace {
+
+using storage::CompareOp;
+using storage::Row;
+using storage::Table;
+using storage::Value;
+
+struct ResolvedPredicate {
+  size_t column = 0;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+};
+
+Result<std::vector<ResolvedPredicate>> Resolve(
+    const Table& table, const std::vector<Predicate>& where) {
+  std::vector<ResolvedPredicate> out;
+  out.reserve(where.size());
+  for (const Predicate& p : where) {
+    PRESERIAL_ASSIGN_OR_RETURN(size_t column,
+                               table.schema().ColumnIndex(p.column));
+    out.push_back(ResolvedPredicate{column, p.op, p.literal});
+  }
+  return out;
+}
+
+bool PredicateHolds(const Value& v, CompareOp op, const Value& literal) {
+  // SQL-ish semantics: comparisons against NULL (either side) are false.
+  if (v.is_null() || literal.is_null()) return false;
+  Result<int> c = Value::Compare(v, literal);
+  if (!c.ok()) return false;  // Incomparable types never match.
+  switch (op) {
+    case CompareOp::kEq:
+      return c.value() == 0;
+    case CompareOp::kNe:
+      return c.value() != 0;
+    case CompareOp::kLt:
+      return c.value() < 0;
+    case CompareOp::kLe:
+      return c.value() <= 0;
+    case CompareOp::kGt:
+      return c.value() > 0;
+    case CompareOp::kGe:
+      return c.value() >= 0;
+  }
+  return false;
+}
+
+bool RowMatches(const Row& row,
+                const std::vector<ResolvedPredicate>& preds) {
+  for (const ResolvedPredicate& p : preds) {
+    if (!PredicateHolds(row.at(p.column), p.op, p.literal)) return false;
+  }
+  return true;
+}
+
+// Picks an access path and collects matching (pk, row) pairs.
+std::vector<std::pair<Value, Row>> CollectMatches(
+    const Table& table, const std::vector<ResolvedPredicate>& preds) {
+  std::vector<std::pair<Value, Row>> out;
+  auto visit = [&](const Value& key, const Row& row) {
+    if (RowMatches(row, preds)) out.emplace_back(key, row);
+    return true;
+  };
+
+  // 1) Primary-key point lookup.
+  const size_t pk = table.schema().primary_key();
+  for (const ResolvedPredicate& p : preds) {
+    if (p.column == pk && p.op == CompareOp::kEq) {
+      Result<Row> row = table.GetByKey(p.literal);
+      if (row.ok() && RowMatches(row.value(), preds)) {
+        out.emplace_back(p.literal, row.value());
+      }
+      return out;
+    }
+  }
+  // 2) Secondary-index equality.
+  for (const ResolvedPredicate& p : preds) {
+    if (p.op == CompareOp::kEq && table.HasIndexOn(p.column)) {
+      table.ScanEqual(p.column, p.literal, visit);
+      return out;
+    }
+  }
+  // 3) Secondary-index range.
+  for (const ResolvedPredicate& p : preds) {
+    if (!table.HasIndexOn(p.column)) continue;
+    std::optional<Value> lo;
+    std::optional<Value> hi;
+    switch (p.op) {
+      case CompareOp::kGe:
+      case CompareOp::kGt:
+        lo = p.literal;
+        break;
+      case CompareOp::kLe:
+      case CompareOp::kLt:
+        hi = p.literal;
+        break;
+      default:
+        continue;
+    }
+    // The residual filter handles strict bounds.
+    (void)table.ScanIndexRange(p.column, lo, hi, visit);
+    return out;
+  }
+  // 4) Full scan.
+  table.Scan(visit);
+  return out;
+}
+
+}  // namespace
+
+Result<ResultSet> Executor::Run(const std::string& statement) {
+  PRESERIAL_ASSIGN_OR_RETURN(Statement stmt, Parse(statement));
+  return Execute(stmt);
+}
+
+Result<ResultSet> Executor::Execute(const Statement& statement) {
+  return std::visit(
+      [this](const auto& stmt) -> Result<ResultSet> {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, CreateTableStmt>) {
+          return ExecuteCreateTable(stmt);
+        } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
+          return ExecuteCreateIndex(stmt);
+        } else if constexpr (std::is_same_v<T, DropTableStmt>) {
+          return ExecuteDropTable(stmt);
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          return ExecuteInsert(stmt);
+        } else if constexpr (std::is_same_v<T, SelectStmt>) {
+          return ExecuteSelect(stmt);
+        } else if constexpr (std::is_same_v<T, UpdateStmt>) {
+          return ExecuteUpdate(stmt);
+        } else if constexpr (std::is_same_v<T, DeleteStmt>) {
+          return ExecuteDelete(stmt);
+        } else if constexpr (std::is_same_v<T, AlterAddConstraintStmt>) {
+          return ExecuteAlter(stmt);
+        } else {
+          return ExecuteShowTables();
+        }
+      },
+      statement);
+}
+
+Result<ResultSet> Executor::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  PRESERIAL_ASSIGN_OR_RETURN(
+      storage::Schema schema,
+      storage::Schema::Create(stmt.columns, stmt.primary_key));
+  Result<Table*> t = db_->CreateTable(stmt.table, std::move(schema));
+  if (!t.ok()) return t.status();
+  return ResultSet{};
+}
+
+Result<ResultSet> Executor::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
+  PRESERIAL_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  PRESERIAL_ASSIGN_OR_RETURN(size_t column,
+                             table->schema().ColumnIndex(stmt.column));
+  PRESERIAL_RETURN_IF_ERROR(db_->CreateIndex(stmt.table, stmt.index, column));
+  return ResultSet{};
+}
+
+Result<ResultSet> Executor::ExecuteDropTable(const DropTableStmt& stmt) {
+  PRESERIAL_RETURN_IF_ERROR(db_->DropTable(stmt.table));
+  return ResultSet{};
+}
+
+Result<ResultSet> Executor::ExecuteInsert(const InsertStmt& stmt) {
+  PRESERIAL_RETURN_IF_ERROR(db_->InsertRow(stmt.table, Row(stmt.values)));
+  ResultSet rs;
+  rs.affected_rows = 1;
+  return rs;
+}
+
+Result<ResultSet> Executor::ExecuteSelect(const SelectStmt& stmt) {
+  PRESERIAL_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  PRESERIAL_ASSIGN_OR_RETURN(std::vector<ResolvedPredicate> preds,
+                             Resolve(*table, stmt.where));
+
+  // Projection columns.
+  std::vector<size_t> projection;
+  ResultSet rs;
+  if (stmt.columns.empty()) {
+    for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+      projection.push_back(c);
+      rs.columns.push_back(table->schema().column(c).name);
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      PRESERIAL_ASSIGN_OR_RETURN(size_t c,
+                                 table->schema().ColumnIndex(name));
+      projection.push_back(c);
+      rs.columns.push_back(name);
+    }
+  }
+
+  std::vector<std::pair<Value, Row>> matches = CollectMatches(*table, preds);
+  if (stmt.order_by.has_value()) {
+    PRESERIAL_ASSIGN_OR_RETURN(size_t order_col,
+                               table->schema().ColumnIndex(*stmt.order_by));
+    std::stable_sort(matches.begin(), matches.end(),
+                     [order_col, desc = stmt.order_desc](const auto& a,
+                                                         const auto& b) {
+                       const int c = Value::CompareTotal(
+                           a.second.at(order_col), b.second.at(order_col));
+                       return desc ? c > 0 : c < 0;
+                     });
+  }
+  const size_t limit =
+      stmt.limit.has_value() && *stmt.limit >= 0
+          ? static_cast<size_t>(*stmt.limit)
+          : matches.size();
+  for (size_t i = 0; i < matches.size() && i < limit; ++i) {
+    std::vector<Value> out_row;
+    out_row.reserve(projection.size());
+    for (size_t c : projection) out_row.push_back(matches[i].second.at(c));
+    rs.rows.push_back(std::move(out_row));
+  }
+  rs.affected_rows = static_cast<int64_t>(rs.rows.size());
+  return rs;
+}
+
+Result<ResultSet> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
+  PRESERIAL_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  PRESERIAL_ASSIGN_OR_RETURN(std::vector<ResolvedPredicate> preds,
+                             Resolve(*table, stmt.where));
+  std::vector<std::pair<size_t, Value>> assignments;
+  for (const auto& [name, value] : stmt.assignments) {
+    PRESERIAL_ASSIGN_OR_RETURN(size_t c, table->schema().ColumnIndex(name));
+    assignments.emplace_back(c, value);
+  }
+  const std::vector<std::pair<Value, Row>> matches =
+      CollectMatches(*table, preds);
+  ResultSet rs;
+  for (const auto& [key, row] : matches) {
+    Row updated = row;
+    for (const auto& [c, v] : assignments) updated.Set(c, v);
+    PRESERIAL_RETURN_IF_ERROR(db_->UpdateRow(stmt.table, key, updated));
+    ++rs.affected_rows;
+  }
+  return rs;
+}
+
+Result<ResultSet> Executor::ExecuteDelete(const DeleteStmt& stmt) {
+  PRESERIAL_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  PRESERIAL_ASSIGN_OR_RETURN(std::vector<ResolvedPredicate> preds,
+                             Resolve(*table, stmt.where));
+  const std::vector<std::pair<Value, Row>> matches =
+      CollectMatches(*table, preds);
+  ResultSet rs;
+  for (const auto& [key, _] : matches) {
+    PRESERIAL_RETURN_IF_ERROR(db_->DeleteRow(stmt.table, key));
+    ++rs.affected_rows;
+  }
+  return rs;
+}
+
+Result<ResultSet> Executor::ExecuteAlter(const AlterAddConstraintStmt& stmt) {
+  PRESERIAL_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  PRESERIAL_ASSIGN_OR_RETURN(size_t column,
+                             table->schema().ColumnIndex(stmt.check.column));
+  PRESERIAL_RETURN_IF_ERROR(db_->AddConstraint(
+      stmt.table, storage::CheckConstraint(stmt.constraint, column,
+                                           stmt.check.op,
+                                           stmt.check.literal)));
+  return ResultSet{};
+}
+
+Result<ResultSet> Executor::ExecuteShowTables() {
+  ResultSet rs;
+  rs.columns = {"table", "rows", "columns", "indexes"};
+  for (const std::string& name : db_->catalog()->TableNames()) {
+    Result<Table*> t = db_->GetTable(name);
+    if (!t.ok()) continue;
+    rs.rows.push_back({Value::String(name),
+                       Value::Int(static_cast<int64_t>(t.value()->row_count())),
+                       Value::Int(static_cast<int64_t>(
+                           t.value()->schema().num_columns())),
+                       Value::Int(static_cast<int64_t>(
+                           t.value()->IndexNames().size()))});
+  }
+  rs.affected_rows = static_cast<int64_t>(rs.rows.size());
+  return rs;
+}
+
+}  // namespace preserial::sql

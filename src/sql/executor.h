@@ -1,0 +1,51 @@
+#ifndef PRESERIAL_SQL_EXECUTOR_H_
+#define PRESERIAL_SQL_EXECUTOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/result_set.h"
+#include "storage/database.h"
+
+namespace preserial::sql {
+
+// Executes parsed statements against a Database (auto-committed, WAL-logged
+// through the Database's DML entry points). A thin planner picks the access
+// path for WHERE clauses:
+//   - `pk = literal`                  -> primary-key point lookup
+//   - `col = literal` with an index   -> secondary-index equality scan
+//   - `col >=/<=/... ` with an index  -> secondary-index range scan
+//   - otherwise                       -> full scan with residual filter
+//
+// This is the LDBS's front door for humans (see examples/sql_repl.cpp);
+// the GTM talks to the storage layer directly.
+class Executor {
+ public:
+  explicit Executor(storage::Database* db) : db_(db) {}
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Parses and executes one statement.
+  Result<ResultSet> Run(const std::string& statement);
+
+  Result<ResultSet> Execute(const Statement& statement);
+
+ private:
+  Result<ResultSet> ExecuteCreateTable(const CreateTableStmt& stmt);
+  Result<ResultSet> ExecuteCreateIndex(const CreateIndexStmt& stmt);
+  Result<ResultSet> ExecuteDropTable(const DropTableStmt& stmt);
+  Result<ResultSet> ExecuteInsert(const InsertStmt& stmt);
+  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt);
+  Result<ResultSet> ExecuteUpdate(const UpdateStmt& stmt);
+  Result<ResultSet> ExecuteDelete(const DeleteStmt& stmt);
+  Result<ResultSet> ExecuteAlter(const AlterAddConstraintStmt& stmt);
+  Result<ResultSet> ExecuteShowTables();
+
+  storage::Database* db_;
+};
+
+}  // namespace preserial::sql
+
+#endif  // PRESERIAL_SQL_EXECUTOR_H_

@@ -1,0 +1,354 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace preserial::sql {
+
+namespace {
+
+using storage::ColumnDef;
+using storage::CompareOp;
+using storage::Value;
+using storage::ValueType;
+
+// Recursive-descent cursor over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    if (MatchKeyword("CREATE")) {
+      if (MatchKeyword("TABLE")) return ParseCreateTable();
+      if (MatchKeyword("INDEX")) return ParseCreateIndex();
+      return Error("expected TABLE or INDEX after CREATE");
+    }
+    if (MatchKeyword("DROP")) {
+      PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+      DropTableStmt stmt;
+      PRESERIAL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+      PRESERIAL_RETURN_IF_ERROR(ExpectEnd());
+      return Statement{stmt};
+    }
+    if (MatchKeyword("INSERT")) return ParseInsert();
+    if (MatchKeyword("SELECT")) return ParseSelect();
+    if (MatchKeyword("UPDATE")) return ParseUpdate();
+    if (MatchKeyword("DELETE")) return ParseDelete();
+    if (MatchKeyword("ALTER")) return ParseAlter();
+    if (MatchKeyword("SHOW")) {
+      PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("TABLES"));
+      PRESERIAL_RETURN_IF_ERROR(ExpectEnd());
+      return Statement{ShowTablesStmt{}};
+    }
+    return Error("expected a statement keyword");
+  }
+
+ private:
+  // --- statement parsers -----------------------------------------------------
+
+  Result<Statement> ParseCreateTable() {
+    CreateTableStmt stmt;
+    PRESERIAL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    PRESERIAL_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::optional<size_t> pk;
+    while (true) {
+      ColumnDef col;
+      PRESERIAL_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+      PRESERIAL_ASSIGN_OR_RETURN(col.type, ParseType());
+      col.nullable = false;
+      // Column options in any order.
+      while (true) {
+        if (MatchKeyword("PRIMARY")) {
+          PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+          if (pk.has_value()) {
+            return Error("multiple PRIMARY KEY columns");
+          }
+          pk = stmt.columns.size();
+        } else if (MatchKeyword("NOT")) {
+          PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+          col.nullable = false;
+        } else if (MatchKeyword("NULL")) {
+          col.nullable = true;
+        } else {
+          break;
+        }
+      }
+      stmt.columns.push_back(std::move(col));
+      if (MatchSymbol(",")) continue;
+      PRESERIAL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      break;
+    }
+    if (!pk.has_value()) {
+      return Error("CREATE TABLE requires a PRIMARY KEY column");
+    }
+    stmt.primary_key = *pk;
+    PRESERIAL_RETURN_IF_ERROR(ExpectEnd());
+    return Statement{stmt};
+  }
+
+  Result<Statement> ParseCreateIndex() {
+    CreateIndexStmt stmt;
+    PRESERIAL_ASSIGN_OR_RETURN(stmt.index, ExpectIdentifier());
+    PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    PRESERIAL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    PRESERIAL_RETURN_IF_ERROR(ExpectSymbol("("));
+    PRESERIAL_ASSIGN_OR_RETURN(stmt.column, ExpectIdentifier());
+    PRESERIAL_RETURN_IF_ERROR(ExpectSymbol(")"));
+    PRESERIAL_RETURN_IF_ERROR(ExpectEnd());
+    return Statement{stmt};
+  }
+
+  Result<Statement> ParseInsert() {
+    PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    PRESERIAL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    PRESERIAL_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      PRESERIAL_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      stmt.values.push_back(std::move(v));
+      if (MatchSymbol(",")) continue;
+      PRESERIAL_RETURN_IF_ERROR(ExpectSymbol(")"));
+      break;
+    }
+    PRESERIAL_RETURN_IF_ERROR(ExpectEnd());
+    return Statement{stmt};
+  }
+
+  Result<Statement> ParseSelect() {
+    SelectStmt stmt;
+    if (MatchSymbol("*")) {
+      // All columns.
+    } else {
+      while (true) {
+        PRESERIAL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt.columns.push_back(std::move(col));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    PRESERIAL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (MatchKeyword("WHERE")) {
+      PRESERIAL_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    }
+    if (MatchKeyword("ORDER")) {
+      PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      PRESERIAL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt.order_by = std::move(col);
+      if (MatchKeyword("DESC")) {
+        stmt.order_desc = true;
+      } else {
+        (void)MatchKeyword("ASC");
+      }
+    }
+    if (MatchKeyword("LIMIT")) {
+      const Token& t = Peek();
+      if (t.type != TokenType::kInteger) return Error("LIMIT expects an int");
+      stmt.limit = std::strtoll(t.text.c_str(), nullptr, 10);
+      Advance();
+    }
+    PRESERIAL_RETURN_IF_ERROR(ExpectEnd());
+    return Statement{stmt};
+  }
+
+  Result<Statement> ParseUpdate() {
+    UpdateStmt stmt;
+    PRESERIAL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    while (true) {
+      PRESERIAL_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      PRESERIAL_RETURN_IF_ERROR(ExpectSymbol("="));
+      PRESERIAL_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      stmt.assignments.emplace_back(std::move(col), std::move(v));
+      if (!MatchSymbol(",")) break;
+    }
+    if (MatchKeyword("WHERE")) {
+      PRESERIAL_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    }
+    PRESERIAL_RETURN_IF_ERROR(ExpectEnd());
+    return Statement{stmt};
+  }
+
+  Result<Statement> ParseDelete() {
+    PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStmt stmt;
+    PRESERIAL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (MatchKeyword("WHERE")) {
+      PRESERIAL_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    }
+    PRESERIAL_RETURN_IF_ERROR(ExpectEnd());
+    return Statement{stmt};
+  }
+
+  Result<Statement> ParseAlter() {
+    PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    AlterAddConstraintStmt stmt;
+    PRESERIAL_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("ADD"));
+    PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("CONSTRAINT"));
+    PRESERIAL_ASSIGN_OR_RETURN(stmt.constraint, ExpectIdentifier());
+    PRESERIAL_RETURN_IF_ERROR(ExpectKeyword("CHECK"));
+    PRESERIAL_RETURN_IF_ERROR(ExpectSymbol("("));
+    PRESERIAL_ASSIGN_OR_RETURN(stmt.check, ParsePredicate());
+    PRESERIAL_RETURN_IF_ERROR(ExpectSymbol(")"));
+    PRESERIAL_RETURN_IF_ERROR(ExpectEnd());
+    return Statement{stmt};
+  }
+
+  // --- clause helpers ----------------------------------------------------------
+
+  Result<std::vector<Predicate>> ParseWhere() {
+    std::vector<Predicate> preds;
+    while (true) {
+      PRESERIAL_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+      preds.push_back(std::move(p));
+      if (!MatchKeyword("AND")) break;
+    }
+    return preds;
+  }
+
+  Result<Predicate> ParsePredicate() {
+    Predicate p;
+    PRESERIAL_ASSIGN_OR_RETURN(p.column, ExpectIdentifier());
+    const Token& t = Peek();
+    if (t.type != TokenType::kSymbol) return Error("expected comparison");
+    if (t.text == "=") {
+      p.op = CompareOp::kEq;
+    } else if (t.text == "!=") {
+      p.op = CompareOp::kNe;
+    } else if (t.text == "<") {
+      p.op = CompareOp::kLt;
+    } else if (t.text == "<=") {
+      p.op = CompareOp::kLe;
+    } else if (t.text == ">") {
+      p.op = CompareOp::kGt;
+    } else if (t.text == ">=") {
+      p.op = CompareOp::kGe;
+    } else {
+      return Error("expected comparison operator");
+    }
+    Advance();
+    PRESERIAL_ASSIGN_OR_RETURN(p.literal, ParseLiteral());
+    return p;
+  }
+
+  Result<ValueType> ParseType() {
+    if (MatchKeyword("INT") || MatchKeyword("INTEGER")) {
+      return ValueType::kInt64;
+    }
+    if (MatchKeyword("DOUBLE") || MatchKeyword("FLOAT")) {
+      return ValueType::kDouble;
+    }
+    if (MatchKeyword("STRING") || MatchKeyword("TEXT")) {
+      return ValueType::kString;
+    }
+    if (MatchKeyword("BOOL") || MatchKeyword("BOOLEAN")) {
+      return ValueType::kBool;
+    }
+    return Error("expected a column type");
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger: {
+        const int64_t v = std::strtoll(t.text.c_str(), nullptr, 10);
+        Advance();
+        return Value::Int(v);
+      }
+      case TokenType::kFloat: {
+        const double v = std::strtod(t.text.c_str(), nullptr);
+        Advance();
+        return Value::Double(v);
+      }
+      case TokenType::kString: {
+        std::string s = t.text;
+        Advance();
+        return Value::String(std::move(s));
+      }
+      case TokenType::kKeyword:
+        if (t.text == "TRUE") {
+          Advance();
+          return Value::Bool(true);
+        }
+        if (t.text == "FALSE") {
+          Advance();
+          return Value::Bool(false);
+        }
+        if (t.text == "NULL") {
+          Advance();
+          return Value::Null();
+        }
+        return Error("expected a literal");
+      default:
+        return Error("expected a literal");
+    }
+  }
+
+  // --- cursor ------------------------------------------------------------------
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool MatchKeyword(const char* kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(const char* sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) return Error("expected " + std::string(kw));
+    return Status::Ok();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!MatchSymbol(sym)) return Error("expected '" + std::string(sym) + "'");
+    return Status::Ok();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected an identifier");
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+  Status ExpectEnd() {
+    (void)MatchSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing tokens");
+    }
+    return Status::Ok();
+  }
+
+  // Status error carrying the current position; converts implicitly into
+  // any Result<T> at the call sites.
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(StrFormat(
+        "parse error at offset %zu near '%s': %s", Peek().position,
+        Peek().text.c_str(), message.c_str()));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& input) {
+  PRESERIAL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace preserial::sql

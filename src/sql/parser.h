@@ -1,0 +1,32 @@
+#ifndef PRESERIAL_SQL_PARSER_H_
+#define PRESERIAL_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace preserial::sql {
+
+// Parses one SQL statement (a trailing ';' is optional). Supported grammar:
+//
+//   CREATE TABLE t (col TYPE [PRIMARY KEY] [NULL | NOT NULL], ...)
+//   CREATE INDEX name ON t (col)
+//   DROP TABLE t
+//   INSERT INTO t VALUES (lit, ...)
+//   SELECT * | col [, col ...] FROM t
+//       [WHERE col op lit [AND ...]] [ORDER BY col [ASC|DESC]] [LIMIT n]
+//   UPDATE t SET col = lit [, ...] [WHERE ...]
+//   DELETE FROM t [WHERE ...]
+//   ALTER TABLE t ADD CONSTRAINT name CHECK (col op lit)
+//   SHOW TABLES
+//
+// TYPE: INT/INTEGER, DOUBLE/FLOAT, STRING/TEXT, BOOL/BOOLEAN.
+// op: = != <> < <= > >=.  Literals: integers, floats, 'strings',
+// TRUE/FALSE, NULL.
+Result<Statement> Parse(const std::string& input);
+
+}  // namespace preserial::sql
+
+#endif  // PRESERIAL_SQL_PARSER_H_

@@ -1,0 +1,46 @@
+#include "sql/result_set.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace preserial::sql {
+
+std::string ResultSet::ToString() const {
+  if (!HasRows()) {
+    return StrFormat("OK (%lld row(s) affected)\n",
+                     static_cast<long long>(affected_rows));
+  }
+  // Column widths from header and cells.
+  std::vector<size_t> widths(columns.size());
+  std::vector<std::vector<std::string>> rendered;
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  rendered.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(row[c].ToString());
+      if (c < widths.size()) widths[c] = std::max(widths[c], cells[c].size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+  std::string out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    out += PadRight(columns[c], widths[c] + 2);
+  }
+  out += "\n";
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out += std::string(total, '-') + "\n";
+  for (const auto& cells : rendered) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out += PadRight(cells[c], widths[c] + 2);
+    }
+    out += "\n";
+  }
+  out += StrFormat("(%zu row(s))\n", rows.size());
+  return out;
+}
+
+}  // namespace preserial::sql

@@ -1,0 +1,27 @@
+#ifndef PRESERIAL_SQL_RESULT_SET_H_
+#define PRESERIAL_SQL_RESULT_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace preserial::sql {
+
+// Outcome of executing one statement: tabular rows for SELECT / SHOW, an
+// affected-row count for DML/DDL.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<storage::Value>> rows;
+  int64_t affected_rows = 0;
+
+  bool HasRows() const { return !columns.empty(); }
+
+  // Fixed-width rendering with a header (for the REPL and tests).
+  std::string ToString() const;
+};
+
+}  // namespace preserial::sql
+
+#endif  // PRESERIAL_SQL_RESULT_SET_H_

@@ -1,0 +1,149 @@
+#include "sql/token.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+
+namespace preserial::sql {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kKeyword:
+      return "keyword";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kInteger:
+      return "integer";
+    case TokenType::kFloat:
+      return "float";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kSymbol:
+      return "symbol";
+    case TokenType::kEnd:
+      return "end";
+  }
+  return "?";
+}
+
+bool IsKeyword(const std::string& upper) {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "CREATE", "TABLE",  "INDEX",  "ON",     "INSERT", "INTO",   "VALUES",
+      "SELECT", "FROM",   "WHERE",  "AND",    "ORDER",  "BY",     "ASC",
+      "DESC",   "LIMIT",  "UPDATE", "SET",    "DELETE", "ALTER",  "ADD",
+      "CONSTRAINT",       "CHECK",  "PRIMARY","KEY",    "NULL",   "NOT",
+      "INT",    "INTEGER","DOUBLE", "FLOAT",  "STRING", "TEXT",   "BOOL",
+      "BOOLEAN","TRUE",   "FALSE",  "DROP",   "SHOW",   "TABLES",
+  };
+  return kKeywords->count(upper) > 0;
+}
+
+namespace {
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      // Line comment.
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word = input.substr(start, i - start);
+      const std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tokens.push_back(Token{TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back(Token{TokenType::kIdentifier, std::move(word),
+                               start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      ++i;  // Sign or first digit.
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        if (input[i] == '.') {
+          if (is_float) break;
+          is_float = true;
+        }
+        ++i;
+      }
+      tokens.push_back(Token{is_float ? TokenType::kFloat
+                                      : TokenType::kInteger,
+                             input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            value.push_back('\'');  // Escaped quote.
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back(Token{TokenType::kString, std::move(value), start});
+      continue;
+    }
+    // Multi-char symbols first.
+    auto two = input.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+      tokens.push_back(Token{TokenType::kSymbol,
+                             two == "<>" ? "!=" : std::string(two), start});
+      i += 2;
+      continue;
+    }
+    if (std::string("(),;*=<>").find(c) != std::string::npos) {
+      tokens.push_back(Token{TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrFormat("unexpected character '%c' at offset %zu", c, start));
+  }
+  tokens.push_back(Token{TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace preserial::sql

@@ -1,0 +1,39 @@
+#ifndef PRESERIAL_SQL_TOKEN_H_
+#define PRESERIAL_SQL_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace preserial::sql {
+
+enum class TokenType {
+  kKeyword,     // Case-insensitive reserved word (normalized to upper).
+  kIdentifier,  // Table / column / index names.
+  kInteger,     // 123, -7
+  kFloat,       // 1.5, -0.25
+  kString,      // 'single quoted' with '' escaping
+  kSymbol,      // ( ) , ; * = != <> < <= > >=
+  kEnd,
+};
+
+const char* TokenTypeName(TokenType t);
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // Keyword: upper-cased; symbol: canonical spelling.
+  size_t position = 0;  // Byte offset in the input (for error messages).
+};
+
+// Splits a SQL statement into tokens. Keywords are recognized from a fixed
+// list; anything else alphanumeric is an identifier. Fails with
+// kInvalidArgument on unterminated strings or unknown characters.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+// True if `word` (upper-cased) is a reserved keyword.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace preserial::sql
+
+#endif  // PRESERIAL_SQL_TOKEN_H_

@@ -1,0 +1,380 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace preserial::storage {
+
+struct BTree::Node {
+  bool leaf = true;
+  std::vector<Value> keys;
+  // Leaf payloads (parallel to keys).
+  std::vector<RowId> rids;
+  // Internal children; children.size() == keys.size() + 1. keys[i] is the
+  // smallest key reachable under children[i + 1].
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaf chain for ordered scans.
+  Node* next = nullptr;
+  Node* prev = nullptr;
+};
+
+namespace {
+
+bool Less(const Value& a, const Value& b) {
+  return Value::CompareTotal(a, b) < 0;
+}
+
+bool Equal(const Value& a, const Value& b) {
+  return Value::CompareTotal(a, b) == 0;
+}
+
+// First index i with keys[i] >= key.
+size_t LowerBound(const std::vector<Value>& keys, const Value& key) {
+  size_t lo = 0;
+  size_t hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (Less(keys[mid], key)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child slot to descend into for `key`: first separator > key decides.
+size_t ChildIndex(const std::vector<Value>& keys, const Value& key) {
+  size_t lo = 0;
+  size_t hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (Less(key, keys[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BTree::BTree(size_t max_keys)
+    : max_keys_(std::max<size_t>(max_keys, 3)),
+      min_keys_(std::max<size_t>(max_keys, 3) / 2),
+      root_(std::make_unique<Node>()) {}
+
+BTree::~BTree() = default;
+
+BTree::Node* BTree::FindLeaf(const Value& key) const {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[ChildIndex(node->keys, key)].get();
+  }
+  return node;
+}
+
+Result<RowId> BTree::Lookup(const Value& key) const {
+  const Node* leaf = FindLeaf(key);
+  const size_t i = LowerBound(leaf->keys, key);
+  if (i < leaf->keys.size() && Equal(leaf->keys[i], key)) {
+    return leaf->rids[i];
+  }
+  return Status::NotFound("key " + key.ToString() + " not in index");
+}
+
+Status BTree::Insert(const Value& key, RowId rid) {
+  Status status = Status::Ok();
+  std::optional<SplitResult> split = InsertRec(root_.get(), key, rid, &status);
+  if (!status.ok()) return status;
+  if (split.has_value()) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(split->separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+  return Status::Ok();
+}
+
+std::optional<BTree::SplitResult> BTree::InsertRec(Node* node,
+                                                   const Value& key, RowId rid,
+                                                   Status* status) {
+  if (node->leaf) {
+    const size_t i = LowerBound(node->keys, key);
+    if (i < node->keys.size() && Equal(node->keys[i], key)) {
+      *status = Status::AlreadyExists("duplicate key " + key.ToString());
+      return std::nullopt;
+    }
+    node->keys.insert(node->keys.begin() + i, key);
+    node->rids.insert(node->rids.begin() + i, rid);
+    if (node->keys.size() <= max_keys_) return std::nullopt;
+    // Split the leaf in half; the right half moves to a new sibling.
+    const size_t mid = node->keys.size() / 2;
+    auto right = std::make_unique<Node>();
+    right->leaf = true;
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    right->rids.assign(node->rids.begin() + mid, node->rids.end());
+    node->keys.resize(mid);
+    node->rids.resize(mid);
+    // Stitch the leaf chain.
+    right->next = node->next;
+    right->prev = node;
+    if (node->next != nullptr) node->next->prev = right.get();
+    node->next = right.get();
+    SplitResult result{right->keys.front(), std::move(right)};
+    return result;
+  }
+
+  const size_t ci = ChildIndex(node->keys, key);
+  std::optional<SplitResult> child_split =
+      InsertRec(node->children[ci].get(), key, rid, status);
+  if (!status->ok() || !child_split.has_value()) return std::nullopt;
+
+  node->keys.insert(node->keys.begin() + ci,
+                    std::move(child_split->separator));
+  node->children.insert(node->children.begin() + ci + 1,
+                        std::move(child_split->right));
+  if (node->keys.size() <= max_keys_) return std::nullopt;
+
+  // Split the internal node: the middle separator moves up, not right.
+  const size_t mid = node->keys.size() / 2;
+  auto right = std::make_unique<Node>();
+  right->leaf = false;
+  Value up_key = std::move(node->keys[mid]);
+  right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                     std::make_move_iterator(node->keys.end()));
+  for (size_t i = mid + 1; i < node->children.size(); ++i) {
+    right->children.push_back(std::move(node->children[i]));
+  }
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  SplitResult result{std::move(up_key), std::move(right)};
+  return result;
+}
+
+Status BTree::Update(const Value& key, RowId rid) {
+  Node* leaf = FindLeaf(key);
+  const size_t i = LowerBound(leaf->keys, key);
+  if (i < leaf->keys.size() && Equal(leaf->keys[i], key)) {
+    leaf->rids[i] = rid;
+    return Status::Ok();
+  }
+  return Status::NotFound("key " + key.ToString() + " not in index");
+}
+
+Status BTree::Remove(const Value& key) {
+  Status status = Status::Ok();
+  const bool removed = RemoveRec(root_.get(), key, &status);
+  if (!status.ok()) return status;
+  PRESERIAL_CHECK(removed);
+  --size_;
+  // Collapse a childless root level.
+  if (!root_->leaf && root_->keys.empty()) {
+    root_ = std::move(root_->children.front());
+  }
+  return Status::Ok();
+}
+
+bool BTree::RemoveRec(Node* node, const Value& key, Status* status) {
+  if (node->leaf) {
+    const size_t i = LowerBound(node->keys, key);
+    if (i >= node->keys.size() || !Equal(node->keys[i], key)) {
+      *status = Status::NotFound("key " + key.ToString() + " not in index");
+      return false;
+    }
+    node->keys.erase(node->keys.begin() + i);
+    node->rids.erase(node->rids.begin() + i);
+    return true;
+  }
+  const size_t ci = ChildIndex(node->keys, key);
+  const bool removed = RemoveRec(node->children[ci].get(), key, status);
+  if (!removed) return false;
+  RebalanceChild(node, ci);
+  return true;
+}
+
+void BTree::RebalanceChild(Node* parent, size_t child_idx) {
+  Node* child = parent->children[child_idx].get();
+  if (child->keys.size() >= min_keys_) return;
+
+  Node* left = child_idx > 0 ? parent->children[child_idx - 1].get() : nullptr;
+  Node* right = child_idx + 1 < parent->children.size()
+                    ? parent->children[child_idx + 1].get()
+                    : nullptr;
+
+  // Borrow from the left sibling if it has slack.
+  if (left != nullptr && left->keys.size() > min_keys_) {
+    if (child->leaf) {
+      child->keys.insert(child->keys.begin(), std::move(left->keys.back()));
+      child->rids.insert(child->rids.begin(), left->rids.back());
+      left->keys.pop_back();
+      left->rids.pop_back();
+      parent->keys[child_idx - 1] = child->keys.front();
+    } else {
+      // Rotate through the parent separator.
+      child->keys.insert(child->keys.begin(),
+                         std::move(parent->keys[child_idx - 1]));
+      parent->keys[child_idx - 1] = std::move(left->keys.back());
+      left->keys.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
+    }
+    return;
+  }
+
+  // Borrow from the right sibling if it has slack.
+  if (right != nullptr && right->keys.size() > min_keys_) {
+    if (child->leaf) {
+      child->keys.push_back(std::move(right->keys.front()));
+      child->rids.push_back(right->rids.front());
+      right->keys.erase(right->keys.begin());
+      right->rids.erase(right->rids.begin());
+      parent->keys[child_idx] = right->keys.front();
+    } else {
+      child->keys.push_back(std::move(parent->keys[child_idx]));
+      parent->keys[child_idx] = std::move(right->keys.front());
+      right->keys.erase(right->keys.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
+    }
+    return;
+  }
+
+  // Merge with a sibling. Normalize so we always merge `child_idx` into its
+  // left neighbour (or absorb the right neighbour when child is leftmost).
+  size_t li = child_idx;
+  if (left != nullptr) {
+    li = child_idx - 1;
+  }
+  Node* l = parent->children[li].get();
+  Node* r = parent->children[li + 1].get();
+  if (l->leaf) {
+    l->keys.insert(l->keys.end(), std::make_move_iterator(r->keys.begin()),
+                   std::make_move_iterator(r->keys.end()));
+    l->rids.insert(l->rids.end(), r->rids.begin(), r->rids.end());
+    // Unstitch r from the leaf chain.
+    l->next = r->next;
+    if (r->next != nullptr) r->next->prev = l;
+  } else {
+    l->keys.push_back(std::move(parent->keys[li]));
+    l->keys.insert(l->keys.end(), std::make_move_iterator(r->keys.begin()),
+                   std::make_move_iterator(r->keys.end()));
+    for (auto& c : r->children) l->children.push_back(std::move(c));
+  }
+  parent->keys.erase(parent->keys.begin() + li);
+  parent->children.erase(parent->children.begin() + li + 1);
+}
+
+void BTree::Scan(const std::optional<Value>& lo, const std::optional<Value>& hi,
+                 const std::function<bool(const Value&, RowId)>& visit) const {
+  const Node* leaf;
+  size_t i = 0;
+  if (lo.has_value()) {
+    leaf = FindLeaf(*lo);
+    i = LowerBound(leaf->keys, *lo);
+  } else {
+    const Node* node = root_.get();
+    while (!node->leaf) node = node->children.front().get();
+    leaf = node;
+  }
+  while (leaf != nullptr) {
+    for (; i < leaf->keys.size(); ++i) {
+      if (hi.has_value() && Less(*hi, leaf->keys[i])) return;
+      if (!visit(leaf->keys[i], leaf->rids[i])) return;
+    }
+    leaf = leaf->next;
+    i = 0;
+  }
+}
+
+size_t BTree::Height() const {
+  size_t h = 0;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+Status BTree::CheckNode(const Node* node, const Value* lo, const Value* hi,
+                        size_t depth, size_t leaf_depth) const {
+  // Key ordering and bound containment.
+  for (size_t i = 0; i < node->keys.size(); ++i) {
+    if (i > 0 && !Less(node->keys[i - 1], node->keys[i])) {
+      return Status::Internal("btree: keys out of order");
+    }
+    if (lo != nullptr && Less(node->keys[i], *lo)) {
+      return Status::Internal("btree: key below subtree lower bound");
+    }
+    if (hi != nullptr && !Less(node->keys[i], *hi)) {
+      return Status::Internal("btree: key above subtree upper bound");
+    }
+  }
+  if (node->keys.size() > max_keys_) {
+    return Status::Internal("btree: node overfull");
+  }
+  const bool is_root = node == root_.get();
+  if (!is_root && node->keys.size() < min_keys_) {
+    return Status::Internal("btree: node underfull");
+  }
+  if (node->leaf) {
+    if (depth != leaf_depth) {
+      return Status::Internal("btree: leaves at unequal depth");
+    }
+    if (node->rids.size() != node->keys.size()) {
+      return Status::Internal("btree: leaf rid/key arity mismatch");
+    }
+    return Status::Ok();
+  }
+  if (node->children.size() != node->keys.size() + 1) {
+    return Status::Internal("btree: internal fanout mismatch");
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Value* child_lo = i == 0 ? lo : &node->keys[i - 1];
+    const Value* child_hi = i == node->keys.size() ? hi : &node->keys[i];
+    PRESERIAL_RETURN_IF_ERROR(CheckNode(node->children[i].get(), child_lo,
+                                        child_hi, depth + 1, leaf_depth));
+  }
+  return Status::Ok();
+}
+
+Status BTree::CheckInvariants() const {
+  const size_t leaf_depth = Height();
+  PRESERIAL_RETURN_IF_ERROR(
+      CheckNode(root_.get(), nullptr, nullptr, 0, leaf_depth));
+  // Leaf chain must enumerate exactly size() entries in order.
+  size_t n = 0;
+  const Value* prev = nullptr;
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next) {
+    if (leaf->next != nullptr && leaf->next->prev != leaf) {
+      return Status::Internal("btree: broken leaf back-links");
+    }
+    for (const Value& k : leaf->keys) {
+      if (prev != nullptr && !Less(*prev, k)) {
+        return Status::Internal("btree: leaf chain out of order");
+      }
+      prev = &k;
+      ++n;
+    }
+  }
+  if (n != size_) {
+    return Status::Internal(
+        StrFormat("btree: size mismatch (%zu chained vs %zu recorded)", n,
+                  size_));
+  }
+  return Status::Ok();
+}
+
+}  // namespace preserial::storage

@@ -1,0 +1,94 @@
+#ifndef PRESERIAL_STORAGE_BTREE_H_
+#define PRESERIAL_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/row.h"
+#include "storage/value.h"
+
+namespace preserial::storage {
+
+// In-memory B+-tree mapping Value keys to RowIds; the primary (and
+// secondary-unique) index structure of the LDBS. Keys are ordered by
+// Value::CompareTotal so heterogeneous keys are well-defined.
+//
+// Classic design: all entries live in leaves, internal nodes hold
+// separators, leaves are doubly linked for ordered scans. Rebalancing is
+// parent-driven (borrow from a sibling, else merge) so every node except
+// the root stays at least half full.
+//
+// Not thread-safe; concurrency control happens above the storage layer
+// (that is the entire point of the paper).
+class BTree {
+ public:
+  // `max_keys` is the node capacity; >= 3. Small values are useful in tests
+  // to force deep trees.
+  explicit BTree(size_t max_keys = 64);
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  // Inserts key -> rid; kAlreadyExists if the key is present.
+  Status Insert(const Value& key, RowId rid);
+
+  // Points key at a new rid; kNotFound if absent.
+  Status Update(const Value& key, RowId rid);
+
+  // Removes the key; kNotFound if absent.
+  Status Remove(const Value& key);
+
+  // Point lookup.
+  Result<RowId> Lookup(const Value& key) const;
+  bool Contains(const Value& key) const { return Lookup(key).ok(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Visits entries with lo <= key <= hi in key order (unset bound =
+  // unbounded). The visitor returns false to stop early.
+  void Scan(const std::optional<Value>& lo, const std::optional<Value>& hi,
+            const std::function<bool(const Value&, RowId)>& visit) const;
+
+  // Visits every entry in key order.
+  void ScanAll(const std::function<bool(const Value&, RowId)>& visit) const {
+    Scan(std::nullopt, std::nullopt, visit);
+  }
+
+  // Structural invariant checker used by tests: key ordering, node fill
+  // factors, separator correctness, leaf-chain consistency, depth balance.
+  Status CheckInvariants() const;
+
+  // Tree height (0 for an empty tree with a single leaf root).
+  size_t Height() const;
+
+ private:
+  struct Node;
+  struct SplitResult {
+    Value separator;           // Smallest key of the new right sibling.
+    std::unique_ptr<Node> right;
+  };
+
+  Node* FindLeaf(const Value& key) const;
+  std::optional<SplitResult> InsertRec(Node* node, const Value& key, RowId rid,
+                                       Status* status);
+  bool RemoveRec(Node* node, const Value& key, Status* status);
+  void RebalanceChild(Node* parent, size_t child_idx);
+  Status CheckNode(const Node* node, const Value* lo, const Value* hi,
+                   size_t depth, size_t leaf_depth) const;
+
+  size_t max_keys_;
+  size_t min_keys_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace preserial::storage
+
+#endif  // PRESERIAL_STORAGE_BTREE_H_

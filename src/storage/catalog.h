@@ -1,0 +1,44 @@
+#ifndef PRESERIAL_STORAGE_CATALOG_H_
+#define PRESERIAL_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace preserial::storage {
+
+// Named-table registry of one database instance. Owns the tables.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Creates a table; kAlreadyExists if the name is taken. Returns the table.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  // Fails with kNotFound for unknown names.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  size_t table_count() const { return tables_.size(); }
+
+  // Sorted table names.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace preserial::storage
+
+#endif  // PRESERIAL_STORAGE_CATALOG_H_

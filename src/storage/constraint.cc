@@ -1,0 +1,70 @@
+#include "storage/constraint.h"
+
+#include "common/strings.h"
+
+namespace preserial::storage {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Result<bool> CheckConstraint::Holds(const Value& v) const {
+  if (v.is_null()) return true;
+  PRESERIAL_ASSIGN_OR_RETURN(int c, Value::Compare(v, constant_));
+  switch (op_) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return Status::Internal("unreachable compare op");
+}
+
+Status CheckConstraint::Check(const Row& row) const {
+  if (column_ >= row.size()) {
+    return Status::InvalidArgument(
+        StrFormat("constraint '%s' references column %zu beyond row arity %zu",
+                  name_.c_str(), column_, row.size()));
+  }
+  Result<bool> holds = Holds(row.at(column_));
+  if (!holds.ok()) return holds.status();
+  if (!holds.value()) {
+    return Status::ConstraintViolation(StrFormat(
+        "constraint '%s' violated: %s %s %s", name_.c_str(),
+        row.at(column_).ToString().c_str(), CompareOpName(op_),
+        constant_.ToString().c_str()));
+  }
+  return Status::Ok();
+}
+
+std::string CheckConstraint::ToString(const Schema& schema) const {
+  const std::string col = column_ < schema.num_columns()
+                              ? schema.column(column_).name
+                              : StrFormat("col#%zu", column_);
+  return StrFormat("%s: %s %s %s", name_.c_str(), col.c_str(),
+                   CompareOpName(op_), constant_.ToString().c_str());
+}
+
+}  // namespace preserial::storage

@@ -1,0 +1,65 @@
+#ifndef PRESERIAL_STORAGE_CONSTRAINT_H_
+#define PRESERIAL_STORAGE_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace preserial::storage {
+
+// Comparison operator of a CHECK constraint.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* CompareOpName(CompareOp op);
+
+// Declarative single-column CHECK constraint: `column op constant`, e.g.
+// FreeTickets >= 0 — the paper's motivating integrity constraint (Sec. II).
+// Kept declarative (no callbacks) so constraints survive WAL-based rebuilds
+// and can be reasoned about by the GTM's constraint-aware admission policy.
+class CheckConstraint {
+ public:
+  CheckConstraint() = default;
+  CheckConstraint(std::string name, size_t column, CompareOp op,
+                  Value constant)
+      : name_(std::move(name)),
+        column_(column),
+        op_(op),
+        constant_(std::move(constant)) {}
+
+  const std::string& name() const { return name_; }
+  size_t column() const { return column_; }
+  CompareOp op() const { return op_; }
+  const Value& constant() const { return constant_; }
+
+  // kOk, or kConstraintViolation naming the constraint. NULL cell values
+  // pass (SQL semantics: a CHECK only fails on definite violation).
+  Status Check(const Row& row) const;
+
+  // Evaluates the predicate against a bare value (used by the GTM to test
+  // hypothetical reconciled values before admission).
+  Result<bool> Holds(const Value& v) const;
+
+  // "name: col#i >= 0".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::string name_;
+  size_t column_ = 0;
+  CompareOp op_ = CompareOp::kGe;
+  Value constant_;
+};
+
+}  // namespace preserial::storage
+
+#endif  // PRESERIAL_STORAGE_CONSTRAINT_H_

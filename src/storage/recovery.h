@@ -1,0 +1,32 @@
+#ifndef PRESERIAL_STORAGE_RECOVERY_H_
+#define PRESERIAL_STORAGE_RECOVERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/wal.h"
+
+namespace preserial::storage {
+
+// Redo-only recovery: rebuilds a catalog from a write-ahead log image.
+//
+// The storage engine keeps all data in memory and logs full after-images,
+// so recovery is a clean two-pass redo: pass 1 collects the set of
+// committed transactions, pass 2 re-applies their records in log order
+// (which, under strict 2PL / serialized SSTs, is a serialization order).
+// Records of unfinished or aborted transactions are skipped. DDL executes
+// under the system transaction id and is always applied.
+struct RecoveryStats {
+  size_t records_scanned = 0;
+  size_t records_applied = 0;
+  size_t txns_committed = 0;
+  size_t txns_discarded = 0;  // In-flight or aborted at crash time.
+};
+
+Result<RecoveryStats> ReplayWal(const std::vector<WalRecord>& records,
+                                Catalog* catalog);
+
+}  // namespace preserial::storage
+
+#endif  // PRESERIAL_STORAGE_RECOVERY_H_

@@ -1,0 +1,41 @@
+#include "storage/row.h"
+
+#include "common/strings.h"
+
+namespace preserial::storage {
+
+void Row::EncodeTo(std::string* out) const {
+  // Arity as a varint-free fixed u32: rows are small and the WAL cares more
+  // about simplicity than byte shaving.
+  const uint32_t n = static_cast<uint32_t>(values_.size());
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(n >> (8 * i)));
+  for (const Value& v : values_) v.EncodeTo(out);
+}
+
+Result<Row> Row::DecodeFrom(std::string_view buf, size_t* offset) {
+  if (buf.size() - *offset < 4) {
+    return Status::Corruption("row decode: truncated arity");
+  }
+  uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<uint32_t>(static_cast<unsigned char>(buf[*offset + i]))
+         << (8 * i);
+  }
+  *offset += 4;
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PRESERIAL_ASSIGN_OR_RETURN(Value v, Value::DecodeFrom(buf, offset));
+    values.push_back(std::move(v));
+  }
+  return Row(std::move(values));
+}
+
+std::string Row::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const Value& v : values_) parts.push_back(v.ToString());
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace preserial::storage

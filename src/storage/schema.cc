@@ -1,0 +1,96 @@
+#include "storage/schema.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace preserial::storage {
+
+Schema::Schema(std::vector<ColumnDef> columns, size_t primary_key)
+    : columns_(std::move(columns)), primary_key_(primary_key) {
+  assert(primary_key_ < columns_.size());
+}
+
+Result<Schema> Schema::Create(std::vector<ColumnDef> columns,
+                              size_t primary_key) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema needs at least one column");
+  }
+  if (primary_key >= columns.size()) {
+    return Status::InvalidArgument(
+        StrFormat("primary key index %zu out of range", primary_key));
+  }
+  if (columns[primary_key].nullable) {
+    return Status::InvalidArgument("primary key column cannot be nullable");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name.empty()) {
+      return Status::InvalidArgument(StrFormat("column %zu has no name", i));
+    }
+    if (columns[i].type == ValueType::kNull) {
+      return Status::InvalidArgument(
+          StrFormat("column '%s' cannot be declared NULL-typed",
+                    columns[i].name.c_str()));
+    }
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (columns[i].name == columns[j].name) {
+        return Status::InvalidArgument(
+            StrFormat("duplicate column name '%s'", columns[i].name.c_str()));
+      }
+    }
+  }
+  return Schema(std::move(columns), primary_key);
+}
+
+Result<size_t> Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound(StrFormat("no column named '%.*s'",
+                                    static_cast<int>(name.size()),
+                                    name.data()));
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu != schema arity %zu", row.size(),
+                  columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& col = columns_[i];
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument(
+            StrFormat("NULL in non-nullable column '%s'", col.name.c_str()));
+      }
+      continue;
+    }
+    const bool ok =
+        v.type() == col.type ||
+        (col.type == ValueType::kDouble && v.type() == ValueType::kInt64);
+    if (!ok) {
+      return Status::InvalidArgument(StrFormat(
+          "column '%s' expects %s, got %s", col.name.c_str(),
+          ValueTypeName(col.type), ValueTypeName(v.type())));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::string c = columns_[i].name;
+    c += " ";
+    c += ValueTypeName(columns_[i].type);
+    if (columns_[i].nullable) c += " NULL";
+    if (i == primary_key_) c += " PRIMARY KEY";
+    parts.push_back(std::move(c));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace preserial::storage

@@ -1,0 +1,54 @@
+#ifndef PRESERIAL_STORAGE_SCHEMA_H_
+#define PRESERIAL_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace preserial::storage {
+
+// A column: name, declared type, nullability.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool nullable = false;
+};
+
+// Relational schema for a table. Column 0..n-1 positions are stable; the
+// primary key is a single column (sufficient for the paper's workloads and
+// keeps index keys scalar).
+class Schema {
+ public:
+  Schema() = default;
+  // `primary_key` indexes into `columns`.
+  Schema(std::vector<ColumnDef> columns, size_t primary_key);
+
+  static Result<Schema> Create(std::vector<ColumnDef> columns,
+                               size_t primary_key);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t primary_key() const { return primary_key_; }
+
+  // Index of the named column, or kNotFound.
+  Result<size_t> ColumnIndex(std::string_view name) const;
+
+  // Checks a row against the schema: arity, per-column type (Null allowed
+  // only for nullable columns; Int64 accepted where Double declared).
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+  // "name TYPE [NULL] , ..." debug rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  size_t primary_key_ = 0;
+};
+
+}  // namespace preserial::storage
+
+#endif  // PRESERIAL_STORAGE_SCHEMA_H_

@@ -1,0 +1,329 @@
+#include "storage/table.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace preserial::storage {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Status Table::AddConstraint(CheckConstraint constraint) {
+  if (constraint.column() >= schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("constraint '%s' references column %zu beyond schema",
+                  constraint.name().c_str(), constraint.column()));
+  }
+  Status violation = Status::Ok();
+  Scan([&](const Value&, const Row& row) {
+    Status s = constraint.Check(row);
+    if (!s.ok()) {
+      violation = s;
+      return false;
+    }
+    return true;
+  });
+  PRESERIAL_RETURN_IF_ERROR(violation);
+  constraints_.push_back(std::move(constraint));
+  return Status::Ok();
+}
+
+std::vector<const CheckConstraint*> Table::ConstraintsOn(size_t column) const {
+  std::vector<const CheckConstraint*> out;
+  for (const CheckConstraint& c : constraints_) {
+    if (c.column() == column) out.push_back(&c);
+  }
+  return out;
+}
+
+Status Table::ValidateAgainstConstraints(const Row& row) const {
+  for (const CheckConstraint& c : constraints_) {
+    PRESERIAL_RETURN_IF_ERROR(c.Check(row));
+  }
+  return Status::Ok();
+}
+
+RowId Table::AllocateSlot(Row row) {
+  if (!free_list_.empty()) {
+    const RowId rid = free_list_.back();
+    free_list_.pop_back();
+    slots_[rid].live = true;
+    slots_[rid].row = std::move(row);
+    return rid;
+  }
+  slots_.push_back(Slot{true, std::move(row)});
+  return slots_.size() - 1;
+}
+
+void Table::FreeSlot(RowId rid) {
+  slots_[rid].live = false;
+  slots_[rid].row = Row();
+  free_list_.push_back(rid);
+}
+
+Result<RowId> Table::Insert(Row row) {
+  PRESERIAL_RETURN_IF_ERROR(schema_.ValidateRow(row.values()));
+  PRESERIAL_RETURN_IF_ERROR(ValidateAgainstConstraints(row));
+  const Value key = row.at(schema_.primary_key());
+  if (pk_index_.Contains(key)) {
+    return Status::AlreadyExists(StrFormat(
+        "table '%s': duplicate primary key %s", name_.c_str(),
+        key.ToString().c_str()));
+  }
+  const RowId rid = AllocateSlot(std::move(row));
+  Status s = pk_index_.Insert(key, rid);
+  if (!s.ok()) {
+    FreeSlot(rid);
+    return s;
+  }
+  IndexInsert(rid, slots_[rid].row);
+  return rid;
+}
+
+Status Table::UpdateByKey(const Value& key, Row row) {
+  PRESERIAL_RETURN_IF_ERROR(schema_.ValidateRow(row.values()));
+  PRESERIAL_RETURN_IF_ERROR(ValidateAgainstConstraints(row));
+  PRESERIAL_ASSIGN_OR_RETURN(RowId rid, pk_index_.Lookup(key));
+  const Value& new_key = row.at(schema_.primary_key());
+  if (new_key != key) {
+    // Primary key changes move the index entry.
+    if (pk_index_.Contains(new_key)) {
+      return Status::AlreadyExists(StrFormat(
+          "table '%s': update collides on primary key %s", name_.c_str(),
+          new_key.ToString().c_str()));
+    }
+    PRESERIAL_RETURN_IF_ERROR(pk_index_.Remove(key));
+    PRESERIAL_RETURN_IF_ERROR(pk_index_.Insert(new_key, rid));
+  }
+  IndexRemove(rid, slots_[rid].row);
+  slots_[rid].row = std::move(row);
+  IndexInsert(rid, slots_[rid].row);
+  return Status::Ok();
+}
+
+Status Table::UpdateColumnByKey(const Value& key, size_t column, Value v) {
+  if (column >= schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("table '%s': column %zu out of range", name_.c_str(),
+                  column));
+  }
+  PRESERIAL_ASSIGN_OR_RETURN(Row row, GetByKey(key));
+  row.Set(column, std::move(v));
+  return UpdateByKey(key, std::move(row));
+}
+
+Status Table::DeleteByKey(const Value& key) {
+  PRESERIAL_ASSIGN_OR_RETURN(RowId rid, pk_index_.Lookup(key));
+  PRESERIAL_RETURN_IF_ERROR(pk_index_.Remove(key));
+  IndexRemove(rid, slots_[rid].row);
+  FreeSlot(rid);
+  return Status::Ok();
+}
+
+Result<Row> Table::GetByKey(const Value& key) const {
+  PRESERIAL_ASSIGN_OR_RETURN(RowId rid, pk_index_.Lookup(key));
+  return slots_[rid].row;
+}
+
+Result<Value> Table::GetColumnByKey(const Value& key, size_t column) const {
+  if (column >= schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("table '%s': column %zu out of range", name_.c_str(),
+                  column));
+  }
+  PRESERIAL_ASSIGN_OR_RETURN(Row row, GetByKey(key));
+  return row.at(column);
+}
+
+Result<Row> Table::GetByRowId(RowId rid) const {
+  if (rid >= slots_.size() || !slots_[rid].live) {
+    return Status::NotFound(
+        StrFormat("table '%s': no live row %llu", name_.c_str(),
+                  static_cast<unsigned long long>(rid)));
+  }
+  return slots_[rid].row;
+}
+
+Result<RowId> Table::RowIdForKey(const Value& key) const {
+  return pk_index_.Lookup(key);
+}
+
+void Table::Scan(
+    const std::function<bool(const Value&, const Row&)>& visit) const {
+  ScanRange(std::nullopt, std::nullopt, visit);
+}
+
+void Table::ScanRange(
+    const std::optional<Value>& lo, const std::optional<Value>& hi,
+    const std::function<bool(const Value&, const Row&)>& visit) const {
+  pk_index_.Scan(lo, hi, [&](const Value& key, RowId rid) {
+    return visit(key, slots_[rid].row);
+  });
+}
+
+void Table::IndexInsert(RowId rid, const Row& row) {
+  for (auto& [column, index] : secondary_) {
+    index.entries.emplace(row.at(column), rid);
+  }
+}
+
+void Table::IndexRemove(RowId rid, const Row& row) {
+  for (auto& [column, index] : secondary_) {
+    auto [lo, hi] = index.entries.equal_range(row.at(column));
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == rid) {
+        index.entries.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+Status Table::CreateIndex(const std::string& name, size_t column) {
+  if (column >= schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("table '%s': index column %zu out of range", name_.c_str(),
+                  column));
+  }
+  if (secondary_.count(column) > 0) {
+    return Status::AlreadyExists(StrFormat(
+        "table '%s': column %zu already indexed", name_.c_str(), column));
+  }
+  for (const auto& [_, index] : secondary_) {
+    if (index.name == name) {
+      return Status::AlreadyExists(
+          StrFormat("table '%s': index '%s' already exists", name_.c_str(),
+                    name.c_str()));
+    }
+  }
+  SecondaryIndex index;
+  index.name = name;
+  index.column = column;
+  // Backfill from live rows.
+  pk_index_.ScanAll([&](const Value&, RowId rid) {
+    index.entries.emplace(slots_[rid].row.at(column), rid);
+    return true;
+  });
+  secondary_.emplace(column, std::move(index));
+  return Status::Ok();
+}
+
+Status Table::DropIndex(const std::string& name) {
+  for (auto it = secondary_.begin(); it != secondary_.end(); ++it) {
+    if (it->second.name == name) {
+      secondary_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound(StrFormat("table '%s': no index named '%s'",
+                                    name_.c_str(), name.c_str()));
+}
+
+bool Table::HasIndexOn(size_t column) const {
+  return secondary_.count(column) > 0;
+}
+
+std::vector<std::string> Table::IndexNames() const {
+  std::vector<std::string> names;
+  names.reserve(secondary_.size());
+  for (const auto& [_, index] : secondary_) names.push_back(index.name);
+  return names;
+}
+
+std::vector<std::pair<std::string, size_t>> Table::IndexDefs() const {
+  std::vector<std::pair<std::string, size_t>> defs;
+  defs.reserve(secondary_.size());
+  for (const auto& [column, index] : secondary_) {
+    defs.emplace_back(index.name, column);
+  }
+  return defs;
+}
+
+void Table::ScanEqual(
+    size_t column, const Value& v,
+    const std::function<bool(const Value&, const Row&)>& visit) const {
+  auto it = secondary_.find(column);
+  if (it != secondary_.end()) {
+    auto [lo, hi] = it->second.entries.equal_range(v);
+    for (auto e = lo; e != hi; ++e) {
+      const Row& row = slots_[e->second].row;
+      if (!visit(row.at(schema_.primary_key()), row)) return;
+    }
+    return;
+  }
+  // No index: full scan with a filter.
+  Scan([&](const Value& key, const Row& row) {
+    if (Value::CompareTotal(row.at(column), v) != 0) return true;
+    return visit(key, row);
+  });
+}
+
+Status Table::ScanIndexRange(
+    size_t column, const std::optional<Value>& lo,
+    const std::optional<Value>& hi,
+    const std::function<bool(const Value&, const Row&)>& visit) const {
+  auto it = secondary_.find(column);
+  if (it == secondary_.end()) {
+    return Status::NotFound(StrFormat(
+        "table '%s': no index on column %zu", name_.c_str(), column));
+  }
+  const auto& entries = it->second.entries;
+  auto e = lo.has_value() ? entries.lower_bound(*lo) : entries.begin();
+  const auto end = hi.has_value() ? entries.upper_bound(*hi) : entries.end();
+  for (; e != end; ++e) {
+    const Row& row = slots_[e->second].row;
+    if (!visit(row.at(schema_.primary_key()), row)) break;
+  }
+  return Status::Ok();
+}
+
+Status Table::CheckInvariants() const {
+  PRESERIAL_RETURN_IF_ERROR(pk_index_.CheckInvariants());
+  size_t live = 0;
+  for (const Slot& s : slots_) {
+    if (s.live) ++live;
+  }
+  if (live != pk_index_.size()) {
+    return Status::Internal(StrFormat(
+        "table '%s': %zu live slots but %zu index entries", name_.c_str(),
+        live, pk_index_.size()));
+  }
+  Status bad = Status::Ok();
+  pk_index_.ScanAll([&](const Value& key, RowId rid) {
+    if (rid >= slots_.size() || !slots_[rid].live) {
+      bad = Status::Internal("table: index points at dead slot");
+      return false;
+    }
+    if (slots_[rid].row.at(schema_.primary_key()) != key) {
+      bad = Status::Internal("table: index key disagrees with row");
+      return false;
+    }
+    return true;
+  });
+  PRESERIAL_RETURN_IF_ERROR(bad);
+  // Every secondary index must mirror the live rows exactly.
+  for (const auto& [column, index] : secondary_) {
+    if (index.entries.size() != pk_index_.size()) {
+      return Status::Internal(StrFormat(
+          "table '%s': index '%s' has %zu entries for %zu rows",
+          name_.c_str(), index.name.c_str(), index.entries.size(),
+          pk_index_.size()));
+    }
+    for (const auto& [value, rid] : index.entries) {
+      if (rid >= slots_.size() || !slots_[rid].live) {
+        return Status::Internal(StrFormat(
+            "table '%s': index '%s' points at a dead slot", name_.c_str(),
+            index.name.c_str()));
+      }
+      if (Value::CompareTotal(slots_[rid].row.at(column), value) != 0) {
+        return Status::Internal(StrFormat(
+            "table '%s': index '%s' entry disagrees with row value",
+            name_.c_str(), index.name.c_str()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace preserial::storage

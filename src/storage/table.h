@@ -1,0 +1,144 @@
+#ifndef PRESERIAL_STORAGE_TABLE_H_
+#define PRESERIAL_STORAGE_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/btree.h"
+#include "storage/constraint.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace preserial::storage {
+
+// Heap-of-rows table with a B+-tree primary-key index and CHECK
+// constraints. Row slots are recycled through a free list; RowIds address
+// slots and stay stable for the lifetime of a row version.
+//
+// Not thread-safe: serialization of access is the job of the layers above
+// (strict 2PL baseline or the GTM's SSTs).
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  // --- constraints ---------------------------------------------------------
+
+  // Registers a CHECK constraint. Existing rows are validated; fails with
+  // kConstraintViolation if any live row already violates it.
+  Status AddConstraint(CheckConstraint constraint);
+  const std::vector<CheckConstraint>& constraints() const {
+    return constraints_;
+  }
+  // All constraints that reference `column`.
+  std::vector<const CheckConstraint*> ConstraintsOn(size_t column) const;
+
+  // --- secondary indexes -----------------------------------------------------
+
+  // Builds a non-unique secondary index over `column` (backfilled from
+  // existing rows, maintained by every mutation). One index per column.
+  Status CreateIndex(const std::string& name, size_t column);
+  Status DropIndex(const std::string& name);
+  bool HasIndexOn(size_t column) const;
+  std::vector<std::string> IndexNames() const;
+  // (name, column) pairs, for DDL replication (checkpointing).
+  std::vector<std::pair<std::string, size_t>> IndexDefs() const;
+
+  // Visits rows whose `column` value equals `v`, in primary-key order
+  // within equal secondary keys. Uses the index if one exists, else falls
+  // back to a full scan.
+  void ScanEqual(size_t column, const Value& v,
+                 const std::function<bool(const Value& key, const Row&)>&
+                     visit) const;
+
+  // Visits rows with lo <= row[column] <= hi (unset = unbounded) in
+  // secondary-key order; requires an index on `column`.
+  Status ScanIndexRange(
+      size_t column, const std::optional<Value>& lo,
+      const std::optional<Value>& hi,
+      const std::function<bool(const Value& key, const Row&)>& visit) const;
+
+  // --- mutations -----------------------------------------------------------
+
+  // Inserts a row (validated against schema, constraints, PK uniqueness).
+  // Returns the new RowId.
+  Result<RowId> Insert(Row row);
+
+  // Replaces the whole row identified by primary key `key`. The primary key
+  // value itself may change; uniqueness is preserved.
+  Status UpdateByKey(const Value& key, Row row);
+
+  // Updates one column of the row identified by `key`.
+  Status UpdateColumnByKey(const Value& key, size_t column, Value v);
+
+  // Deletes by primary key.
+  Status DeleteByKey(const Value& key);
+
+  // --- reads ---------------------------------------------------------------
+
+  // Copy of the row with primary key `key`.
+  Result<Row> GetByKey(const Value& key) const;
+
+  // Copy of one cell.
+  Result<Value> GetColumnByKey(const Value& key, size_t column) const;
+
+  // Row lookup by slot id (used by the undo machinery).
+  Result<Row> GetByRowId(RowId rid) const;
+  Result<RowId> RowIdForKey(const Value& key) const;
+
+  // Key-ordered scan over live rows; visitor returns false to stop.
+  void Scan(const std::function<bool(const Value& key, const Row&)>& visit)
+      const;
+  // Key-range scan [lo, hi] (unset = unbounded).
+  void ScanRange(
+      const std::optional<Value>& lo, const std::optional<Value>& hi,
+      const std::function<bool(const Value& key, const Row&)>& visit) const;
+
+  size_t row_count() const { return pk_index_.size(); }
+
+  // Structural self-check for tests: index entries point at live slots that
+  // agree on the key; live slot count matches the index.
+  Status CheckInvariants() const;
+
+ private:
+  struct Slot {
+    bool live = false;
+    Row row;
+  };
+  struct SecondaryIndex {
+    std::string name;
+    size_t column = 0;
+    // Secondary value -> set of row slots (non-unique).
+    std::multimap<Value, RowId, ValueTotalLess> entries;
+  };
+
+  Status ValidateAgainstConstraints(const Row& row) const;
+  RowId AllocateSlot(Row row);
+  void FreeSlot(RowId rid);
+  void IndexInsert(RowId rid, const Row& row);
+  void IndexRemove(RowId rid, const Row& row);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Slot> slots_;
+  std::vector<RowId> free_list_;
+  BTree pk_index_;
+  std::vector<CheckConstraint> constraints_;
+  // column -> index (at most one per column).
+  std::map<size_t, SecondaryIndex> secondary_;
+};
+
+}  // namespace preserial::storage
+
+#endif  // PRESERIAL_STORAGE_TABLE_H_

@@ -1,0 +1,327 @@
+#include "storage/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace preserial::storage {
+
+namespace {
+
+// Little-endian fixed-width encoders for the WAL payloads.
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+bool GetU64(std::string_view buf, size_t* offset, uint64_t* v) {
+  if (buf.size() - *offset < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<unsigned char>(buf[*offset + i]))
+         << (8 * i);
+  }
+  *offset += 8;
+  *v = r;
+  return true;
+}
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+// Total order over doubles for index keys: NaNs sort after every number and
+// compare equal to each other, so strict-weak-ordering holds even for
+// pathological inputs.
+int CompareDoublesTotal(double a, double b) {
+  const bool na = std::isnan(a);
+  const bool nb = std::isnan(b);
+  if (na || nb) {
+    if (na && nb) return 0;
+    return na ? 1 : -1;
+  }
+  return CompareDoubles(a, b);
+}
+
+}  // namespace
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(rep_.index());
+}
+
+bool Value::as_bool() const {
+  assert(type() == ValueType::kBool);
+  return std::get<bool>(rep_);
+}
+
+int64_t Value::as_int() const {
+  assert(type() == ValueType::kInt64);
+  return std::get<int64_t>(rep_);
+}
+
+double Value::as_double() const {
+  assert(type() == ValueType::kDouble);
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::as_string() const {
+  assert(type() == ValueType::kString);
+  return std::get<std::string>(rep_);
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(as_int());
+    case ValueType::kDouble:
+      return as_double();
+    default:
+      return Status::InvalidArgument(
+          StrFormat("cannot coerce %s to double", ValueTypeName(type())));
+  }
+}
+
+namespace {
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+Result<Value> Arith(ArithOp op, const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::InvalidArgument(
+        StrFormat("arithmetic requires numeric operands, got %s and %s",
+                  ValueTypeName(a.type()), ValueTypeName(b.type())));
+  }
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+    const int64_t x = a.as_int();
+    const int64_t y = b.as_int();
+    int64_t r = 0;
+    bool overflow = false;
+    switch (op) {
+      case ArithOp::kAdd:
+        overflow = __builtin_add_overflow(x, y, &r);
+        break;
+      case ArithOp::kSub:
+        overflow = __builtin_sub_overflow(x, y, &r);
+        break;
+      case ArithOp::kMul:
+        overflow = __builtin_mul_overflow(x, y, &r);
+        break;
+      case ArithOp::kDiv:
+        if (y == 0) return Status::InvalidArgument("integer division by zero");
+        if (x == std::numeric_limits<int64_t>::min() && y == -1) {
+          overflow = true;
+        } else {
+          r = x / y;
+        }
+        break;
+    }
+    if (overflow) return Status::InvalidArgument("int64 overflow");
+    return Value::Int(r);
+  }
+  const double x = a.ToDouble().value();
+  const double y = b.ToDouble().value();
+  switch (op) {
+    case ArithOp::kAdd:
+      return Value::Double(x + y);
+    case ArithOp::kSub:
+      return Value::Double(x - y);
+    case ArithOp::kMul:
+      return Value::Double(x * y);
+    case ArithOp::kDiv:
+      if (y == 0.0) return Status::InvalidArgument("division by zero");
+      return Value::Double(x / y);
+  }
+  return Status::Internal("unreachable arithmetic op");
+}
+
+}  // namespace
+
+Result<Value> Value::Add(const Value& a, const Value& b) {
+  return Arith(ArithOp::kAdd, a, b);
+}
+Result<Value> Value::Sub(const Value& a, const Value& b) {
+  return Arith(ArithOp::kSub, a, b);
+}
+Result<Value> Value::Mul(const Value& a, const Value& b) {
+  return Arith(ArithOp::kMul, a, b);
+}
+Result<Value> Value::Div(const Value& a, const Value& b) {
+  return Arith(ArithOp::kDiv, a, b);
+}
+
+Result<int> Value::Compare(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    return CompareDoubles(a.ToDouble().value(), b.ToDouble().value());
+  }
+  if (a.type() != b.type()) {
+    return Status::InvalidArgument(
+        StrFormat("incomparable types %s and %s", ValueTypeName(a.type()),
+                  ValueTypeName(b.type())));
+  }
+  switch (a.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return static_cast<int>(a.as_bool()) - static_cast<int>(b.as_bool());
+    case ValueType::kString:
+      return a.as_string().compare(b.as_string()) < 0
+                 ? -1
+                 : (a.as_string() == b.as_string() ? 0 : 1);
+    default:
+      return Status::Internal("unreachable compare");
+  }
+}
+
+int Value::CompareTotal(const Value& a, const Value& b) {
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kBool:
+        return 1;
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        return 2;  // Numerics share a rank and compare by magnitude.
+      case ValueType::kString:
+        return 3;
+    }
+    return 4;
+  };
+  const int ra = rank(a.type());
+  const int rb = rank(b.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (ra == 2) {
+    const int c =
+        CompareDoublesTotal(a.ToDouble().value(), b.ToDouble().value());
+    if (c != 0) return c;
+    // Exact numeric tie across types: order int64 before double to keep the
+    // relation antisymmetric for distinct representations.
+    if (a.type() == b.type()) return 0;
+    return a.type() == ValueType::kInt64 ? -1 : 1;
+  }
+  return Compare(a, b).value();
+}
+
+size_t Value::Hash() const {
+  // FNV-1a over the encoded form keeps hashing consistent with equality.
+  std::string enc;
+  EncodeTo(&enc);
+  size_t h = 1469598103934665603ULL;
+  for (unsigned char c : enc) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void Value::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      out->push_back(as_bool() ? 1 : 0);
+      break;
+    case ValueType::kInt64:
+      PutU64(out, static_cast<uint64_t>(as_int()));
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(double));
+      std::memcpy(&bits, &std::get<double>(rep_), sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& s = as_string();
+      PutU64(out, s.size());
+      out->append(s);
+      break;
+    }
+  }
+}
+
+Result<Value> Value::DecodeFrom(std::string_view buf, size_t* offset) {
+  if (*offset >= buf.size()) {
+    return Status::Corruption("value decode: empty buffer");
+  }
+  const auto tag = static_cast<ValueType>(buf[(*offset)++]);
+  switch (tag) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool:
+      if (*offset >= buf.size()) {
+        return Status::Corruption("value decode: truncated bool");
+      }
+      return Value::Bool(buf[(*offset)++] != 0);
+    case ValueType::kInt64: {
+      uint64_t v = 0;
+      if (!GetU64(buf, offset, &v)) {
+        return Status::Corruption("value decode: truncated int64");
+      }
+      return Value::Int(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      uint64_t bits = 0;
+      if (!GetU64(buf, offset, &bits)) {
+        return Status::Corruption("value decode: truncated double");
+      }
+      double d = 0;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Double(d);
+    }
+    case ValueType::kString: {
+      uint64_t n = 0;
+      if (!GetU64(buf, offset, &n)) {
+        return Status::Corruption("value decode: truncated string length");
+      }
+      if (buf.size() - *offset < n) {
+        return Status::Corruption("value decode: truncated string payload");
+      }
+      std::string s(buf.substr(*offset, n));
+      *offset += n;
+      return Value::String(std::move(s));
+    }
+    default:
+      return Status::Corruption(
+          StrFormat("value decode: bad type tag %d", static_cast<int>(tag)));
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return as_bool() ? "true" : "false";
+    case ValueType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(as_int()));
+    case ValueType::kDouble:
+      return StrFormat("%g", as_double());
+    case ValueType::kString:
+      return "'" + as_string() + "'";
+  }
+  return "?";
+}
+
+}  // namespace preserial::storage

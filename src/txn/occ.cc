@@ -1,0 +1,162 @@
+#include "txn/occ.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "storage/table.h"
+
+namespace preserial::txn {
+
+using storage::Row;
+using storage::Table;
+using storage::Value;
+
+OccEngine::OccEngine(storage::Database* db, Validation validation)
+    : db_(db), validation_(validation) {}
+
+TxnId OccEngine::Begin() {
+  const TxnId id = db_->NextTxnId();
+  txns_.emplace(id, TxnState{});
+  ++counters_.begun;
+  return id;
+}
+
+OccEngine::TxnState* OccEngine::GetLive(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || !it->second.live) return nullptr;
+  return &it->second;
+}
+
+Result<Value> OccEngine::Read(TxnId txn, const std::string& table,
+                              const Value& key, size_t column) {
+  TxnState* t = GetLive(txn);
+  if (t == nullptr) {
+    return Status::FailedPrecondition("Read on non-live OCC transaction");
+  }
+  PRESERIAL_ASSIGN_OR_RETURN(Table * tab, db_->GetTable(table));
+  PRESERIAL_ASSIGN_OR_RETURN(Value v, tab->GetColumnByKey(key, column));
+  t->reads.push_back(ReadEntry{table, key, column, v});
+  return v;
+}
+
+Status OccEngine::BufferAssign(TxnId txn, const std::string& table,
+                               const Value& key, size_t column, Value v) {
+  TxnState* t = GetLive(txn);
+  if (t == nullptr) {
+    return Status::FailedPrecondition("write on non-live OCC transaction");
+  }
+  t->writes.push_back(PendingOp{table, key, column, PendingOp::Kind::kAssign,
+                                std::move(v)});
+  return Status::Ok();
+}
+
+Status OccEngine::BufferAdd(TxnId txn, const std::string& table,
+                            const Value& key, size_t column, Value delta) {
+  TxnState* t = GetLive(txn);
+  if (t == nullptr) {
+    return Status::FailedPrecondition("write on non-live OCC transaction");
+  }
+  t->writes.push_back(
+      PendingOp{table, key, column, PendingOp::Kind::kAdd, std::move(delta)});
+  return Status::Ok();
+}
+
+Status OccEngine::Commit(TxnId txn) {
+  TxnState* t = GetLive(txn);
+  if (t == nullptr) {
+    return Status::FailedPrecondition("Commit on non-live OCC transaction");
+  }
+  t->live = false;
+
+  // Validation phase.
+  if (validation_ == Validation::kValidateReads) {
+    for (const ReadEntry& r : t->reads) {
+      PRESERIAL_ASSIGN_OR_RETURN(Table * tab, db_->GetTable(r.table));
+      Result<Value> now = tab->GetColumnByKey(r.key, r.column);
+      if (!now.ok() || now.value() != r.seen) {
+        ++counters_.validation_aborts;
+        return Status::Aborted(StrFormat(
+            "OCC validation failed: %s.%zu changed since read",
+            r.table.c_str(), r.column));
+      }
+    }
+  }
+
+  // Execute the frozen operations atomically: dry-run against scratch
+  // copies first so a constraint violation aborts without partial effects.
+  struct Applied {
+    Table* table = nullptr;
+    std::string table_name;
+    Value key;
+    Row after;
+  };
+  std::vector<Applied> to_apply;
+  for (const PendingOp& op : t->writes) {
+    PRESERIAL_ASSIGN_OR_RETURN(Table * tab, db_->GetTable(op.table));
+    // Re-read the current image, folding in earlier ops of this txn.
+    Row current(std::vector<Value>{});
+    bool found = false;
+    for (Applied& a : to_apply) {
+      if (a.table == tab && a.key == op.key) {
+        current = a.after;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      PRESERIAL_ASSIGN_OR_RETURN(current, tab->GetByKey(op.key));
+    }
+    Value next;
+    if (op.kind == PendingOp::Kind::kAssign) {
+      next = op.operand;
+    } else {
+      Result<Value> sum = Value::Add(current.at(op.column), op.operand);
+      if (!sum.ok()) {
+        ++counters_.constraint_aborts;
+        return Status::Aborted("OCC apply failed: " + sum.status().message());
+      }
+      next = std::move(sum).value();
+    }
+    current.Set(op.column, std::move(next));
+    for (const storage::CheckConstraint& c : tab->constraints()) {
+      Status s = c.Check(current);
+      if (!s.ok()) {
+        ++counters_.constraint_aborts;
+        return Status::Aborted("OCC constraint abort: " + s.message());
+      }
+    }
+    if (found) {
+      for (Applied& a : to_apply) {
+        if (a.table == tab && a.key == op.key) {
+          a.after = current;
+          break;
+        }
+      }
+    } else {
+      to_apply.push_back(Applied{tab, op.table, op.key, current});
+    }
+  }
+
+  // Apply phase: all checks passed; install and log.
+  PRESERIAL_RETURN_IF_ERROR(db_->wal()->LogBegin(txn));
+  for (Applied& a : to_apply) {
+    PRESERIAL_RETURN_IF_ERROR(a.table->UpdateByKey(a.key, a.after));
+    PRESERIAL_RETURN_IF_ERROR(
+        db_->wal()->LogUpdate(txn, a.table_name, a.key, std::move(a.after)));
+  }
+  PRESERIAL_RETURN_IF_ERROR(db_->wal()->LogCommit(txn));
+  ++counters_.committed;
+  return Status::Ok();
+}
+
+Status OccEngine::Abort(TxnId txn) {
+  TxnState* t = GetLive(txn);
+  if (t == nullptr) {
+    return Status::FailedPrecondition("Abort on non-live OCC transaction");
+  }
+  t->live = false;
+  ++counters_.user_aborts;
+  return Status::Ok();
+}
+
+}  // namespace preserial::txn

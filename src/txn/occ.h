@@ -1,0 +1,106 @@
+#ifndef PRESERIAL_TXN_OCC_H_
+#define PRESERIAL_TXN_OCC_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace preserial::txn {
+
+// The paper's second Sec. II baseline: the "freeze" strategy. No locks are
+// held while the user works; every write is buffered as an *operation*
+// (assignment or delta) and the whole transaction executes at commit,
+// guarded by the table CHECK constraints.
+//
+// Two validation flavours:
+//   - kConstraintsOnly  (paper's description): apply buffered operations at
+//     commit if constraints hold; reads are never validated, so the values
+//     the user saw may have changed underneath ("the whole journey has to
+//     be replanned").
+//   - kValidateReads    classic backward OCC: additionally abort when any
+//     value read differs from its current committed value.
+//
+// Single-threaded like the rest of the stack; commits are atomic because
+// they run to completion within one event.
+class OccEngine {
+ public:
+  enum class Validation {
+    kConstraintsOnly,
+    kValidateReads,
+  };
+
+  // A buffered write operation.
+  struct PendingOp {
+    enum class Kind { kAssign, kAdd };
+    std::string table;
+    storage::Value key;
+    size_t column = 0;
+    Kind kind = Kind::kAssign;
+    storage::Value operand;
+  };
+
+  explicit OccEngine(storage::Database* db,
+                     Validation validation = Validation::kConstraintsOnly);
+
+  OccEngine(const OccEngine&) = delete;
+  OccEngine& operator=(const OccEngine&) = delete;
+
+  TxnId Begin();
+
+  // Reads the current committed value (recorded in the read set).
+  Result<storage::Value> Read(TxnId txn, const std::string& table,
+                              const storage::Value& key, size_t column);
+
+  // Buffers `cell = v`.
+  Status BufferAssign(TxnId txn, const std::string& table,
+                      const storage::Value& key, size_t column,
+                      storage::Value v);
+
+  // Buffers `cell = cell + delta` (evaluated at commit time).
+  Status BufferAdd(TxnId txn, const std::string& table,
+                   const storage::Value& key, size_t column,
+                   storage::Value delta);
+
+  // Validates and applies; kAborted with a reason on validation failure or
+  // constraint violation (the transaction is rolled back in either case).
+  Status Commit(TxnId txn);
+
+  Status Abort(TxnId txn);
+
+  struct Counters {
+    int64_t begun = 0;
+    int64_t committed = 0;
+    int64_t validation_aborts = 0;
+    int64_t constraint_aborts = 0;
+    int64_t user_aborts = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct ReadEntry {
+    std::string table;
+    storage::Value key;
+    size_t column = 0;
+    storage::Value seen;
+  };
+  struct TxnState {
+    std::vector<ReadEntry> reads;
+    std::vector<PendingOp> writes;
+    bool live = true;
+  };
+
+  TxnState* GetLive(TxnId txn);
+
+  storage::Database* db_;
+  Validation validation_;
+  std::unordered_map<TxnId, TxnState> txns_;
+  Counters counters_;
+};
+
+}  // namespace preserial::txn
+
+#endif  // PRESERIAL_TXN_OCC_H_

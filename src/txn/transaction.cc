@@ -1,0 +1,19 @@
+#include "txn/transaction.h"
+
+namespace preserial::txn {
+
+const char* TxnPhaseName(TxnPhase phase) {
+  switch (phase) {
+    case TxnPhase::kActive:
+      return "ACTIVE";
+    case TxnPhase::kWaiting:
+      return "WAITING";
+    case TxnPhase::kCommitted:
+      return "COMMITTED";
+    case TxnPhase::kAborted:
+      return "ABORTED";
+  }
+  return "?";
+}
+
+}  // namespace preserial::txn

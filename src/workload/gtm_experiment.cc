@@ -1,0 +1,255 @@
+#include "workload/gtm_experiment.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "gtm/gtm.h"
+#include "mobile/disconnect_model.h"
+#include "mobile/network.h"
+#include "storage/database.h"
+#include "txn/occ.h"
+
+namespace preserial::workload {
+
+namespace {
+
+using mobile::DisconnectPlan;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+constexpr char kTable[] = "resources";
+constexpr size_t kColId = 0;
+constexpr size_t kColQty = 1;
+constexpr size_t kColPrice = 2;
+
+// One planned transaction of the experiment, engine-agnostic.
+struct PlannedTxn {
+  size_t object = 0;
+  bool is_subtract = true;
+  DisconnectPlan disconnect;
+  TimePoint arrival = 0;
+  Duration invoke_delay = 0;
+  Duration commit_delay = 0;
+};
+
+std::unique_ptr<storage::Database> BuildDatabase(
+    const GtmExperimentSpec& spec) {
+  auto db = std::make_unique<storage::Database>();
+  Result<storage::RecoveryStats> opened = db->Open();
+  PRESERIAL_CHECK(opened.ok());
+  Result<Schema> schema = Schema::Create(
+      {
+          ColumnDef{"id", ValueType::kInt64, false},
+          ColumnDef{"qty", ValueType::kInt64, false},
+          ColumnDef{"price", ValueType::kDouble, false},
+      },
+      kColId);
+  PRESERIAL_CHECK(schema.ok());
+  Result<storage::Table*> table =
+      db->CreateTable(kTable, std::move(schema).value());
+  PRESERIAL_CHECK(table.ok());
+  for (size_t i = 0; i < spec.num_objects; ++i) {
+    Status s = db->InsertRow(
+        kTable, Row({Value::Int(static_cast<int64_t>(i)),
+                     Value::Int(spec.initial_quantity),
+                     Value::Double(spec.price_value)}));
+    PRESERIAL_CHECK(s.ok()) << s.ToString();
+  }
+  if (spec.add_quantity_constraint) {
+    Status s = db->AddConstraint(
+        kTable, storage::CheckConstraint("qty_nonneg", kColQty,
+                                         storage::CompareOp::kGe,
+                                         Value::Int(0)));
+    PRESERIAL_CHECK(s.ok()) << s.ToString();
+  }
+  return db;
+}
+
+std::vector<PlannedTxn> BuildPlans(const GtmExperimentSpec& spec, Rng* rng) {
+  const mobile::DisconnectModel disconnects =
+      mobile::DisconnectModel::WithExponentialDuration(spec.beta,
+                                                       spec.disconnect_mean);
+  const mobile::NetworkModel network =
+      spec.network_delay_mean > 0
+          ? mobile::NetworkModel(std::make_unique<sim::ExponentialDist>(
+                spec.network_delay_mean))
+          : mobile::NetworkModel();
+  std::vector<PlannedTxn> plans;
+  plans.reserve(spec.num_txns);
+  TimePoint arrival = 0;
+  for (size_t i = 0; i < spec.num_txns; ++i) {
+    PlannedTxn p;
+    p.object = rng->NextBounded(spec.num_objects);  // gamma_j = uniform.
+    p.is_subtract = rng->NextBool(spec.alpha);
+    if (p.is_subtract) {
+      // Only mobile (subtraction) clients disconnect, per the paper.
+      p.disconnect = disconnects.Sample(*rng, spec.work_time);
+    }
+    p.invoke_delay = network.SampleDelay(*rng);
+    p.commit_delay = network.SampleDelay(*rng);
+    p.arrival = arrival;
+    arrival += spec.interarrival;
+    plans.push_back(p);
+  }
+  return plans;
+}
+
+gtm::ObjectId ObjectIdFor(size_t i) {
+  return StrFormat("%s/%zu", kTable, i);
+}
+
+}  // namespace
+
+ExperimentResult RunGtmExperiment(const GtmExperimentSpec& spec,
+                                  const gtm::GtmOptions& options) {
+  Rng rng(spec.seed);
+  std::unique_ptr<storage::Database> db = BuildDatabase(spec);
+
+  sim::Simulator simulator;
+  gtm::Gtm gtm(db.get(), simulator.clock(), options);
+  GtmRunner runner(&gtm, &simulator);
+  GtmRunner* runner_ptr = &runner;
+
+  // Register the objects: qty and price are logically dependent members.
+  for (size_t i = 0; i < spec.num_objects; ++i) {
+    semantics::LogicalDependencies deps;
+    deps.AddDependency(0, 1);
+    Status s = gtm.RegisterObject(ObjectIdFor(i), kTable,
+                                  Value::Int(static_cast<int64_t>(i)),
+                                  {kColQty, kColPrice}, std::move(deps));
+    PRESERIAL_CHECK(s.ok()) << s.ToString();
+  }
+
+  for (const PlannedTxn& p : BuildPlans(spec, &rng)) {
+    mobile::TxnPlan plan;
+    plan.object = ObjectIdFor(p.object);
+    if (p.is_subtract) {
+      plan.member = 0;  // qty
+      plan.op = semantics::Operation::Sub(Value::Int(1));
+    } else {
+      plan.member = 1;  // price
+      plan.op = semantics::Operation::Assign(Value::Double(spec.price_value));
+    }
+    plan.work_time = spec.work_time;
+    plan.disconnect = p.disconnect;
+    plan.invoke_delay = p.invoke_delay;
+    plan.commit_delay = p.commit_delay;
+    plan.tag = p.is_subtract ? kTagSubtract : kTagAssign;
+    runner_ptr->AddSession(std::move(plan), p.arrival);
+  }
+
+  ExperimentResult result;
+  result.run = runner_ptr->Run();
+  const gtm::GtmCounters& c = gtm.metrics().counters();
+  result.waits = c.waits;
+  result.shared_grants = c.shared_grants;
+  result.awake_aborts = c.awake_aborts;
+  result.deadlocks = c.deadlock_refusals;
+  result.starvation_denials = c.starvation_denials;
+  result.admission_denials = c.admission_denials;
+  return result;
+}
+
+ExperimentResult RunTwoPlExperiment(const GtmExperimentSpec& spec,
+                                    const TwoPlPolicy& policy) {
+  Rng rng(spec.seed);
+  std::unique_ptr<storage::Database> db = BuildDatabase(spec);
+
+  txn::TwoPhaseLockingOptions options;
+  options.use_update_locks = policy.use_update_locks;
+  sim::Simulator simulator;
+  txn::TwoPhaseLockingEngine engine(db.get(), simulator.clock(), options);
+  TwoPlRunner runner(&engine, &simulator);
+
+  for (const PlannedTxn& p : BuildPlans(spec, &rng)) {
+    mobile::TwoPlPlan plan;
+    plan.table = kTable;
+    plan.key = Value::Int(static_cast<int64_t>(p.object));
+    plan.column = p.is_subtract ? kColQty : kColPrice;
+    plan.is_subtract = p.is_subtract;
+    if (!p.is_subtract) {
+      plan.assign_value = Value::Double(spec.price_value);
+    }
+    plan.work_time = spec.work_time;
+    plan.disconnect = p.disconnect;
+    plan.lock_wait_timeout = policy.lock_wait_timeout;
+    plan.idle_timeout = policy.idle_timeout;
+    plan.invoke_delay = p.invoke_delay;
+    plan.commit_delay = p.commit_delay;
+    plan.tag = p.is_subtract ? kTagSubtract : kTagAssign;
+    runner.AddSession(std::move(plan), p.arrival);
+  }
+
+  ExperimentResult result;
+  result.run = runner.Run();
+  result.waits = engine.counters().lock_waits;
+  result.deadlocks = engine.counters().deadlocks;
+  return result;
+}
+
+ExperimentResult RunOccExperiment(const GtmExperimentSpec& spec,
+                                  bool validate_reads) {
+  Rng rng(spec.seed);
+  std::unique_ptr<storage::Database> db = BuildDatabase(spec);
+  txn::OccEngine engine(db.get(),
+                        validate_reads
+                            ? txn::OccEngine::Validation::kValidateReads
+                            : txn::OccEngine::Validation::kConstraintsOnly);
+
+  sim::Simulator sim;
+  RunStats stats;
+  for (const PlannedTxn& p : BuildPlans(spec, &rng)) {
+    sim.At(p.arrival, [&engine, &sim, &stats, &spec, p] {
+      const TimePoint arrival = sim.Now();
+      const TxnId t = engine.Begin();
+      const Value key = Value::Int(static_cast<int64_t>(p.object));
+      bool buffered_ok = true;
+      if (p.is_subtract) {
+        Result<Value> v = engine.Read(t, kTable, key, kColQty);
+        buffered_ok =
+            v.ok() &&
+            engine.BufferAdd(t, kTable, key, kColQty, Value::Int(-1)).ok();
+      } else {
+        buffered_ok = engine
+                          .BufferAssign(t, kTable, key, kColPrice,
+                                        Value::Double(spec.price_value))
+                          .ok();
+      }
+      // The user works (and possibly disconnects — harmless here: no locks
+      // are held); the frozen transaction executes at commit time.
+      Duration span = spec.work_time;
+      if (p.disconnect.disconnects) span += p.disconnect.duration;
+      sim.After(span, [&engine, &sim, &stats, p, arrival, t, buffered_ok] {
+        mobile::SessionStats s;
+        s.txn = t;
+        s.arrival = arrival;
+        s.finish = sim.Now();
+        s.disconnected = p.disconnect.disconnects;
+        if (!buffered_ok) {
+          s.committed = false;
+          s.cause = mobile::AbortCause::kOther;
+        } else {
+          const Status cs = engine.Commit(t);
+          s.committed = cs.ok();
+          s.cause = cs.ok() ? mobile::AbortCause::kNone
+                            : mobile::AbortCause::kConstraint;
+        }
+        stats.Record(s);
+      });
+    });
+  }
+  sim.Run();
+
+  ExperimentResult result;
+  result.run = stats;
+  return result;
+}
+
+}  // namespace preserial::workload

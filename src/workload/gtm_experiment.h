@@ -1,0 +1,81 @@
+#ifndef PRESERIAL_WORKLOAD_GTM_EXPERIMENT_H_
+#define PRESERIAL_WORKLOAD_GTM_EXPERIMENT_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "gtm/policies.h"
+#include "workload/runner.h"
+
+namespace preserial::workload {
+
+// The paper's Sec. VI-B experiment: `num_txns` transactions arrive every
+// `interarrival` seconds and each performs one operation on one of
+// `num_objects` database objects —
+//   with probability alpha       a mobile client books a ticket
+//                                (subtraction, X_q = X_q - 1);
+//   with probability 1 - alpha   an admin sets the price
+//                                (assignment, X_p = price_value).
+// Subtraction transactions disconnect with probability beta (assignments
+// never do). Quantity and price are declared logically dependent members of
+// the same object — the paper's own example of logical dependence — so
+// assignments conflict with concurrent subtractions while subtractions
+// share among themselves.
+struct GtmExperimentSpec {
+  size_t num_txns = 1000;
+  size_t num_objects = 5;
+  double alpha = 0.7;           // P(subtraction).
+  double beta = 0.05;           // P(disconnection | subtraction).
+  Duration interarrival = 0.5;  // Paper: 0.5 s.
+  Duration work_time = 2.0;     // User activity between grant and commit.
+  Duration disconnect_mean = 10.0;  // Mean reconnection delay.
+  int64_t initial_quantity = 1000000;  // Large => constraint non-binding.
+  double price_value = 100.0;
+  bool add_quantity_constraint = false;  // CHECK qty >= 0.
+  // Mean one-way wireless latency (exponential); paid once before the
+  // invocation and once before the commit request. 0 = the paper's
+  // latency-free emulation.
+  double network_delay_mean = 0.0;
+  uint64_t seed = 42;
+};
+
+// SessionStats/RunStats tag values used by the experiment.
+inline constexpr int kTagSubtract = 0;  // Mobile booking clients.
+inline constexpr int kTagAssign = 1;    // Admin price setters.
+
+// Policies of the 2PL baseline run.
+struct TwoPlPolicy {
+  Duration lock_wait_timeout = 30.0;
+  Duration idle_timeout = 30.0;  // Preventive abort of disconnected holders.
+  bool use_update_locks = true;
+};
+
+// Aggregate of one run (engine-agnostic).
+struct ExperimentResult {
+  RunStats run;
+  // Engine-side counters of interest.
+  int64_t waits = 0;
+  int64_t shared_grants = 0;   // GTM only: concurrent compatible admissions.
+  int64_t awake_aborts = 0;    // GTM only.
+  int64_t deadlocks = 0;
+  int64_t starvation_denials = 0;  // GTM only (Sec. VII policy).
+  int64_t admission_denials = 0;   // GTM only (Sec. VII policy).
+};
+
+// Runs the experiment against the GTM with the given options.
+ExperimentResult RunGtmExperiment(const GtmExperimentSpec& spec,
+                                  const gtm::GtmOptions& options = {});
+
+// Runs the same arrival sequence against the strict-2PL baseline.
+ExperimentResult RunTwoPlExperiment(const GtmExperimentSpec& spec,
+                                    const TwoPlPolicy& policy = {});
+
+// Runs the same sequence against the freeze/OCC baseline (Sec. II second
+// strategy): no locks, operations applied at commit under constraints.
+// `validate_reads` selects the backward-validation flavour.
+ExperimentResult RunOccExperiment(const GtmExperimentSpec& spec,
+                                  bool validate_reads = false);
+
+}  // namespace preserial::workload
+
+#endif  // PRESERIAL_WORKLOAD_GTM_EXPERIMENT_H_

@@ -1,0 +1,163 @@
+#include "workload/runner.h"
+
+#include <utility>
+
+namespace preserial::workload {
+
+using mobile::AbortCause;
+using mobile::SessionStats;
+
+void RunStats::Record(const SessionStats& s) {
+  if (started == 0 || s.arrival < first_arrival) first_arrival = s.arrival;
+  if (s.finish > last_finish) last_finish = s.finish;
+  ++started;
+  latency_all.Add(s.Latency());
+  if (s.disconnected) ++disconnected;
+  if (s.committed) {
+    ++committed;
+    latency_committed.Add(s.Latency());
+    latency_by_tag[s.tag].Add(s.Latency());
+  } else {
+    ++aborted;
+    ++aborts_by_cause[s.cause];
+    ++aborted_by_tag[s.tag];
+    if (s.disconnected) ++disconnected_aborted;
+  }
+}
+
+// --- GtmRunner ------------------------------------------------------------------
+
+GtmRunner::GtmRunner(gtm::Gtm* gtm, sim::Simulator* simulator,
+                     Duration wait_timeout)
+    : gtm_(gtm), sim_(simulator), wait_timeout_(wait_timeout) {}
+
+void GtmRunner::AddSession(mobile::TxnPlan plan, TimePoint arrival,
+                           bool measured) {
+  auto session = std::make_unique<mobile::GtmSession>(
+      gtm_, sim_, std::move(plan), /*pump=*/[this] { Pump(); },
+      /*done=*/[this, measured](const SessionStats& s) {
+        if (measured) stats_.Record(s);
+      });
+  mobile::GtmSession* raw = session.get();
+  sessions_.push_back(std::move(session));
+  sim_->At(arrival, [this, raw] {
+    raw->Start();
+    by_txn_[raw->txn()] = raw;
+  });
+  if (wait_timeout_ > 0 && !sweep_scheduled_) {
+    sweep_scheduled_ = true;
+    sim_->After(wait_timeout_ / 2, [this] { SweepTimeouts(); });
+  }
+}
+
+void GtmRunner::AddMultiSession(mobile::MultiTxnPlan plan, TimePoint arrival,
+                                bool measured) {
+  auto session = std::make_unique<mobile::MultiGtmSession>(
+      gtm_, sim_, std::move(plan), /*pump=*/[this] { Pump(); },
+      /*done=*/[this, measured](const SessionStats& s) {
+        if (measured) stats_.Record(s);
+      });
+  mobile::MultiGtmSession* raw = session.get();
+  multi_sessions_.push_back(std::move(session));
+  sim_->At(arrival, [this, raw] {
+    raw->Start();
+    by_txn_[raw->txn()] = raw;
+  });
+  if (wait_timeout_ > 0 && !sweep_scheduled_) {
+    sweep_scheduled_ = true;
+    sim_->After(wait_timeout_ / 2, [this] { SweepTimeouts(); });
+  }
+}
+
+void GtmRunner::Pump() {
+  if (pumping_) return;
+  pumping_ = true;
+  while (true) {
+    std::vector<gtm::GtmEvent> events = gtm_->TakeEvents();
+    if (events.empty()) break;
+    for (const gtm::GtmEvent& e : events) {
+      auto it = by_txn_.find(e.txn);
+      if (it != by_txn_.end()) it->second->OnGranted();
+    }
+  }
+  pumping_ = false;
+}
+
+void GtmRunner::SweepTimeouts() {
+  for (TxnId victim : gtm_->AbortExpiredWaits(wait_timeout_)) {
+    auto it = by_txn_.find(victim);
+    if (it != by_txn_.end()) {
+      it->second->OnSystemAbort(AbortCause::kLockWaitTimeout);
+    }
+  }
+  Pump();
+  if (!sim_->Idle()) {
+    sim_->After(wait_timeout_ / 2, [this] { SweepTimeouts(); });
+  } else {
+    sweep_scheduled_ = false;
+  }
+}
+
+const RunStats& GtmRunner::Run() {
+  sim_->Run();
+  Pump();
+  return stats_;
+}
+
+// --- TwoPlRunner ----------------------------------------------------------------
+
+TwoPlRunner::TwoPlRunner(txn::TwoPhaseLockingEngine* engine,
+                         sim::Simulator* simulator)
+    : engine_(engine), sim_(simulator) {}
+
+void TwoPlRunner::AddSession(mobile::TwoPlPlan plan, TimePoint arrival,
+                             bool measured) {
+  auto session = std::make_unique<mobile::TwoPlSession>(
+      engine_, sim_, std::move(plan), /*pump=*/[this] { Pump(); },
+      /*done=*/[this, measured](const SessionStats& s) {
+        if (measured) stats_.Record(s);
+      });
+  mobile::TwoPlSession* raw = session.get();
+  sessions_.push_back(std::move(session));
+  sim_->At(arrival, [this, raw] {
+    raw->Start();
+    by_txn_[raw->txn()] = raw;
+  });
+}
+
+void TwoPlRunner::AddMultiSession(mobile::MultiTwoPlPlan plan,
+                                  TimePoint arrival, bool measured) {
+  auto session = std::make_unique<mobile::MultiTwoPlSession>(
+      engine_, sim_, std::move(plan), /*pump=*/[this] { Pump(); },
+      /*done=*/[this, measured](const SessionStats& s) {
+        if (measured) stats_.Record(s);
+      });
+  mobile::MultiTwoPlSession* raw = session.get();
+  multi_sessions_.push_back(std::move(session));
+  sim_->At(arrival, [this, raw] {
+    raw->Start();
+    by_txn_[raw->txn()] = raw;
+  });
+}
+
+void TwoPlRunner::Pump() {
+  if (pumping_) return;
+  pumping_ = true;
+  while (true) {
+    std::vector<TxnId> runnable = engine_->TakeRunnable();
+    if (runnable.empty()) break;
+    for (TxnId t : runnable) {
+      auto it = by_txn_.find(t);
+      if (it != by_txn_.end()) it->second->OnRunnable();
+    }
+  }
+  pumping_ = false;
+}
+
+const RunStats& TwoPlRunner::Run() {
+  sim_->Run();
+  Pump();
+  return stats_;
+}
+
+}  // namespace preserial::workload

@@ -1,0 +1,139 @@
+#ifndef PRESERIAL_WORKLOAD_RUNNER_H_
+#define PRESERIAL_WORKLOAD_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "gtm/gtm.h"
+#include "mobile/multi_session.h"
+#include "mobile/session.h"
+#include "sim/simulator.h"
+#include "storage/database.h"
+#include "txn/txn_manager.h"
+
+namespace preserial::workload {
+
+// Aggregated outcome of one simulated experiment run.
+struct RunStats {
+  int64_t started = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  std::map<mobile::AbortCause, int64_t> aborts_by_cause;
+  Histogram latency_committed;  // Arrival -> finish, committed txns.
+  Histogram latency_all;
+  // Per-class breakdown, keyed by the caller-defined plan tag.
+  std::map<int, Histogram> latency_by_tag;  // Committed only.
+  std::map<int, int64_t> aborted_by_tag;
+  int64_t disconnected = 0;          // Sessions whose plan disconnected.
+  int64_t disconnected_aborted = 0;  // ... and ended aborted.
+
+  void Record(const mobile::SessionStats& s);
+
+  // Virtual-time span from the first arrival to the last completion.
+  TimePoint first_arrival = 0;
+  TimePoint last_finish = 0;
+  double Makespan() const { return last_finish - first_arrival; }
+  // Committed transactions per virtual second.
+  double Throughput() const {
+    const double span = Makespan();
+    return span > 0 ? static_cast<double>(committed) / span : 0.0;
+  }
+
+  double AbortPercent() const {
+    return started > 0 ? 100.0 * static_cast<double>(aborted) /
+                             static_cast<double>(started)
+                       : 0.0;
+  }
+  // Abort percentage among disconnected (sleeping) transactions — the
+  // quantity Fig. 2 / Fig. 3 (right) plot.
+  double DisconnectedAbortPercent() const {
+    return disconnected > 0 ? 100.0 * static_cast<double>(disconnected_aborted) /
+                                  static_cast<double>(disconnected)
+                            : 0.0;
+  }
+  double AvgLatency() const { return latency_committed.mean(); }
+};
+
+// Drives a population of GtmSessions over a discrete-event simulation:
+// forwards admission events, sweeps wait timeouts, aggregates results. The
+// simulator, Database and Gtm are owned by the caller (the Gtm should read
+// time from simulator->clock()).
+class GtmRunner {
+ public:
+  // `wait_timeout` <= 0 disables the timeout sweep.
+  GtmRunner(gtm::Gtm* gtm, sim::Simulator* simulator,
+            Duration wait_timeout = 0);
+
+  GtmRunner(const GtmRunner&) = delete;
+  GtmRunner& operator=(const GtmRunner&) = delete;
+
+  sim::Simulator* simulator() { return sim_; }
+
+  // Schedules a session to start at `arrival` (absolute virtual time).
+  // Unmeasured sessions (background load) run but stay out of the stats.
+  void AddSession(mobile::TxnPlan plan, TimePoint arrival,
+                  bool measured = true);
+  // Multi-step variant (package tours and other long running transactions).
+  void AddMultiSession(mobile::MultiTxnPlan plan, TimePoint arrival,
+                       bool measured = true);
+
+  // Runs the simulation to completion and returns the aggregate.
+  const RunStats& Run();
+
+  const RunStats& stats() const { return stats_; }
+
+  // Delivers pending admission events to the sessions. The runner does this
+  // after every session step; call it yourself whenever you drive the Gtm
+  // directly (Begin/Invoke/RequestCommit outside a session) so that grants
+  // triggered by your calls reach the waiting sessions.
+  void DispatchEvents() { Pump(); }
+
+ private:
+  void Pump();
+  void SweepTimeouts();
+
+  gtm::Gtm* gtm_;
+  sim::Simulator* sim_;
+  Duration wait_timeout_;
+  std::vector<std::unique_ptr<mobile::GtmSession>> sessions_;
+  std::vector<std::unique_ptr<mobile::MultiGtmSession>> multi_sessions_;
+  std::map<TxnId, mobile::GtmWaiter*> by_txn_;
+  RunStats stats_;
+  bool pumping_ = false;
+  bool sweep_scheduled_ = false;
+};
+
+// The same harness for the strict-2PL baseline engine.
+class TwoPlRunner {
+ public:
+  TwoPlRunner(txn::TwoPhaseLockingEngine* engine, sim::Simulator* simulator);
+
+  TwoPlRunner(const TwoPlRunner&) = delete;
+  TwoPlRunner& operator=(const TwoPlRunner&) = delete;
+
+  sim::Simulator* simulator() { return sim_; }
+
+  void AddSession(mobile::TwoPlPlan plan, TimePoint arrival,
+                  bool measured = true);
+  void AddMultiSession(mobile::MultiTwoPlPlan plan, TimePoint arrival,
+                       bool measured = true);
+  const RunStats& Run();
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  void Pump();
+
+  txn::TwoPhaseLockingEngine* engine_;
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<mobile::TwoPlSession>> sessions_;
+  std::vector<std::unique_ptr<mobile::MultiTwoPlSession>> multi_sessions_;
+  std::map<TxnId, mobile::TwoPlWaiter*> by_txn_;
+  RunStats stats_;
+  bool pumping_ = false;
+};
+
+}  // namespace preserial::workload
+
+#endif  // PRESERIAL_WORKLOAD_RUNNER_H_

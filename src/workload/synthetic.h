@@ -1,0 +1,62 @@
+#ifndef PRESERIAL_WORKLOAD_SYNTHETIC_H_
+#define PRESERIAL_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace preserial::workload {
+
+// Conflict-controlled micro-workload validating the Fig. 1 analytic model
+// by running the *real* GTM and 2PL engines under the model's assumptions:
+// n measured transactions with ideal execution time tau_e, each on its own
+// object; exactly c of them collide with a background add/sub holder that
+// began tau_e/2 earlier on the same object; i of the n measured
+// transactions are assignment-class (incompatible), the rest add/sub
+// (compatible). No multiple conflicts, as in the paper.
+struct ConflictSpec {
+  int64_t n = 200;
+  int64_t c = 100;   // Conflicting transactions (0..n).
+  int64_t i = 50;    // Incompatible-class transactions (0..n).
+  double tau_e = 1.0;
+  uint64_t seed = 1;
+};
+
+struct ConflictResult {
+  double avg_exec_gtm = 0;   // Simulated mean latency under the GTM.
+  double avg_exec_2pl = 0;   // Simulated mean latency under strict 2PL.
+  int64_t k_incompatible_conflicts = 0;  // Realized K (hypergeometric).
+  double model_gtm = 0;      // Paper eq. (5) prediction.
+  double model_2pl = 0;      // Paper eq. (3) prediction.
+};
+
+ConflictResult RunConflictExperiment(const ConflictSpec& spec);
+
+// Sleep/awake micro-workload validating the Fig. 2 abort model
+// P(abort) = P(d) P(c) P(i): each measured transaction holds an add/sub
+// grant; with probability p_disconnect it sleeps mid-execution; with
+// probability p_conflict a background transaction hits the same member
+// while it is away, and that transaction is assignment-class with
+// probability p_incompatible. A sleeping holder aborts at awake iff an
+// incompatible background committed during its sleep (Algorithm 9).
+struct SleeperSpec {
+  int64_t n = 1000;
+  double p_disconnect = 0.5;    // The paper's disconnection percentage.
+  double p_conflict = 0.5;      // Conflict percentage.
+  double p_incompatible = 0.5;  // Incompatibility percentage.
+  double tau_e = 1.0;
+  Duration sleep_duration = 4.0;
+  uint64_t seed = 1;
+};
+
+struct SleeperResult {
+  double abort_pct_all = 0;           // Aborted / n (percent).
+  double abort_pct_disconnected = 0;  // Aborted sleepers / sleepers.
+  double model_abort_pct = 0;         // 100 * P(d) P(c) P(i).
+};
+
+SleeperResult RunSleeperAbortExperiment(const SleeperSpec& spec);
+
+}  // namespace preserial::workload
+
+#endif  // PRESERIAL_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,242 @@
+#include "workload/travel_agency.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "semantics/operation.h"
+
+namespace preserial::workload {
+
+namespace {
+
+using storage::CheckConstraint;
+using storage::ColumnDef;
+using storage::CompareOp;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+Status BuildCounterTable(storage::Database* db, const std::string& table,
+                         const std::string& counter_name, size_t rows,
+                         int64_t initial) {
+  PRESERIAL_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create(
+          {
+              ColumnDef{"id", ValueType::kInt64, false},
+              ColumnDef{counter_name, ValueType::kInt64, false},
+          },
+          /*primary_key=*/0));
+  Result<storage::Table*> created = db->CreateTable(table, std::move(schema));
+  if (!created.ok()) return created.status();
+  for (size_t i = 0; i < rows; ++i) {
+    PRESERIAL_RETURN_IF_ERROR(db->InsertRow(
+        table,
+        Row({Value::Int(static_cast<int64_t>(i)), Value::Int(initial)})));
+  }
+  return db->AddConstraint(
+      table, CheckConstraint(table + "_nonneg", kAvailabilityColumn,
+                             CompareOp::kGe, Value::Int(0)));
+}
+
+Status RegisterCounters(gtm::Gtm* gtm, const std::string& table,
+                        size_t rows) {
+  for (size_t i = 0; i < rows; ++i) {
+    PRESERIAL_RETURN_IF_ERROR(gtm->RegisterObject(
+        StrFormat("%s/%zu", table.c_str(), i), table,
+        Value::Int(static_cast<int64_t>(i)), {kAvailabilityColumn}));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status BuildTravelAgencyDatabase(storage::Database* db,
+                                 const TravelAgencyConfig& config) {
+  PRESERIAL_RETURN_IF_ERROR(BuildCounterTable(
+      db, kFlightsTable, "free_tickets", config.num_flights,
+      config.seats_per_flight));
+  PRESERIAL_RETURN_IF_ERROR(BuildCounterTable(
+      db, kHotelsTable, "free_rooms", config.num_hotels,
+      config.rooms_per_hotel));
+  PRESERIAL_RETURN_IF_ERROR(BuildCounterTable(
+      db, kMuseumsTable, "free_tickets", config.num_museums,
+      config.tickets_per_museum));
+  return BuildCounterTable(db, kCarsTable, "free_cars", config.num_cars,
+                           config.cars_per_depot);
+}
+
+Status RegisterTravelObjects(gtm::Gtm* gtm,
+                             const TravelAgencyConfig& config) {
+  PRESERIAL_RETURN_IF_ERROR(
+      RegisterCounters(gtm, kFlightsTable, config.num_flights));
+  PRESERIAL_RETURN_IF_ERROR(
+      RegisterCounters(gtm, kHotelsTable, config.num_hotels));
+  PRESERIAL_RETURN_IF_ERROR(
+      RegisterCounters(gtm, kMuseumsTable, config.num_museums));
+  return RegisterCounters(gtm, kCarsTable, config.num_cars);
+}
+
+gtm::ObjectId FlightObject(size_t i) {
+  return StrFormat("%s/%zu", kFlightsTable, i);
+}
+gtm::ObjectId HotelObject(size_t i) {
+  return StrFormat("%s/%zu", kHotelsTable, i);
+}
+gtm::ObjectId MuseumObject(size_t i) {
+  return StrFormat("%s/%zu", kMuseumsTable, i);
+}
+gtm::ObjectId CarObject(size_t i) {
+  return StrFormat("%s/%zu", kCarsTable, i);
+}
+
+TourPlan SampleTour(Rng& rng, const TravelAgencyConfig& config) {
+  TourPlan plan;
+  plan.flight = rng.NextBounded(config.num_flights);
+  plan.hotel = rng.NextBounded(config.num_hotels);
+  plan.museum = rng.NextBounded(config.num_museums);
+  plan.car = rng.NextBounded(config.num_cars);
+  return plan;
+}
+
+namespace {
+
+// Shared tour-plan material across both engines.
+struct PlannedTour {
+  TourPlan tour;
+  mobile::DisconnectPlan disconnect;
+  TimePoint arrival = 0;
+};
+
+std::vector<PlannedTour> BuildTours(const TourWorkloadSpec& spec, Rng* rng) {
+  const mobile::DisconnectModel disconnects =
+      mobile::DisconnectModel::WithExponentialDuration(spec.beta,
+                                                       spec.disconnect_mean);
+  // A tour spans four bookings plus thinks; disconnections land anywhere in
+  // that window.
+  const Duration span = 4 * spec.think_time + spec.final_think;
+  std::vector<PlannedTour> tours;
+  tours.reserve(spec.num_tours);
+  TimePoint arrival = 0;
+  for (size_t i = 0; i < spec.num_tours; ++i) {
+    PlannedTour p;
+    p.tour = SampleTour(*rng, spec.agency);
+    p.disconnect = disconnects.Sample(*rng, span);
+    p.arrival = arrival;
+    arrival += spec.interarrival;
+    tours.push_back(p);
+  }
+  return tours;
+}
+
+// The four stops in a fixed global order (flights < hotels < museums <
+// cars): ordered acquisition, so even 2PL cannot deadlock across tours.
+std::vector<std::pair<std::string, int64_t>> Stops(const TourPlan& tour) {
+  return {
+      {kFlightsTable, static_cast<int64_t>(tour.flight)},
+      {kHotelsTable, static_cast<int64_t>(tour.hotel)},
+      {kMuseumsTable, static_cast<int64_t>(tour.museum)},
+      {kCarsTable, static_cast<int64_t>(tour.car)},
+  };
+}
+
+}  // namespace
+
+TourResult RunGtmTourExperiment(const TourWorkloadSpec& spec,
+                                const gtm::GtmOptions& options) {
+  Rng rng(spec.seed);
+  storage::Database db;
+  PRESERIAL_CHECK(db.Open().ok());
+  PRESERIAL_CHECK(BuildTravelAgencyDatabase(&db, spec.agency).ok());
+
+  sim::Simulator simulator;
+  gtm::Gtm gtm(&db, simulator.clock(), options);
+  PRESERIAL_CHECK(RegisterTravelObjects(&gtm, spec.agency).ok());
+  GtmRunner runner(&gtm, &simulator);
+
+  for (const PlannedTour& p : BuildTours(spec, &rng)) {
+    mobile::MultiTxnPlan plan;
+    for (const auto& [table, id] : Stops(p.tour)) {
+      mobile::TourStep step;
+      step.object = StrFormat("%s/%lld", table.c_str(),
+                              static_cast<long long>(id));
+      step.member = 0;
+      step.op = semantics::Operation::Sub(storage::Value::Int(1));
+      step.think_time = spec.think_time;
+      plan.steps.push_back(std::move(step));
+    }
+    plan.final_think = spec.final_think;
+    plan.disconnect = p.disconnect;
+    runner.AddMultiSession(std::move(plan), p.arrival);
+  }
+
+  TourResult result;
+  result.run = runner.Run();
+  const gtm::GtmCounters& c = gtm.metrics().counters();
+  result.waits = c.waits;
+  result.shared_grants = c.shared_grants;
+  result.awake_aborts = c.awake_aborts;
+  result.deadlocks = c.deadlock_refusals;
+  return result;
+}
+
+TourResult RunTwoPlTourExperiment(const TourWorkloadSpec& spec,
+                                  Duration lock_wait_timeout,
+                                  Duration idle_timeout) {
+  Rng rng(spec.seed);
+  storage::Database db;
+  PRESERIAL_CHECK(db.Open().ok());
+  PRESERIAL_CHECK(BuildTravelAgencyDatabase(&db, spec.agency).ok());
+
+  sim::Simulator simulator;
+  txn::TwoPhaseLockingEngine engine(&db, simulator.clock());
+  TwoPlRunner runner(&engine, &simulator);
+
+  for (const PlannedTour& p : BuildTours(spec, &rng)) {
+    mobile::MultiTwoPlPlan plan;
+    for (const auto& stop : Stops(p.tour)) {
+      const int64_t stop_id = stop.second;
+      mobile::TwoPlTourStep step;
+      step.table = stop.first;
+      step.key = storage::Value::Int(stop_id);
+      step.column = kAvailabilityColumn;
+      step.is_subtract = true;
+      step.think_time = spec.think_time;
+      plan.steps.push_back(std::move(step));
+    }
+    plan.final_think = spec.final_think;
+    plan.disconnect = p.disconnect;
+    plan.lock_wait_timeout = lock_wait_timeout;
+    plan.idle_timeout = idle_timeout;
+    runner.AddMultiSession(std::move(plan), p.arrival);
+  }
+
+  TourResult result;
+  result.run = runner.Run();
+  result.waits = engine.counters().lock_waits;
+  result.deadlocks = engine.counters().deadlocks;
+  return result;
+}
+
+Status BookTour(gtm::GtmService* service, const TourPlan& tour) {
+  const TxnId txn = service->Begin();
+  const semantics::Operation book = semantics::Operation::Sub(Value::Int(1));
+  const gtm::ObjectId stops[] = {
+      FlightObject(tour.flight),
+      HotelObject(tour.hotel),
+      MuseumObject(tour.museum),
+      CarObject(tour.car),
+  };
+  for (const gtm::ObjectId& object : stops) {
+    Status s = service->Invoke(txn, object, 0, book);
+    if (!s.ok()) {
+      (void)service->Abort(txn);
+      return s;
+    }
+  }
+  Status s = service->Commit(txn);
+  if (!s.ok()) (void)service->Abort(txn);
+  return s;
+}
+
+}  // namespace preserial::workload

@@ -1,0 +1,61 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace preserial::storage {
+namespace {
+
+Schema OneColumnSchema() {
+  return Schema::Create({ColumnDef{"id", ValueType::kInt64, false}}, 0)
+      .value();
+}
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog catalog;
+  Result<Table*> t = catalog.CreateTable("flights", OneColumnSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->name(), "flights");
+  EXPECT_TRUE(catalog.HasTable("flights"));
+  EXPECT_EQ(catalog.GetTable("flights").value(), t.value());
+  EXPECT_EQ(catalog.table_count(), 1u);
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", OneColumnSchema()).ok());
+  EXPECT_EQ(catalog.CreateTable("t", OneColumnSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, GetUnknownFails) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.GetTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", OneColumnSchema()).ok());
+  EXPECT_TRUE(catalog.DropTable("t").ok());
+  EXPECT_FALSE(catalog.HasTable("t"));
+  EXPECT_EQ(catalog.DropTable("t").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("zebra", OneColumnSchema()).ok());
+  ASSERT_TRUE(catalog.CreateTable("alpha", OneColumnSchema()).ok());
+  ASSERT_TRUE(catalog.CreateTable("mid", OneColumnSchema()).ok());
+  EXPECT_EQ(catalog.TableNames(),
+            (std::vector<std::string>{"alpha", "mid", "zebra"}));
+}
+
+TEST(CatalogTest, ConstGetTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", OneColumnSchema()).ok());
+  const Catalog& c = catalog;
+  EXPECT_TRUE(c.GetTable("t").ok());
+  EXPECT_FALSE(c.GetTable("u").ok());
+}
+
+}  // namespace
+}  // namespace preserial::storage

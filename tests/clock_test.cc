@@ -1,0 +1,37 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace preserial {
+namespace {
+
+TEST(ManualClockTest, StartsAtGivenTime) {
+  ManualClock c(5.0);
+  EXPECT_DOUBLE_EQ(c.Now(), 5.0);
+}
+
+TEST(ManualClockTest, AdvanceAndSet) {
+  ManualClock c;
+  EXPECT_DOUBLE_EQ(c.Now(), 0.0);
+  c.Advance(2.5);
+  EXPECT_DOUBLE_EQ(c.Now(), 2.5);
+  c.Set(10.0);
+  EXPECT_DOUBLE_EQ(c.Now(), 10.0);
+}
+
+TEST(ManualClockTest, UsableThroughBaseInterface) {
+  ManualClock c(1.0);
+  const Clock* base = &c;
+  EXPECT_DOUBLE_EQ(base->Now(), 1.0);
+}
+
+TEST(SystemClockTest, MonotonicNonNegative) {
+  SystemClock c;
+  const TimePoint a = c.Now();
+  const TimePoint b = c.Now();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace preserial

@@ -1,0 +1,172 @@
+#include "semantics/commutativity.h"
+
+#include <gtest/gtest.h>
+
+#include "semantics/compatibility.h"
+
+namespace preserial::semantics {
+namespace {
+
+using storage::Value;
+
+TEST(TransitionTest, AbsentObjectOnlyAcceptsInsert) {
+  const Value absent = Value::Null();
+  EXPECT_EQ(Transition(absent, Operation::Insert(Value::Int(5))).value(),
+            Value::Int(5));
+  EXPECT_FALSE(Transition(absent, Operation::Read()).ok());
+  EXPECT_FALSE(Transition(absent, Operation::Delete()).ok());
+  EXPECT_FALSE(Transition(absent, Operation::Add(Value::Int(1))).ok());
+  EXPECT_FALSE(Transition(absent, Operation::Assign(Value::Int(1))).ok());
+}
+
+TEST(TransitionTest, PresentObjectSemantics) {
+  const Value s = Value::Int(10);
+  EXPECT_FALSE(Transition(s, Operation::Insert(Value::Int(5))).ok());
+  EXPECT_TRUE(Transition(s, Operation::Delete()).value().is_null());
+  EXPECT_EQ(Transition(s, Operation::Read()).value(), s);
+  EXPECT_EQ(Transition(s, Operation::Assign(Value::Int(3))).value(),
+            Value::Int(3));
+  EXPECT_EQ(Transition(s, Operation::Add(Value::Int(4))).value(),
+            Value::Int(14));
+  EXPECT_EQ(Transition(s, Operation::Sub(Value::Int(4))).value(),
+            Value::Int(6));
+  EXPECT_DOUBLE_EQ(
+      Transition(s, Operation::Mul(Value::Int(3))).value().as_double(), 30.0);
+  EXPECT_DOUBLE_EQ(
+      Transition(s, Operation::Div(Value::Int(4))).value().as_double(), 2.5);
+}
+
+TEST(TransitionTest, MulDivComputedInDouble) {
+  // Integer truncation would break commutativity; the class works over the
+  // reals, so 7 / 2 is 3.5 rather than 3.
+  const Value r = Transition(Value::Int(7), Operation::Div(Value::Int(2)))
+                      .value();
+  EXPECT_EQ(r.type(), storage::ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(r.as_double(), 3.5);
+}
+
+TEST(TransitionTest, InvalidOperationsRejected) {
+  EXPECT_FALSE(Transition(Value::Int(1), Operation::Mul(Value::Int(0))).ok());
+  EXPECT_FALSE(
+      Transition(Value::Int(1), Operation::Add(Value::String("x"))).ok());
+  EXPECT_FALSE(
+      Transition(Value::Int(1), Operation::Assign(Value::Null())).ok());
+}
+
+TEST(CommutesAtTest, AddsCommute) {
+  EXPECT_TRUE(CommutesAt(Value::Int(5), Operation::Add(Value::Int(2)),
+                         Operation::Sub(Value::Int(7))));
+}
+
+TEST(CommutesAtTest, AssignsDisagree) {
+  EXPECT_FALSE(CommutesAt(Value::Int(5), Operation::Assign(Value::Int(1)),
+                          Operation::Assign(Value::Int(2))));
+}
+
+TEST(CommutesAtTest, AssignAndAddDisagree) {
+  EXPECT_FALSE(CommutesAt(Value::Int(5), Operation::Assign(Value::Int(1)),
+                          Operation::Add(Value::Int(2))));
+}
+
+TEST(CommutesAtTest, ReadNeverChangesState) {
+  EXPECT_TRUE(CommutesAt(Value::Int(5), Operation::Read(),
+                         Operation::Assign(Value::Int(9))));
+  EXPECT_TRUE(CommutesAt(Value::Int(5), Operation::Read(),
+                         Operation::Mul(Value::Int(2))));
+}
+
+TEST(CommutesAtTest, DeleteBreaksEverything) {
+  EXPECT_FALSE(
+      CommutesAt(Value::Int(5), Operation::Delete(), Operation::Read()));
+  EXPECT_FALSE(CommutesAt(Value::Int(5), Operation::Delete(),
+                          Operation::Add(Value::Int(1))));
+  // delete/delete: both individually defined, neither order composes.
+  EXPECT_FALSE(
+      CommutesAt(Value::Int(5), Operation::Delete(), Operation::Delete()));
+}
+
+TEST(CommutesAtTest, InsertInsertFailsAtAbsentState) {
+  EXPECT_FALSE(CommutesAt(Value::Null(), Operation::Insert(Value::Int(1)),
+                          Operation::Insert(Value::Int(2))));
+}
+
+TEST(CommutesAtTest, VacuousWhenBothUndefined) {
+  // At an absent state, two adds are both undefined: no counterexample.
+  EXPECT_TRUE(CommutesAt(Value::Null(), Operation::Add(Value::Int(1)),
+                         Operation::Add(Value::Int(2))));
+}
+
+TEST(ForwardCommutesTest, UsesAllProbeStates) {
+  const std::vector<Value> states = DefaultProbeStates();
+  // Insert/add fails at the Null probe state (insert defined, add not).
+  EXPECT_FALSE(ForwardCommutes(Operation::Insert(Value::Int(1)),
+                               Operation::Add(Value::Int(1)), states));
+  EXPECT_TRUE(ForwardCommutes(Operation::Add(Value::Int(1)),
+                              Operation::Sub(Value::Int(2)), states));
+  EXPECT_TRUE(ForwardCommutes(Operation::Mul(Value::Int(2)),
+                              Operation::Div(Value::Int(4)), states));
+}
+
+// The paper's central soundness claim: Table I agrees with machine-checked
+// Weihl forward commutativity, across many random seeds.
+class VerifyTableTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VerifyTableTest, TableOneIsSoundAndTight) {
+  Rng rng(GetParam());
+  const Status s = VerifyCompatibilityTable(rng, /*samples_per_pair=*/64);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifyTableTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+// Property sweep: compatible sampled operation pairs always commute on the
+// probe grid.
+class CompatiblePairsCommuteTest
+    : public ::testing::TestWithParam<std::pair<OpClass, OpClass>> {};
+
+TEST_P(CompatiblePairsCommuteTest, AllSamplesCommute) {
+  const auto [ca, cb] = GetParam();
+  ASSERT_TRUE(Compatible(ca, cb));
+  Rng rng(static_cast<uint64_t>(ca) * 31 + static_cast<uint64_t>(cb));
+  const std::vector<Value> states = DefaultProbeStates();
+  for (int i = 0; i < 200; ++i) {
+    const Operation a = SampleOperation(ca, rng);
+    const Operation b = SampleOperation(cb, rng);
+    EXPECT_TRUE(ForwardCommutes(a, b, states))
+        << a.ToString() << " / " << b.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, CompatiblePairsCommuteTest,
+    ::testing::Values(
+        std::make_pair(OpClass::kRead, OpClass::kRead),
+        std::make_pair(OpClass::kRead, OpClass::kUpdateAssign),
+        std::make_pair(OpClass::kRead, OpClass::kUpdateAddSub),
+        std::make_pair(OpClass::kRead, OpClass::kUpdateMulDiv),
+        std::make_pair(OpClass::kUpdateAddSub, OpClass::kUpdateAddSub),
+        std::make_pair(OpClass::kUpdateMulDiv, OpClass::kUpdateMulDiv)));
+
+TEST(OperationTest, ValidateRejectsBadOperands) {
+  EXPECT_TRUE(Operation::Read().Validate().ok());
+  EXPECT_TRUE(Operation::Delete().Validate().ok());
+  EXPECT_FALSE(Operation::Assign(Value::Null()).Validate().ok());
+  EXPECT_FALSE(Operation::Insert(Value::Null()).Validate().ok());
+  EXPECT_FALSE(Operation::Add(Value::String("x")).Validate().ok());
+  EXPECT_FALSE(Operation::Mul(Value::Int(0)).Validate().ok());
+  EXPECT_FALSE(Operation::Div(Value::Int(0)).Validate().ok());
+  EXPECT_TRUE(Operation::Mul(Value::Double(0.5)).Validate().ok());
+}
+
+TEST(OperationTest, ToStringRendersClassAndOperand) {
+  EXPECT_EQ(Operation::Add(Value::Int(3)).ToString(), "add(3)");
+  EXPECT_EQ(Operation::Sub(Value::Int(3)).ToString(), "sub(3)");
+  EXPECT_EQ(Operation::Mul(Value::Int(2)).ToString(), "mul(2)");
+  EXPECT_EQ(Operation::Div(Value::Int(2)).ToString(), "div(2)");
+  EXPECT_EQ(Operation::Read().ToString(), "read");
+  EXPECT_EQ(Operation::Assign(Value::String("a")).ToString(), "assign('a')");
+}
+
+}  // namespace
+}  // namespace preserial::semantics

@@ -1,0 +1,111 @@
+#include "semantics/compatibility.h"
+
+#include <gtest/gtest.h>
+
+namespace preserial::semantics {
+namespace {
+
+constexpr OpClass kAll[] = {
+    OpClass::kRead,         OpClass::kInsert,       OpClass::kDelete,
+    OpClass::kUpdateAssign, OpClass::kUpdateAddSub, OpClass::kUpdateMulDiv,
+};
+
+TEST(CompatibilityTest, TableOneExactly) {
+  // read <-> read, assign, add/sub, mul/div (not insert/delete).
+  EXPECT_TRUE(Compatible(OpClass::kRead, OpClass::kRead));
+  EXPECT_TRUE(Compatible(OpClass::kRead, OpClass::kUpdateAssign));
+  EXPECT_TRUE(Compatible(OpClass::kRead, OpClass::kUpdateAddSub));
+  EXPECT_TRUE(Compatible(OpClass::kRead, OpClass::kUpdateMulDiv));
+  EXPECT_FALSE(Compatible(OpClass::kRead, OpClass::kInsert));
+  EXPECT_FALSE(Compatible(OpClass::kRead, OpClass::kDelete));
+
+  // insert / delete with nothing.
+  for (OpClass other : kAll) {
+    EXPECT_FALSE(Compatible(OpClass::kInsert, other));
+    EXPECT_FALSE(Compatible(OpClass::kDelete, other));
+  }
+
+  // assignment only with read.
+  EXPECT_TRUE(Compatible(OpClass::kUpdateAssign, OpClass::kRead));
+  EXPECT_FALSE(Compatible(OpClass::kUpdateAssign, OpClass::kUpdateAssign));
+  EXPECT_FALSE(Compatible(OpClass::kUpdateAssign, OpClass::kUpdateAddSub));
+  EXPECT_FALSE(Compatible(OpClass::kUpdateAssign, OpClass::kUpdateMulDiv));
+
+  // add/sub with itself and read.
+  EXPECT_TRUE(Compatible(OpClass::kUpdateAddSub, OpClass::kUpdateAddSub));
+  EXPECT_TRUE(Compatible(OpClass::kUpdateAddSub, OpClass::kRead));
+  EXPECT_FALSE(Compatible(OpClass::kUpdateAddSub, OpClass::kUpdateMulDiv));
+
+  // mul/div with itself and read.
+  EXPECT_TRUE(Compatible(OpClass::kUpdateMulDiv, OpClass::kUpdateMulDiv));
+  EXPECT_TRUE(Compatible(OpClass::kUpdateMulDiv, OpClass::kRead));
+  EXPECT_FALSE(Compatible(OpClass::kUpdateMulDiv, OpClass::kUpdateAddSub));
+}
+
+TEST(CompatibilityTest, RelationIsSymmetric) {
+  for (OpClass a : kAll) {
+    for (OpClass b : kAll) {
+      EXPECT_EQ(Compatible(a, b), Compatible(b, a))
+          << OpClassName(a) << " vs " << OpClassName(b);
+    }
+  }
+}
+
+TEST(CompatibilityTest, TableRenderingMentionsEveryClass) {
+  const std::string table = CompatibilityTableString();
+  for (OpClass c : kAll) {
+    EXPECT_NE(table.find(OpClassName(c)), std::string::npos);
+  }
+  EXPECT_NE(table.find("yes"), std::string::npos);
+}
+
+TEST(LogicalDependenciesTest, ReflexiveByDefault) {
+  LogicalDependencies deps;
+  EXPECT_TRUE(deps.Dependent(3, 3));
+  EXPECT_FALSE(deps.Dependent(3, 4));
+}
+
+TEST(LogicalDependenciesTest, SymmetricAndTransitive) {
+  LogicalDependencies deps;
+  deps.AddDependency(0, 1);
+  deps.AddDependency(1, 2);
+  EXPECT_TRUE(deps.Dependent(0, 1));
+  EXPECT_TRUE(deps.Dependent(1, 0));
+  EXPECT_TRUE(deps.Dependent(0, 2));
+  EXPECT_TRUE(deps.Dependent(2, 0));
+  EXPECT_FALSE(deps.Dependent(0, 3));
+}
+
+TEST(LogicalDependenciesTest, SeparateGroupsStayIndependent) {
+  LogicalDependencies deps;
+  deps.AddDependency(0, 1);
+  deps.AddDependency(5, 6);
+  EXPECT_TRUE(deps.Dependent(0, 1));
+  EXPECT_TRUE(deps.Dependent(5, 6));
+  EXPECT_FALSE(deps.Dependent(1, 5));
+  deps.AddDependency(1, 6);  // Merge the groups.
+  EXPECT_TRUE(deps.Dependent(0, 5));
+}
+
+TEST(CompatibleOnMembersTest, IndependentMembersNeverConflict) {
+  LogicalDependencies deps;
+  // Even insert vs delete is fine on unrelated members.
+  EXPECT_TRUE(CompatibleOnMembers(0, OpClass::kInsert, 1, OpClass::kDelete,
+                                  deps));
+  EXPECT_TRUE(CompatibleOnMembers(0, OpClass::kUpdateAssign, 1,
+                                  OpClass::kUpdateAssign, deps));
+}
+
+TEST(CompatibleOnMembersTest, DependentMembersUseClassMatrix) {
+  LogicalDependencies deps;
+  deps.AddDependency(0, 1);  // e.g. quantity and price of the same product.
+  EXPECT_FALSE(CompatibleOnMembers(0, OpClass::kUpdateAssign, 1,
+                                   OpClass::kUpdateAddSub, deps));
+  EXPECT_TRUE(CompatibleOnMembers(0, OpClass::kUpdateAddSub, 1,
+                                  OpClass::kUpdateAddSub, deps));
+  EXPECT_FALSE(CompatibleOnMembers(2, OpClass::kUpdateAssign, 2,
+                                   OpClass::kUpdateAssign, deps));
+}
+
+}  // namespace
+}  // namespace preserial::semantics

@@ -1,0 +1,67 @@
+#include "storage/constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace preserial::storage {
+namespace {
+
+TEST(CheckConstraintTest, HoldsEvaluatesEveryOperator) {
+  struct Case {
+    CompareOp op;
+    int64_t v;
+    bool expect;
+  };
+  const Case cases[] = {
+      {CompareOp::kEq, 5, true},  {CompareOp::kEq, 4, false},
+      {CompareOp::kNe, 4, true},  {CompareOp::kNe, 5, false},
+      {CompareOp::kLt, 4, true},  {CompareOp::kLt, 5, false},
+      {CompareOp::kLe, 5, true},  {CompareOp::kLe, 6, false},
+      {CompareOp::kGt, 6, true},  {CompareOp::kGt, 5, false},
+      {CompareOp::kGe, 5, true},  {CompareOp::kGe, 4, false},
+  };
+  for (const Case& c : cases) {
+    const CheckConstraint check("c", 0, c.op, Value::Int(5));
+    EXPECT_EQ(check.Holds(Value::Int(c.v)).value(), c.expect)
+        << CompareOpName(c.op) << " with " << c.v;
+  }
+}
+
+TEST(CheckConstraintTest, NullPassesSqlStyle) {
+  const CheckConstraint check("c", 0, CompareOp::kGe, Value::Int(0));
+  EXPECT_TRUE(check.Holds(Value::Null()).value());
+  EXPECT_TRUE(check.Check(Row({Value::Null()})).ok());
+}
+
+TEST(CheckConstraintTest, CrossNumericComparison) {
+  const CheckConstraint check("c", 0, CompareOp::kGe, Value::Int(0));
+  EXPECT_TRUE(check.Holds(Value::Double(0.5)).value());
+  EXPECT_FALSE(check.Holds(Value::Double(-0.5)).value());
+}
+
+TEST(CheckConstraintTest, IncomparableTypesError) {
+  const CheckConstraint check("c", 0, CompareOp::kGe, Value::Int(0));
+  EXPECT_FALSE(check.Holds(Value::String("x")).ok());
+}
+
+TEST(CheckConstraintTest, CheckNamesTheConstraint) {
+  const CheckConstraint check("qty_nonneg", 0, CompareOp::kGe, Value::Int(0));
+  const Status s = check.Check(Row({Value::Int(-1)}));
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+  EXPECT_NE(s.message().find("qty_nonneg"), std::string::npos);
+}
+
+TEST(CheckConstraintTest, ColumnOutOfRangeIsError) {
+  const CheckConstraint check("c", 3, CompareOp::kGe, Value::Int(0));
+  EXPECT_EQ(check.Check(Row({Value::Int(1)})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckConstraintTest, ToStringUsesSchemaNames) {
+  const Schema schema =
+      Schema::Create({ColumnDef{"qty", ValueType::kInt64, false}}, 0).value();
+  const CheckConstraint check("nonneg", 0, CompareOp::kGe, Value::Int(0));
+  EXPECT_EQ(check.ToString(schema), "nonneg: qty >= 0");
+}
+
+}  // namespace
+}  // namespace preserial::storage

@@ -1,0 +1,34 @@
+#include "common/crc32.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace preserial {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32 (IEEE) check values.
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc"), 0x352441C2u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t base = Crc32(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    EXPECT_NE(Crc32(mutated), base) << "flip at byte " << i;
+  }
+}
+
+TEST(Crc32Test, SensitiveToLength) {
+  EXPECT_NE(Crc32("aa"), Crc32("a"));
+  EXPECT_NE(Crc32(std::string("a\0b", 3)), Crc32("ab"));
+}
+
+}  // namespace
+}  // namespace preserial

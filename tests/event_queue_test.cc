@@ -1,0 +1,122 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace preserial::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Push(3.0, [&] { fired.push_back(3); });
+  q.Push(1.0, [&] { fired.push_back(1); });
+  q.Push(2.0, [&] { fired.push_back(2); });
+  while (!q.Empty()) {
+    EventQueue::Entry e = q.Pop();
+    e.action();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesAreFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.Empty()) q.Pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, PeekTimeMatchesPop) {
+  EventQueue q;
+  q.Push(5.0, [] {});
+  q.Push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 2.0);
+  EXPECT_DOUBLE_EQ(q.Pop().time, 2.0);
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 5.0);
+}
+
+TEST(EventQueueTest, CancelRemovesEvent) {
+  EventQueue q;
+  const EventId a = q.Push(1.0, [] {});
+  q.Push(2.0, [] {});
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_DOUBLE_EQ(q.Pop().time, 2.0);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue q;
+  const EventId a = q.Push(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_FALSE(q.Cancel(a));
+}
+
+TEST(EventQueueTest, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(9999));
+}
+
+TEST(EventQueueTest, CancelFiredEventFails) {
+  EventQueue q;
+  const EventId a = q.Push(1.0, [] {});
+  (void)q.Pop();
+  EXPECT_FALSE(q.Cancel(a));
+}
+
+TEST(EventQueueTest, RandomizedOrderingAgainstReference) {
+  preserial::Rng rng(77);
+  EventQueue q;
+  std::vector<double> times;
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.NextDouble() * 100;
+    times.push_back(t);
+    q.Push(t, [] {});
+  }
+  std::sort(times.begin(), times.end());
+  for (double expected : times) {
+    ASSERT_FALSE(q.Empty());
+    EXPECT_DOUBLE_EQ(q.Pop().time, expected);
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, RandomizedCancellation) {
+  preserial::Rng rng(88);
+  EventQueue q;
+  std::vector<std::pair<double, EventId>> entries;
+  for (int i = 0; i < 300; ++i) {
+    const double t = rng.NextDouble() * 10;
+    entries.emplace_back(t, q.Push(t, [] {}));
+  }
+  std::vector<double> kept;
+  for (auto& [t, id] : entries) {
+    if (rng.NextBool(0.5)) {
+      ASSERT_TRUE(q.Cancel(id));
+    } else {
+      kept.push_back(t);
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  EXPECT_EQ(q.Size(), kept.size());
+  for (double expected : kept) {
+    EXPECT_DOUBLE_EQ(q.Pop().time, expected);
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+}  // namespace
+}  // namespace preserial::sim

@@ -1,0 +1,177 @@
+// Chaos test: many client threads drive the GtmService while the SST layer
+// injects transient failures and clients randomly sleep/awake/abort. The
+// system must stay consistent: every committed delta lands exactly once,
+// aborted work leaves no residue, and the GTM invariants hold throughout.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "gtm/gtm_service.h"
+#include "storage/database.h"
+
+namespace preserial::gtm {
+namespace {
+
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class GtmChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<storage::Database>();
+    ASSERT_TRUE(db_->Open().ok());
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"qty", ValueType::kInt64, false},
+                        },
+                        0)
+                        .value();
+    ASSERT_TRUE(db_->CreateTable("t", std::move(schema)).ok());
+    for (int64_t i = 0; i < kObjects; ++i) {
+      ASSERT_TRUE(db_->InsertRow("t", Row({Value::Int(i),
+                                           Value::Int(kInitial)}))
+                      .ok());
+    }
+    GtmOptions options;
+    options.sst_retry_limit = 5;  // Ride out the injected failures.
+    service_ = std::make_unique<GtmService>(db_.get(), options);
+    for (int64_t i = 0; i < kObjects; ++i) {
+      ASSERT_TRUE(service_->gtm()
+                      ->RegisterObject("o" + std::to_string(i), "t",
+                                       Value::Int(i), {1})
+                      .ok());
+    }
+  }
+
+  static constexpr int64_t kObjects = 3;
+  static constexpr int64_t kInitial = 100000;
+
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<GtmService> service_;
+};
+
+TEST_F(GtmChaosTest, CommittedDeltasExactUnderFailuresAndSleeps) {
+  // Every 3rd SST attempt fails transiently; retries must absorb all of it.
+  std::atomic<int> sst_calls{0};
+  service_->gtm()->mutable_sst()->set_failure_injector(
+      [&sst_calls](const auto&) -> Status {
+        if (sst_calls.fetch_add(1) % 3 == 2) {
+          return Status::Unavailable("injected blip");
+        }
+        return Status::Ok();
+      });
+
+  constexpr int kThreads = 6;
+  constexpr int kTxnsPerThread = 40;
+  std::vector<std::atomic<int64_t>> committed_delta(kObjects);
+  for (auto& d : committed_delta) d.store(0);
+  std::atomic<int> aborted{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([this, ti, &committed_delta, &aborted] {
+      Rng rng(900 + static_cast<uint64_t>(ti));
+      for (int j = 0; j < kTxnsPerThread; ++j) {
+        const TxnId t = service_->Begin();
+        const size_t obj = rng.NextBounded(kObjects);
+        const int64_t amount = rng.NextInt(1, 5);
+        const Status invoked =
+            service_->Invoke(t, "o" + std::to_string(obj), 0,
+                             Operation::Sub(Value::Int(amount)), 10.0);
+        if (!invoked.ok()) {
+          (void)service_->Abort(t);
+          aborted.fetch_add(1);
+          continue;
+        }
+        // Random mid-flight behaviour: sleep/awake, voluntary abort, or
+        // straight commit.
+        const uint64_t dice = rng.NextBounded(10);
+        if (dice < 3) {
+          if (service_->Sleep(t).ok()) {
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                rng.NextInt(10, 200)));
+            if (!service_->Awake(t).ok()) {
+              aborted.fetch_add(1);  // Awake-abort: incompatible meanwhile.
+              continue;
+            }
+          }
+        } else if (dice == 3) {
+          (void)service_->Abort(t);
+          aborted.fetch_add(1);
+          continue;
+        }
+        if (service_->Commit(t).ok()) {
+          committed_delta[obj].fetch_add(amount);
+        } else {
+          aborted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Exactly the committed deltas are in the database — nothing more,
+  // nothing less, despite injected SST failures and sleeping clients.
+  for (int64_t i = 0; i < kObjects; ++i) {
+    const Value in_db = db_->GetTable("t")
+                            .value()
+                            ->GetColumnByKey(Value::Int(i), 1)
+                            .value();
+    EXPECT_EQ(in_db, Value::Int(kInitial - committed_delta[i].load()))
+        << "object " << i;
+    EXPECT_EQ(service_->gtm()->PermanentValue("o" + std::to_string(i), 0)
+                  .value(),
+              in_db);
+  }
+  EXPECT_TRUE(service_->gtm()->CheckInvariants().ok());
+  // The retry policy actually absorbed failures (sanity that chaos ran).
+  EXPECT_GT(service_->gtm()->metrics().counters().sst_retries, 0);
+  const GtmCounters& c = service_->gtm()->metrics().counters();
+  EXPECT_EQ(c.begun, kThreads * kTxnsPerThread);
+  EXPECT_EQ(c.committed + c.aborted, c.begun);
+}
+
+TEST_F(GtmChaosTest, HardSstOutageAbortsEverythingCleanly) {
+  service_->gtm()->mutable_sst()->set_failure_injector(
+      [](const auto&) { return Status::Unavailable("LDBS offline"); });
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> commit_ok{0};
+  for (int ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([this, ti, &commit_ok] {
+      Rng rng(50 + static_cast<uint64_t>(ti));
+      for (int j = 0; j < 20; ++j) {
+        const TxnId t = service_->Begin();
+        if (service_->Invoke(t, "o0", 0,
+                             Operation::Sub(Value::Int(1)), 5.0)
+                .ok() &&
+            service_->Commit(t).ok()) {
+          commit_ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(commit_ok.load(), 0);
+  // Nothing leaked into the database.
+  EXPECT_EQ(db_->GetTable("t")
+                .value()
+                ->GetColumnByKey(Value::Int(0), 1)
+                .value(),
+            Value::Int(kInitial));
+  EXPECT_TRUE(service_->gtm()->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace preserial::gtm

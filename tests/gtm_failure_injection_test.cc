@@ -1,0 +1,162 @@
+// SST failure injection and the Sec. VII recovery policy: transient
+// data-layer failures are retried; deterministic ones abort; either way
+// the GTM and the LDBS stay consistent.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gtm/gtm.h"
+#include "storage/database.h"
+
+namespace preserial::gtm {
+namespace {
+
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class GtmFailureInjectionTest : public ::testing::Test {
+ protected:
+  void Rebuild(GtmOptions options) {
+    db_ = std::make_unique<storage::Database>();
+    ASSERT_TRUE(db_->Open().ok());
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"qty", ValueType::kInt64, false},
+                        },
+                        0)
+                        .value();
+    ASSERT_TRUE(db_->CreateTable("obj", std::move(schema)).ok());
+    ASSERT_TRUE(
+        db_->InsertRow("obj", Row({Value::Int(0), Value::Int(100)})).ok());
+    clock_.Set(0.0);
+    gtm_ = std::make_unique<Gtm>(db_.get(), &clock_, options);
+    ASSERT_TRUE(gtm_->RegisterObject("X", "obj", Value::Int(0), {1}).ok());
+  }
+
+  Value DbQty() {
+    return db_->GetTable("obj").value()->GetColumnByKey(Value::Int(0), 1)
+        .value();
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  ManualClock clock_;
+  std::unique_ptr<Gtm> gtm_;
+};
+
+TEST_F(GtmFailureInjectionTest, TransientFailureAbortsWithoutRetries) {
+  Rebuild(GtmOptions());  // sst_retry_limit = 0.
+  int failures_left = 1;
+  gtm_->mutable_sst()->set_failure_injector(
+      [&failures_left](const auto&) -> Status {
+        if (failures_left > 0) {
+          --failures_left;
+          return Status::Unavailable("flaky link to the LDBS");
+        }
+        return Status::Ok();
+      });
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->RequestCommit(t).code(), StatusCode::kAborted);
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kAborted);
+  EXPECT_EQ(DbQty(), Value::Int(100));  // Nothing leaked.
+  EXPECT_TRUE(gtm_->CheckInvariants().ok());
+}
+
+TEST_F(GtmFailureInjectionTest, RetryPolicyAbsorbsTransientFailures) {
+  GtmOptions options;
+  options.sst_retry_limit = 3;
+  Rebuild(options);
+  int failures_left = 2;
+  gtm_->mutable_sst()->set_failure_injector(
+      [&failures_left](const auto&) -> Status {
+        if (failures_left > 0) {
+          --failures_left;
+          return Status::Unavailable("flaky link to the LDBS");
+        }
+        return Status::Ok();
+      });
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_TRUE(gtm_->RequestCommit(t).ok());
+  EXPECT_EQ(DbQty(), Value::Int(99));
+  EXPECT_EQ(gtm_->metrics().counters().sst_retries, 2);
+  EXPECT_EQ(gtm_->sst().counters().injected_failures, 2);
+}
+
+TEST_F(GtmFailureInjectionTest, RetryBudgetExhaustedAborts) {
+  GtmOptions options;
+  options.sst_retry_limit = 2;
+  Rebuild(options);
+  gtm_->mutable_sst()->set_failure_injector([](const auto&) {
+    return Status::Unavailable("LDBS down hard");
+  });
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->RequestCommit(t).code(), StatusCode::kAborted);
+  // Initial attempt + 2 retries.
+  EXPECT_EQ(gtm_->sst().counters().injected_failures, 3);
+  EXPECT_EQ(gtm_->metrics().counters().sst_retries, 2);
+  EXPECT_EQ(DbQty(), Value::Int(100));
+}
+
+TEST_F(GtmFailureInjectionTest, DeterministicFailuresAreNeverRetried) {
+  GtmOptions options;
+  options.sst_retry_limit = 5;
+  Rebuild(options);
+  int calls = 0;
+  gtm_->mutable_sst()->set_failure_injector([&calls](const auto&) {
+    ++calls;
+    return Status::ConstraintViolation("qty would go negative");
+  });
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->RequestCommit(t).code(), StatusCode::kAborted);
+  EXPECT_EQ(calls, 1);  // No retry of a deterministic failure.
+  EXPECT_EQ(gtm_->metrics().counters().constraint_aborts, 1);
+}
+
+TEST_F(GtmFailureInjectionTest, FailedCommitReleasesObjectForWaiters) {
+  Rebuild(GtmOptions());
+  gtm_->mutable_sst()->set_failure_injector(
+      [](const auto&) { return Status::Unavailable("flaky"); });
+  const TxnId doomed = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(doomed, "X", 0, Operation::Assign(Value::Int(5))).ok());
+  const TxnId waiter = gtm_->Begin();
+  EXPECT_EQ(gtm_->Invoke(waiter, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  EXPECT_EQ(gtm_->RequestCommit(doomed).code(), StatusCode::kAborted);
+  // The failed committer's abort admits the waiter.
+  std::vector<GtmEvent> events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, waiter);
+  gtm_->mutable_sst()->set_failure_injector(nullptr);
+  ASSERT_TRUE(gtm_->RequestCommit(waiter).ok());
+  EXPECT_EQ(DbQty(), Value::Int(99));
+  EXPECT_TRUE(gtm_->CheckInvariants().ok());
+}
+
+TEST_F(GtmFailureInjectionTest, MultiObjectCommitRollsBackAtomically) {
+  Rebuild(GtmOptions());
+  ASSERT_TRUE(
+      db_->InsertRow("obj", Row({Value::Int(1), Value::Int(50)})).ok());
+  ASSERT_TRUE(gtm_->RegisterObject("Y", "obj", Value::Int(1), {1}).ok());
+  gtm_->mutable_sst()->set_failure_injector(
+      [](const auto&) { return Status::Unavailable("flaky"); });
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(t, "Y", 0, Operation::Sub(Value::Int(2))).ok());
+  EXPECT_EQ(gtm_->RequestCommit(t).code(), StatusCode::kAborted);
+  EXPECT_EQ(DbQty(), Value::Int(100));
+  EXPECT_EQ(gtm_->PermanentValue("Y", 0).value(), Value::Int(50));
+  EXPECT_TRUE(gtm_->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace preserial::gtm

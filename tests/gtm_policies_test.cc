@@ -1,0 +1,266 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gtm/gtm.h"
+#include "storage/database.h"
+
+namespace preserial::gtm {
+namespace {
+
+using semantics::Operation;
+using storage::CheckConstraint;
+using storage::ColumnDef;
+using storage::CompareOp;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class GtmPoliciesTest : public ::testing::Test {
+ protected:
+  void Rebuild(GtmOptions options, int64_t initial_qty = 100,
+               bool with_constraint = false) {
+    db_ = std::make_unique<storage::Database>();
+    ASSERT_TRUE(db_->Open().ok());
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"qty", ValueType::kInt64, false},
+                        },
+                        0)
+                        .value();
+    ASSERT_TRUE(db_->CreateTable("obj", std::move(schema)).ok());
+    ASSERT_TRUE(db_->InsertRow("obj", Row({Value::Int(0),
+                                           Value::Int(initial_qty)}))
+                    .ok());
+    if (with_constraint) {
+      ASSERT_TRUE(db_->AddConstraint("obj", CheckConstraint("nonneg", 1,
+                                                            CompareOp::kGe,
+                                                            Value::Int(0)))
+                      .ok());
+    }
+    clock_.Set(0.0);
+    gtm_ = std::make_unique<Gtm>(db_.get(), &clock_, options);
+    ASSERT_TRUE(gtm_->RegisterObject("X", "obj", Value::Int(0), {1}).ok());
+  }
+
+  Value DbQty() {
+    return db_->GetTable("obj").value()->GetColumnByKey(Value::Int(0), 1)
+        .value();
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  ManualClock clock_;
+  std::unique_ptr<Gtm> gtm_;
+};
+
+// --- starvation guard (Sec. VII mitigation 1) ----------------------------------
+
+TEST_F(GtmPoliciesTest, StarvationGuardDisabledByDefault) {
+  Rebuild(GtmOptions());
+  const TxnId a = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  const TxnId admin = gtm_->Begin();
+  EXPECT_EQ(
+      gtm_->Invoke(admin, "X", 0, Operation::Assign(Value::Int(9))).code(),
+      StatusCode::kWaiting);
+  // Without the guard, new subtractors keep flowing past the waiting
+  // assignment — the starvation the paper warns about.
+  const TxnId b = gtm_->Begin();
+  EXPECT_TRUE(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(1))).ok());
+}
+
+TEST_F(GtmPoliciesTest, StarvationGuardDeniesFastPath) {
+  GtmOptions options;
+  options.starvation_waiter_threshold = 1;
+  Rebuild(options);
+  const TxnId a = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  const TxnId admin = gtm_->Begin();
+  EXPECT_EQ(
+      gtm_->Invoke(admin, "X", 0, Operation::Assign(Value::Int(9))).code(),
+      StatusCode::kWaiting);
+  // The guard sees one incompatible waiter and queues the newcomer even
+  // though it is compatible with the current holder.
+  const TxnId b = gtm_->Begin();
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  EXPECT_EQ(gtm_->metrics().counters().starvation_denials, 1);
+  // Drain: a commits -> admin admitted; admin commits -> b admitted.
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  std::vector<GtmEvent> events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, admin);
+  ASSERT_TRUE(gtm_->RequestCommit(admin).ok());
+  events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, b);
+  ASSERT_TRUE(gtm_->RequestCommit(b).ok());
+  EXPECT_EQ(DbQty(), Value::Int(8));  // 100-1 -> 9 -> 9-1.
+  EXPECT_TRUE(gtm_->CheckInvariants().ok());
+}
+
+// --- constraint-aware admission (Sec. VII mitigation 2) --------------------------
+
+TEST_F(GtmPoliciesTest, AdmissionDeniesOverdraft) {
+  GtmOptions options;
+  options.constraint_aware_admission = true;
+  Rebuild(options, /*initial_qty=*/2, /*with_constraint=*/true);
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  const TxnId c = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  // The third concurrent subtraction would make the pessimistic projection
+  // negative: refused up front instead of aborting at SST time.
+  EXPECT_EQ(gtm_->Invoke(c, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(gtm_->StateOf(c).value(), TxnState::kActive);
+  EXPECT_EQ(gtm_->metrics().counters().admission_denials, 1);
+  // Everyone who was admitted commits cleanly — zero constraint aborts.
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(b).ok());
+  EXPECT_EQ(DbQty(), Value::Int(0));
+  EXPECT_EQ(gtm_->metrics().counters().constraint_aborts, 0);
+}
+
+TEST_F(GtmPoliciesTest, AdmissionFreesCapacityAfterAbort) {
+  GtmOptions options;
+  options.constraint_aware_admission = true;
+  Rebuild(options, /*initial_qty=*/1, /*with_constraint=*/true);
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kConstraintViolation);
+  // a gives the seat back; b can now take it.
+  ASSERT_TRUE(gtm_->RequestAbort(a).ok());
+  ASSERT_TRUE(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(b).ok());
+  EXPECT_EQ(DbQty(), Value::Int(0));
+}
+
+TEST_F(GtmPoliciesTest, AdmissionAppliesPerOperationNotJustAtGrant) {
+  GtmOptions options;
+  options.constraint_aware_admission = true;
+  Rebuild(options, /*initial_qty=*/3, /*with_constraint=*/true);
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(2))).ok());
+  // A further subtraction through the existing grant is still checked.
+  EXPECT_EQ(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(2))).code(),
+            StatusCode::kConstraintViolation);
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  EXPECT_EQ(DbQty(), Value::Int(0));
+}
+
+TEST_F(GtmPoliciesTest, AdmissionIgnoresPositiveDeltas) {
+  GtmOptions options;
+  options.constraint_aware_admission = true;
+  Rebuild(options, /*initial_qty=*/0, /*with_constraint=*/true);
+  const TxnId adder = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(adder, "X", 0, Operation::Add(Value::Int(5))).ok());
+  // The pending +5 may still abort, so a subtraction cannot ride on it.
+  const TxnId taker = gtm_->Begin();
+  EXPECT_EQ(gtm_->Invoke(taker, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kConstraintViolation);
+  ASSERT_TRUE(gtm_->RequestCommit(adder).ok());
+  // Once committed, the capacity is real.
+  ASSERT_TRUE(gtm_->Invoke(taker, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(taker).ok());
+  EXPECT_EQ(DbQty(), Value::Int(4));
+}
+
+TEST_F(GtmPoliciesTest, WithoutAdmissionOverdraftAbortsAtSst) {
+  GtmOptions options;
+  options.constraint_aware_admission = false;
+  Rebuild(options, /*initial_qty=*/1, /*with_constraint=*/true);
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  EXPECT_EQ(gtm_->RequestCommit(b).code(), StatusCode::kAborted);
+  EXPECT_EQ(gtm_->metrics().counters().constraint_aborts, 1);
+}
+
+// --- semantic sharing ablation ---------------------------------------------------
+
+TEST_F(GtmPoliciesTest, ExclusiveModeBlocksCompatibleClasses) {
+  GtmOptions options;
+  options.semantic_sharing = false;
+  Rebuild(options);
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  // Two subtractions would share under Table I; the ablation serializes
+  // them like an exclusive-lock middleware.
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  ASSERT_EQ(gtm_->TakeEvents().size(), 1u);
+  ASSERT_TRUE(gtm_->RequestCommit(b).ok());
+  EXPECT_EQ(DbQty(), Value::Int(98));
+  EXPECT_TRUE(gtm_->CheckInvariants().ok());
+}
+
+TEST_F(GtmPoliciesTest, ExclusiveModeStillSharesReads) {
+  GtmOptions options;
+  options.semantic_sharing = false;
+  Rebuild(options);
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Read()).ok());
+  EXPECT_TRUE(gtm_->Invoke(b, "X", 0, Operation::Read()).ok());
+}
+
+// --- committed-trace retention ---------------------------------------------------
+
+TEST_F(GtmPoliciesTest, CommittedEntriesPrunedByRetention) {
+  GtmOptions options;
+  options.committed_retention = 10.0;
+  Rebuild(options);
+  for (int i = 0; i < 5; ++i) {
+    const TxnId t = gtm_->Begin();
+    ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+    ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+    clock_.Advance(4.0);
+  }
+  const ObjectState* obj = gtm_->GetObject("X").value();
+  // 5 commits at t=0,4,8,12,16; pruning runs at each commit, so at the last
+  // one (t=16, horizon 6) the entries at 0 and 4 are dropped.
+  EXPECT_EQ(obj->committed.size(), 3u);
+}
+
+// --- deadlock detection toggle ---------------------------------------------------
+
+TEST_F(GtmPoliciesTest, DeadlockDetectionOffLeavesCycleForTimeout) {
+  GtmOptions options;
+  options.deadlock_detection = false;
+  Rebuild(options);
+  ASSERT_TRUE(
+      db_->InsertRow("obj", Row({Value::Int(1), Value::Int(50)})).ok());
+  ASSERT_TRUE(gtm_->RegisterObject("Y", "obj", Value::Int(1), {1}).ok());
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(b, "Y", 0, Operation::Assign(Value::Int(2))).ok());
+  EXPECT_EQ(gtm_->Invoke(a, "Y", 0, Operation::Assign(Value::Int(3))).code(),
+            StatusCode::kWaiting);
+  // With detection off the cycle forms silently...
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Assign(Value::Int(4))).code(),
+            StatusCode::kWaiting);
+  lock::WaitsForGraph wfg = gtm_->BuildWaitsForGraph();
+  EXPECT_TRUE(wfg.DetectAnyCycle());
+  // ...and the timeout sweep is the escape hatch (classical 2PL treatment,
+  // as the paper prescribes in Sec. VII).
+  clock_.Advance(100.0);
+  std::vector<TxnId> victims = gtm_->AbortExpiredWaits(10.0);
+  EXPECT_EQ(victims.size(), 2u);
+  EXPECT_TRUE(gtm_->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace preserial::gtm

@@ -1,0 +1,185 @@
+// Priority scheduling (paper Sec. VII: "introduction of a transaction
+// priority") and the periodic waits-for-graph deadlock sweep.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gtm/gtm.h"
+#include "storage/database.h"
+
+namespace preserial::gtm {
+namespace {
+
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class GtmPriorityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Rebuild(GtmOptions()); }
+
+  void Rebuild(GtmOptions options) {
+    db_ = std::make_unique<storage::Database>();
+    ASSERT_TRUE(db_->Open().ok());
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"qty", ValueType::kInt64, false},
+                        },
+                        0)
+                        .value();
+    ASSERT_TRUE(db_->CreateTable("obj", std::move(schema)).ok());
+    for (int64_t i = 0; i < 2; ++i) {
+      ASSERT_TRUE(
+          db_->InsertRow("obj", Row({Value::Int(i), Value::Int(100)})).ok());
+    }
+    clock_.Set(0.0);
+    gtm_ = std::make_unique<Gtm>(db_.get(), &clock_, options);
+    ASSERT_TRUE(gtm_->RegisterObject("X", "obj", Value::Int(0), {1}).ok());
+    ASSERT_TRUE(gtm_->RegisterObject("Y", "obj", Value::Int(1), {1}).ok());
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  ManualClock clock_;
+  std::unique_ptr<Gtm> gtm_;
+};
+
+TEST_F(GtmPriorityTest, HigherPriorityJumpsTheQueue) {
+  const TxnId holder = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  const TxnId low = gtm_->Begin(/*priority=*/0);
+  const TxnId high = gtm_->Begin(/*priority=*/5);
+  EXPECT_EQ(gtm_->Invoke(low, "X", 0, Operation::Assign(Value::Int(2))).code(),
+            StatusCode::kWaiting);
+  EXPECT_EQ(
+      gtm_->Invoke(high, "X", 0, Operation::Assign(Value::Int(3))).code(),
+      StatusCode::kWaiting);
+  ASSERT_TRUE(gtm_->RequestCommit(holder).ok());
+  // The later-arriving high-priority assignment is admitted first.
+  std::vector<GtmEvent> events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, high);
+  EXPECT_EQ(gtm_->StateOf(low).value(), TxnState::kWaiting);
+  ASSERT_TRUE(gtm_->RequestCommit(high).ok());
+  events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, low);
+  EXPECT_TRUE(gtm_->CheckInvariants().ok());
+}
+
+TEST_F(GtmPriorityTest, EqualPriorityStaysFifo) {
+  const TxnId holder = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  const TxnId first = gtm_->Begin(/*priority=*/3);
+  const TxnId second = gtm_->Begin(/*priority=*/3);
+  EXPECT_EQ(
+      gtm_->Invoke(first, "X", 0, Operation::Assign(Value::Int(2))).code(),
+      StatusCode::kWaiting);
+  EXPECT_EQ(
+      gtm_->Invoke(second, "X", 0, Operation::Assign(Value::Int(3))).code(),
+      StatusCode::kWaiting);
+  ASSERT_TRUE(gtm_->RequestCommit(holder).ok());
+  std::vector<GtmEvent> events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, first);
+}
+
+TEST_F(GtmPriorityTest, PriorityMitigatesAssignmentStarvation) {
+  // A waiting assignment with elevated priority is admitted ahead of the
+  // continuing stream of compatible subtractions.
+  const TxnId sub1 = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(sub1, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  const TxnId admin = gtm_->Begin(/*priority=*/10);
+  EXPECT_EQ(
+      gtm_->Invoke(admin, "X", 0, Operation::Assign(Value::Int(7))).code(),
+      StatusCode::kWaiting);
+  // New subtractions keep being admitted past it (compatible with sub1)...
+  const TxnId sub2 = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(sub2, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  // ...but the moment the object drains, the high-priority admin is first
+  // in line.
+  ASSERT_TRUE(gtm_->RequestCommit(sub1).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(sub2).ok());
+  std::vector<GtmEvent> events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, admin);
+}
+
+TEST_F(GtmPriorityTest, SweepResolvesCycleByAbortingYoungest) {
+  GtmOptions options;
+  options.deadlock_detection = false;  // Let the cycle form.
+  Rebuild(options);
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(b, "Y", 0, Operation::Assign(Value::Int(2))).ok());
+  EXPECT_EQ(gtm_->Invoke(a, "Y", 0, Operation::Assign(Value::Int(3))).code(),
+            StatusCode::kWaiting);
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Assign(Value::Int(4))).code(),
+            StatusCode::kWaiting);
+  ASSERT_TRUE(gtm_->BuildWaitsForGraph().DetectAnyCycle());
+
+  std::vector<TxnId> victims = gtm_->DetectAndResolveDeadlocks();
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], b);  // Youngest (highest id) dies.
+  EXPECT_EQ(gtm_->StateOf(b).value(), TxnState::kAborted);
+  EXPECT_EQ(gtm_->metrics().counters().deadlock_aborts, 1);
+  // The survivor's wait resolved: it now holds Y too.
+  std::vector<GtmEvent> events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, a);
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  EXPECT_TRUE(gtm_->CheckInvariants().ok());
+}
+
+TEST_F(GtmPriorityTest, SweepIsNoOpWithoutCycles) {
+  const TxnId a = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  const TxnId b = gtm_->Begin();
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Assign(Value::Int(2))).code(),
+            StatusCode::kWaiting);
+  EXPECT_TRUE(gtm_->DetectAndResolveDeadlocks().empty());
+  EXPECT_EQ(gtm_->StateOf(b).value(), TxnState::kWaiting);
+}
+
+TEST_F(GtmPriorityTest, SweepResolvesMultipleIndependentCycles) {
+  GtmOptions options;
+  options.deadlock_detection = false;
+  Rebuild(options);
+  ASSERT_TRUE(
+      db_->InsertRow("obj", Row({Value::Int(2), Value::Int(100)})).ok());
+  ASSERT_TRUE(
+      db_->InsertRow("obj", Row({Value::Int(3), Value::Int(100)})).ok());
+  ASSERT_TRUE(gtm_->RegisterObject("Z", "obj", Value::Int(2), {1}).ok());
+  ASSERT_TRUE(gtm_->RegisterObject("W", "obj", Value::Int(3), {1}).ok());
+  // Cycle 1 on X/Y, cycle 2 on Z/W.
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  const TxnId c = gtm_->Begin();
+  const TxnId d = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(b, "Y", 0, Operation::Assign(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(c, "Z", 0, Operation::Assign(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(d, "W", 0, Operation::Assign(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->Invoke(a, "Y", 0, Operation::Assign(Value::Int(2))).code(),
+            StatusCode::kWaiting);
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Assign(Value::Int(2))).code(),
+            StatusCode::kWaiting);
+  EXPECT_EQ(gtm_->Invoke(c, "W", 0, Operation::Assign(Value::Int(2))).code(),
+            StatusCode::kWaiting);
+  EXPECT_EQ(gtm_->Invoke(d, "Z", 0, Operation::Assign(Value::Int(2))).code(),
+            StatusCode::kWaiting);
+  std::vector<TxnId> victims = gtm_->DetectAndResolveDeadlocks();
+  EXPECT_EQ(victims.size(), 2u);
+  EXPECT_TRUE(gtm_->CheckInvariants().ok());
+  EXPECT_FALSE(gtm_->BuildWaitsForGraph().DetectAnyCycle());
+}
+
+}  // namespace
+}  // namespace preserial::gtm

@@ -1,0 +1,271 @@
+#include "gtm/gtm_service.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace preserial::gtm {
+namespace {
+
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class GtmServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<storage::Database>();
+    ASSERT_TRUE(db_->Open().ok());
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"qty", ValueType::kInt64, false},
+                        },
+                        0)
+                        .value();
+    ASSERT_TRUE(db_->CreateTable("obj", std::move(schema)).ok());
+    ASSERT_TRUE(
+        db_->InsertRow("obj", Row({Value::Int(0), Value::Int(1000)})).ok());
+    service_ = std::make_unique<GtmService>(db_.get());
+    ASSERT_TRUE(
+        service_->gtm()->RegisterObject("X", "obj", Value::Int(0), {1}).ok());
+  }
+
+  Value DbQty() {
+    return db_->GetTable("obj").value()->GetColumnByKey(Value::Int(0), 1)
+        .value();
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<GtmService> service_;
+};
+
+TEST_F(GtmServiceTest, SingleThreadedRoundTrip) {
+  const TxnId t = service_->Begin();
+  ASSERT_TRUE(service_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(service_->Read(t, "X", 0).value(), Value::Int(999));
+  ASSERT_TRUE(service_->Commit(t).ok());
+  EXPECT_EQ(DbQty(), Value::Int(999));
+}
+
+TEST_F(GtmServiceTest, ManyConcurrentCompatibleClients) {
+  constexpr int kThreads = 8;
+  constexpr int kTxnsPerThread = 25;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([this, &committed] {
+      for (int j = 0; j < kTxnsPerThread; ++j) {
+        const TxnId t = service_->Begin();
+        if (!service_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1)), 5.0)
+                 .ok()) {
+          (void)service_->Abort(t);
+          continue;
+        }
+        if (service_->Commit(t).ok()) {
+          committed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // All subtractions are mutually compatible: everyone must commit, and
+  // every delta must survive reconciliation.
+  EXPECT_EQ(committed.load(), kThreads * kTxnsPerThread);
+  EXPECT_EQ(DbQty(), Value::Int(1000 - kThreads * kTxnsPerThread));
+  EXPECT_TRUE(service_->gtm()->CheckInvariants().ok());
+}
+
+TEST_F(GtmServiceTest, BlockedInvokeResumesOnCommit) {
+  const TxnId holder = service_->Begin();
+  ASSERT_TRUE(
+      service_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(7)))
+          .ok());
+  std::atomic<bool> waiter_done{false};
+  std::thread waiter([this, &waiter_done] {
+    const TxnId t = service_->Begin();
+    // Blocks until the holder commits.
+    EXPECT_TRUE(
+        service_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1)), 30.0)
+            .ok());
+    EXPECT_TRUE(service_->Commit(t).ok());
+    waiter_done.store(true);
+  });
+  // Give the waiter time to queue, then release it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(waiter_done.load());
+  ASSERT_TRUE(service_->Commit(holder).ok());
+  waiter.join();
+  EXPECT_TRUE(waiter_done.load());
+  EXPECT_EQ(DbQty(), Value::Int(6));
+}
+
+TEST_F(GtmServiceTest, InvokeTimesOutAndAborts) {
+  const TxnId holder = service_->Begin();
+  ASSERT_TRUE(
+      service_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(7)))
+          .ok());
+  const TxnId waiter = service_->Begin();
+  const Status s =
+      service_->Invoke(waiter, "X", 0, Operation::Sub(Value::Int(1)),
+                       /*timeout=*/0.05);
+  EXPECT_EQ(s.code(), StatusCode::kTimedOut);
+  EXPECT_EQ(service_->StateOf(waiter).value(), TxnState::kAborted);
+  ASSERT_TRUE(service_->Commit(holder).ok());
+  EXPECT_EQ(DbQty(), Value::Int(7));
+}
+
+TEST_F(GtmServiceTest, SleepAwakeThroughService) {
+  const TxnId t = service_->Begin();
+  ASSERT_TRUE(service_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(service_->Sleep(t).ok());
+  EXPECT_EQ(service_->StateOf(t).value(), TxnState::kSleeping);
+  ASSERT_TRUE(service_->Awake(t).ok());
+  ASSERT_TRUE(service_->Commit(t).ok());
+  EXPECT_EQ(DbQty(), Value::Int(999));
+}
+
+TEST_F(GtmServiceTest, MixedReadersAndWritersUnderThreads) {
+  constexpr int kThreads = 6;
+  std::atomic<int> reads_ok{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([this, i, &reads_ok] {
+      for (int j = 0; j < 10; ++j) {
+        const TxnId t = service_->Begin();
+        if (i % 2 == 0) {
+          if (service_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1)), 5.0)
+                  .ok()) {
+            (void)service_->Commit(t);
+          }
+        } else {
+          Result<Value> v = service_->Read(t, "X", 0, 5.0);
+          if (v.ok()) {
+            reads_ok.fetch_add(1);
+            (void)service_->Commit(t);
+          } else {
+            (void)service_->Abort(t);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_GT(reads_ok.load(), 0);
+  EXPECT_TRUE(service_->gtm()->CheckInvariants().ok());
+}
+
+TEST_F(GtmServiceTest, BlockingReadWaitsOutIncompatibleHolder) {
+  const TxnId holder = service_->Begin();
+  ASSERT_TRUE(
+      service_->Invoke(holder, "X", 0, Operation::Delete()).ok());
+  std::atomic<bool> read_done{false};
+  std::thread reader([this, &read_done] {
+    const TxnId t = service_->Begin();
+    Result<Value> v = service_->Read(t, "X", 0, 30.0);
+    EXPECT_TRUE(v.ok());
+    if (v.ok()) {
+      EXPECT_EQ(v.value(), Value::Int(1000));
+    }
+    (void)service_->Commit(t);
+    read_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(read_done.load());
+  ASSERT_TRUE(service_->Abort(holder).ok());
+  reader.join();
+  EXPECT_TRUE(read_done.load());
+}
+
+TEST_F(GtmServiceTest, IdleSweepParksAndAwakeResumes) {
+  const TxnId quiet = service_->Begin();
+  ASSERT_TRUE(
+      service_->Invoke(quiet, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  // Wall-clock idle period, then the housekeeping sweep parks it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::vector<TxnId> parked = service_->SleepIdleTransactions(0.01);
+  ASSERT_EQ(parked.size(), 1u);
+  EXPECT_EQ(parked[0], quiet);
+  EXPECT_EQ(service_->StateOf(quiet).value(), TxnState::kSleeping);
+  ASSERT_TRUE(service_->Awake(quiet).ok());
+  ASSERT_TRUE(service_->Commit(quiet).ok());
+  EXPECT_EQ(DbQty(), Value::Int(999));
+}
+
+TEST_F(GtmServiceTest, ExpiredWaitSweepWakesTheVictimThread) {
+  const TxnId holder = service_->Begin();
+  ASSERT_TRUE(
+      service_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(7)))
+          .ok());
+  std::atomic<bool> victim_aborted{false};
+  std::thread victim([this, &victim_aborted] {
+    const TxnId t = service_->Begin();
+    const Status s =
+        service_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1)), 60.0);
+    victim_aborted.store(s.code() == StatusCode::kAborted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  // The housekeeping sweep kills over-age waiters; the parked thread must
+  // observe its own abort and return.
+  std::vector<TxnId> victims = service_->AbortExpiredWaits(0.01);
+  ASSERT_EQ(victims.size(), 1u);
+  victim.join();
+  EXPECT_TRUE(victim_aborted.load());
+  ASSERT_TRUE(service_->Commit(holder).ok());
+  EXPECT_EQ(DbQty(), Value::Int(7));
+}
+
+TEST_F(GtmServiceTest, DeadlockSweepBreaksCrossObjectCycle) {
+  ASSERT_TRUE(
+      db_->InsertRow("obj", Row({Value::Int(1), Value::Int(500)})).ok());
+  GtmOptions options;
+  options.deadlock_detection = false;  // Let the cycle form; sweep breaks it.
+  GtmService service(db_.get(), options);
+  ASSERT_TRUE(
+      service.gtm()->RegisterObject("A", "obj", Value::Int(0), {1}).ok());
+  ASSERT_TRUE(
+      service.gtm()->RegisterObject("B", "obj", Value::Int(1), {1}).ok());
+
+  const TxnId t1 = service.Begin();
+  const TxnId t2 = service.Begin();
+  ASSERT_TRUE(service.Invoke(t1, "A", 0, Operation::Assign(Value::Int(1)))
+                  .ok());
+  ASSERT_TRUE(service.Invoke(t2, "B", 0, Operation::Assign(Value::Int(2)))
+                  .ok());
+  std::atomic<int> outcomes{0};
+  auto cross = [&service, &outcomes](TxnId txn, const char* object) {
+    const Status s = service.Invoke(txn, object, 0,
+                                    Operation::Assign(Value::Int(3)), 30.0);
+    if (s.ok()) {
+      (void)service.Commit(txn);
+      outcomes.fetch_add(1);  // Survivor.
+    } else {
+      outcomes.fetch_add(100);  // Victim.
+    }
+  };
+  std::thread th1([&] { cross(t1, "B"); });
+  std::thread th2([&] { cross(t2, "A"); });
+  // Poll the sweep until the cycle has formed (thread startup may lag).
+  std::vector<TxnId> victims;
+  for (int i = 0; i < 500 && victims.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    victims = service.DetectAndResolveDeadlocks();
+  }
+  EXPECT_EQ(victims.size(), 1u);
+  th1.join();
+  th2.join();
+  EXPECT_EQ(outcomes.load(), 101);  // One survivor, one victim.
+  EXPECT_TRUE(service.gtm()->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace preserial::gtm

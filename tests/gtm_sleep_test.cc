@@ -1,0 +1,324 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gtm/gtm.h"
+#include "storage/database.h"
+
+namespace preserial::gtm {
+namespace {
+
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class GtmSleepTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Rebuild(GtmOptions()); }
+
+  void Rebuild(GtmOptions options) {
+    db_ = std::make_unique<storage::Database>();
+    ASSERT_TRUE(db_->Open().ok());
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"qty", ValueType::kInt64, false},
+                        },
+                        0)
+                        .value();
+    ASSERT_TRUE(db_->CreateTable("obj", std::move(schema)).ok());
+    ASSERT_TRUE(
+        db_->InsertRow("obj", Row({Value::Int(0), Value::Int(100)})).ok());
+    clock_.Set(0.0);
+    gtm_ = std::make_unique<Gtm>(db_.get(), &clock_, options);
+    ASSERT_TRUE(gtm_->RegisterObject("X", "obj", Value::Int(0), {1}).ok());
+  }
+
+  Value DbQty() {
+    return db_->GetTable("obj").value()->GetColumnByKey(Value::Int(0), 1)
+        .value();
+  }
+
+  void ExpectInvariants() {
+    const Status s = gtm_->CheckInvariants();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  ManualClock clock_;
+  std::unique_ptr<Gtm> gtm_;
+};
+
+TEST_F(GtmSleepTest, SleepAndAwakeWithoutInterference) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Sleep(t).ok());
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kSleeping);
+  clock_.Advance(50.0);
+  ASSERT_TRUE(gtm_->Awake(t).ok());
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kActive);
+  // The transaction resumes and finishes its work (the paper's headline).
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  EXPECT_EQ(DbQty(), Value::Int(98));
+  EXPECT_EQ(gtm_->metrics().counters().sleeps, 1);
+  EXPECT_EQ(gtm_->metrics().counters().awakes, 1);
+  EXPECT_DOUBLE_EQ(gtm_->GetTxn(t)->total_sleep_time, 50.0);
+  ExpectInvariants();
+}
+
+TEST_F(GtmSleepTest, SleeperDoesNotBlockIncompatibleNewcomers) {
+  const TxnId sleeper = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(sleeper, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Sleep(sleeper).ok());
+  // An assignment — incompatible with the sleeping subtraction — is
+  // admitted immediately: sleepers hold no admission rights (Alg 2).
+  const TxnId admin = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(admin, "X", 0, Operation::Assign(Value::Int(42))).ok());
+  EXPECT_EQ(gtm_->StateOf(admin).value(), TxnState::kActive);
+  ExpectInvariants();
+}
+
+TEST_F(GtmSleepTest, AwakeAbortsAfterIncompatibleCommit) {
+  const TxnId sleeper = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(sleeper, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  clock_.Advance(1.0);
+  ASSERT_TRUE(gtm_->Sleep(sleeper).ok());
+  // While asleep, an incompatible assignment commits.
+  const TxnId admin = gtm_->Begin();
+  clock_.Advance(1.0);
+  ASSERT_TRUE(
+      gtm_->Invoke(admin, "X", 0, Operation::Assign(Value::Int(42))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(admin).ok());
+  clock_.Advance(1.0);
+  const Status s = gtm_->Awake(sleeper);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(gtm_->StateOf(sleeper).value(), TxnState::kAborted);
+  EXPECT_EQ(gtm_->metrics().counters().awake_aborts, 1);
+  EXPECT_EQ(DbQty(), Value::Int(42));  // Only the admin's write.
+  ExpectInvariants();
+}
+
+TEST_F(GtmSleepTest, AwakeSurvivesCompatibleCommit) {
+  const TxnId sleeper = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(sleeper, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Sleep(sleeper).ok());
+  // A compatible subtraction commits during the sleep.
+  const TxnId other = gtm_->Begin();
+  clock_.Advance(1.0);
+  ASSERT_TRUE(
+      gtm_->Invoke(other, "X", 0, Operation::Sub(Value::Int(5))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(other).ok());
+  clock_.Advance(1.0);
+  ASSERT_TRUE(gtm_->Awake(sleeper).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(sleeper).ok());
+  // Reconciliation merges both deltas.
+  EXPECT_EQ(DbQty(), Value::Int(94));
+  ExpectInvariants();
+}
+
+TEST_F(GtmSleepTest, AwakeAbortsWhileIncompatibleHolderStillPending) {
+  const TxnId sleeper = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(sleeper, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Sleep(sleeper).ok());
+  const TxnId admin = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(admin, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  // The admin has not even committed: the awake still aborts (Alg 9 checks
+  // X_pending too).
+  EXPECT_EQ(gtm_->Awake(sleeper).code(), StatusCode::kAborted);
+  ExpectInvariants();
+}
+
+TEST_F(GtmSleepTest, CommitBeforeSleepProtectsSleeper) {
+  // An incompatible commit BEFORE the sleep does not abort the sleeper
+  // (X_tc <= A_t_sleep): it conflicted while awake, meaning it never got
+  // in, or it finished before the sleeper's grant.
+  const TxnId sleeper = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(sleeper, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  clock_.Advance(1.0);
+  ASSERT_TRUE(gtm_->Sleep(sleeper).ok());
+  clock_.Advance(1.0);
+  ASSERT_TRUE(gtm_->Awake(sleeper).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(sleeper).ok());
+  EXPECT_EQ(DbQty(), Value::Int(99));
+}
+
+TEST_F(GtmSleepTest, SleepingWaiterSkippedByAdmissionPump) {
+  const TxnId holder = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  const TxnId w1 = gtm_->Begin();
+  const TxnId w2 = gtm_->Begin();
+  EXPECT_EQ(gtm_->Invoke(w1, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  EXPECT_EQ(gtm_->Invoke(w2, "X", 0, Operation::Sub(Value::Int(2))).code(),
+            StatusCode::kWaiting);
+  // The first waiter disconnects while queued.
+  ASSERT_TRUE(gtm_->Sleep(w1).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(holder).ok());
+  // theta(X_waiting - X_sleeping): only w2 admitted.
+  std::vector<GtmEvent> events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, w2);
+  EXPECT_EQ(gtm_->StateOf(w1).value(), TxnState::kSleeping);
+  ExpectInvariants();
+}
+
+TEST_F(GtmSleepTest, SleepingWaiterAdmittedDirectlyAtAwake) {
+  const TxnId holder = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(50))).ok());
+  const TxnId w = gtm_->Begin();
+  EXPECT_EQ(gtm_->Invoke(w, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  ASSERT_TRUE(gtm_->Sleep(w).ok());
+  clock_.Advance(1.0);
+  ASSERT_TRUE(gtm_->RequestCommit(holder).ok());
+  EXPECT_TRUE(gtm_->TakeEvents().empty());  // Sleeper skipped by the pump.
+  clock_.Advance(1.0);
+  // Alg 9 case 1: the awake admits the queued invocation directly with a
+  // fresh snapshot... but the holder committed DURING the sleep and the
+  // assignment is incompatible with the queued subtraction -> abort.
+  EXPECT_EQ(gtm_->Awake(w).code(), StatusCode::kAborted);
+  ExpectInvariants();
+}
+
+TEST_F(GtmSleepTest, SleepingWaiterAwakeAdmissionSucceedsWhenClear) {
+  const TxnId holder = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(50))).ok());
+  const TxnId w = gtm_->Begin();
+  clock_.Advance(1.0);
+  EXPECT_EQ(gtm_->Invoke(w, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  // The holder ABORTS (no commit) while w is queued-but-awake... first let
+  // w sleep, then the holder aborts, then w awakes: nothing committed since
+  // the sleep, nothing pending -> case 1 admits w directly.
+  ASSERT_TRUE(gtm_->Sleep(w).ok());
+  ASSERT_TRUE(gtm_->RequestAbort(holder).ok());
+  EXPECT_TRUE(gtm_->TakeEvents().empty());
+  clock_.Advance(1.0);
+  ASSERT_TRUE(gtm_->Awake(w).ok());
+  EXPECT_EQ(gtm_->StateOf(w).value(), TxnState::kActive);
+  EXPECT_EQ(gtm_->ReadLocal(w, "X", 0).value(), Value::Int(99));
+  ASSERT_TRUE(gtm_->RequestCommit(w).ok());
+  EXPECT_EQ(DbQty(), Value::Int(99));
+  ExpectInvariants();
+}
+
+TEST_F(GtmSleepTest, TwoSleepersDoNotKillEachOther) {
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(2))).ok());
+  ASSERT_TRUE(gtm_->Sleep(a).ok());
+  ASSERT_TRUE(gtm_->Sleep(b).ok());
+  ASSERT_TRUE(gtm_->Awake(a).ok());
+  ASSERT_TRUE(gtm_->Awake(b).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(b).ok());
+  EXPECT_EQ(DbQty(), Value::Int(97));
+  ExpectInvariants();
+}
+
+TEST_F(GtmSleepTest, SleepRequiresActiveOrWaiting) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Read()).ok());
+  ASSERT_TRUE(gtm_->Sleep(t).ok());
+  // Sleeping twice is invalid (Alg 8 precondition).
+  EXPECT_EQ(gtm_->Sleep(t).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(gtm_->Awake(t).ok());
+  // Awake of a non-sleeper is invalid.
+  EXPECT_EQ(gtm_->Awake(t).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  EXPECT_EQ(gtm_->Sleep(t).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(GtmSleepTest, SleepingTransactionCanBeAborted) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Sleep(t).ok());
+  ASSERT_TRUE(gtm_->RequestAbort(t).ok());
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kAborted);
+  ExpectInvariants();
+}
+
+TEST_F(GtmSleepTest, SleepDisabledAblationAbortsOnDisconnect) {
+  GtmOptions options;
+  options.sleep_enabled = false;
+  Rebuild(options);
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->Sleep(t).code(), StatusCode::kAborted);
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kAborted);
+  EXPECT_EQ(gtm_->metrics().counters().disconnect_aborts, 1);
+  ExpectInvariants();
+}
+
+TEST_F(GtmSleepTest, IdleOracleParksInactiveTransactions) {
+  const TxnId busy = gtm_->Begin();
+  const TxnId idle = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(busy, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(idle, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  clock_.Advance(8.0);
+  // `busy` keeps interacting; `idle` goes quiet.
+  ASSERT_TRUE(gtm_->Invoke(busy, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  clock_.Advance(8.0);
+  std::vector<TxnId> parked = gtm_->SleepIdleTransactions(10.0);
+  ASSERT_EQ(parked.size(), 1u);
+  EXPECT_EQ(parked[0], idle);
+  EXPECT_EQ(gtm_->StateOf(idle).value(), TxnState::kSleeping);
+  EXPECT_EQ(gtm_->StateOf(busy).value(), TxnState::kActive);
+  // The parked transaction resumes like any sleeper.
+  ASSERT_TRUE(gtm_->Awake(idle).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(idle).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(busy).ok());
+  EXPECT_EQ(DbQty(), Value::Int(97));
+  ExpectInvariants();
+}
+
+TEST_F(GtmSleepTest, IdleOracleIgnoresFreshAwakenings) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  clock_.Advance(20.0);
+  ASSERT_EQ(gtm_->SleepIdleTransactions(10.0).size(), 1u);
+  clock_.Advance(5.0);
+  ASSERT_TRUE(gtm_->Awake(t).ok());
+  // The reconnection refreshed the activity clock: not re-parked.
+  EXPECT_TRUE(gtm_->SleepIdleTransactions(10.0).empty());
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kActive);
+}
+
+TEST_F(GtmSleepTest, AwakeChecksEveryInvolvedObject) {
+  ASSERT_TRUE(
+      db_->InsertRow("obj", Row({Value::Int(1), Value::Int(10)})).ok());
+  ASSERT_TRUE(gtm_->RegisterObject("Y", "obj", Value::Int(1), {1}).ok());
+  const TxnId sleeper = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(sleeper, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(
+      gtm_->Invoke(sleeper, "Y", 0, Operation::Sub(Value::Int(1))).ok());
+  clock_.Advance(1.0);
+  ASSERT_TRUE(gtm_->Sleep(sleeper).ok());
+  // Incompatible commit on the SECOND object only.
+  const TxnId admin = gtm_->Begin();
+  clock_.Advance(1.0);
+  ASSERT_TRUE(
+      gtm_->Invoke(admin, "Y", 0, Operation::Assign(Value::Int(7))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(admin).ok());
+  EXPECT_EQ(gtm_->Awake(sleeper).code(), StatusCode::kAborted);
+  ExpectInvariants();
+}
+
+}  // namespace
+}  // namespace preserial::gtm

@@ -1,0 +1,579 @@
+#include "gtm/gtm.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace preserial::gtm {
+namespace {
+
+using semantics::Operation;
+using storage::CheckConstraint;
+using storage::ColumnDef;
+using storage::CompareOp;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class GtmTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Rebuild(GtmOptions()); }
+
+  void Rebuild(GtmOptions options) {
+    db_ = std::make_unique<storage::Database>();
+    ASSERT_TRUE(db_->Open().ok());
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"qty", ValueType::kInt64, false},
+                            ColumnDef{"price", ValueType::kDouble, false},
+                        },
+                        0)
+                        .value();
+    ASSERT_TRUE(db_->CreateTable("obj", std::move(schema)).ok());
+    for (int64_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(db_->InsertRow("obj", Row({Value::Int(i), Value::Int(100),
+                                             Value::Double(10.0)}))
+                      .ok());
+    }
+    clock_.Set(0.0);
+    gtm_ = std::make_unique<Gtm>(db_.get(), &clock_, options);
+    // Object "X" with members 0=qty (col 1) and 1=price (col 2),
+    // independent unless a test adds a dependency.
+    ASSERT_TRUE(
+        gtm_->RegisterObject("X", "obj", Value::Int(0), {1, 2}).ok());
+    ASSERT_TRUE(
+        gtm_->RegisterObject("Y", "obj", Value::Int(1), {1, 2}).ok());
+  }
+
+  Value DbQty(int64_t id) {
+    return db_->GetTable("obj").value()->GetColumnByKey(Value::Int(id), 1)
+        .value();
+  }
+  Value DbPrice(int64_t id) {
+    return db_->GetTable("obj").value()->GetColumnByKey(Value::Int(id), 2)
+        .value();
+  }
+
+  void ExpectInvariants() {
+    const Status s = gtm_->CheckInvariants();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  ManualClock clock_;
+  std::unique_ptr<Gtm> gtm_;
+};
+
+TEST_F(GtmTest, BeginCreatesActiveTransaction) {
+  const TxnId t = gtm_->Begin();
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kActive);
+  EXPECT_EQ(gtm_->metrics().counters().begun, 1);
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, InvokeGrantsAndExecutesOnVirtualCopy) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  // The copy moved, the database did not.
+  EXPECT_EQ(gtm_->ReadLocal(t, "X", 0).value(), Value::Int(99));
+  EXPECT_EQ(DbQty(0), Value::Int(100));
+  EXPECT_EQ(gtm_->PermanentValue("X", 0).value(), Value::Int(100));
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, CommitReconcilesAndWritesThroughSst) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(2))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kCommitted);
+  EXPECT_EQ(DbQty(0), Value::Int(97));
+  EXPECT_EQ(gtm_->PermanentValue("X", 0).value(), Value::Int(97));
+  EXPECT_EQ(gtm_->metrics().counters().committed, 1);
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, CompatibleSubtractionsShareTheObject) {
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  // b is admitted concurrently: the whole point of the paper.
+  ASSERT_TRUE(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(2))).ok());
+  EXPECT_EQ(gtm_->StateOf(b).value(), TxnState::kActive);
+  EXPECT_EQ(gtm_->metrics().counters().shared_grants, 1);
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(b).ok());
+  // Both deltas survive reconciliation.
+  EXPECT_EQ(DbQty(0), Value::Int(97));
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, TableTwoScenarioEndToEnd) {
+  // Paper Table II: X = 100; A adds 1 and 3; B adds 2; A commits, then B;
+  // final value 106.
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Add(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(b, "X", 0, Operation::Add(Value::Int(2))).ok());
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Add(Value::Int(3))).ok());
+  EXPECT_EQ(gtm_->ReadLocal(a, "X", 0).value(), Value::Int(104));
+  EXPECT_EQ(gtm_->ReadLocal(b, "X", 0).value(), Value::Int(102));
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  EXPECT_EQ(DbQty(0), Value::Int(104));
+  ASSERT_TRUE(gtm_->RequestCommit(b).ok());
+  EXPECT_EQ(DbQty(0), Value::Int(106));
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, IncompatibleInvocationWaits) {
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  const Status s = gtm_->Invoke(b, "X", 0, Operation::Assign(Value::Int(5)));
+  EXPECT_EQ(s.code(), StatusCode::kWaiting);
+  EXPECT_EQ(gtm_->StateOf(b).value(), TxnState::kWaiting);
+  EXPECT_TRUE(gtm_->TakeEvents().empty());
+  ExpectInvariants();
+  // a commits -> b admitted with a fresh snapshot, operation applied.
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  std::vector<GtmEvent> events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, b);
+  EXPECT_EQ(gtm_->StateOf(b).value(), TxnState::kActive);
+  EXPECT_EQ(gtm_->ReadLocal(b, "X", 0).value(), Value::Int(5));
+  ASSERT_TRUE(gtm_->RequestCommit(b).ok());
+  EXPECT_EQ(DbQty(0), Value::Int(5));
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, AssignmentHolderBlocksSubtraction) {
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Assign(Value::Int(7))).ok());
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  ASSERT_EQ(gtm_->TakeEvents().size(), 1u);
+  // b's fresh snapshot sees a's assignment.
+  EXPECT_EQ(gtm_->ReadLocal(b, "X", 0).value(), Value::Int(6));
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, ReadersShareWithEveryUpdateClass) {
+  const TxnId w = gtm_->Begin();
+  const TxnId r = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(w, "X", 0, Operation::Assign(Value::Int(5))).ok());
+  // A reader is admitted alongside the assignment holder.
+  ASSERT_TRUE(gtm_->Invoke(r, "X", 0, Operation::Read()).ok());
+  // It sees the committed value, not the writer's private copy.
+  EXPECT_EQ(gtm_->ReadLocal(r, "X", 0).value(), Value::Int(100));
+  ASSERT_TRUE(gtm_->RequestCommit(w).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(r).ok());
+  EXPECT_EQ(DbQty(0), Value::Int(5));
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, IndependentMembersDoNotConflict) {
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  // qty and price are independent members of X by default.
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(
+      gtm_->Invoke(b, "X", 1, Operation::Assign(Value::Double(12.0))).ok());
+  EXPECT_EQ(gtm_->StateOf(b).value(), TxnState::kActive);
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(b).ok());
+  EXPECT_EQ(DbQty(0), Value::Int(99));
+  EXPECT_EQ(DbPrice(0), Value::Double(12.0));
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, LogicallyDependentMembersConflict) {
+  semantics::LogicalDependencies deps;
+  deps.AddDependency(0, 1);
+  ASSERT_TRUE(
+      gtm_->RegisterObject("Z", "obj", Value::Int(2), {1, 2}, deps).ok());
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "Z", 0, Operation::Sub(Value::Int(1))).ok());
+  // Price assignment conflicts with the quantity subtraction through the
+  // declared dependence (the paper's quantity/price example).
+  EXPECT_EQ(
+      gtm_->Invoke(b, "Z", 1, Operation::Assign(Value::Double(9.0))).code(),
+      StatusCode::kWaiting);
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, DistinctObjectsNeverInteract) {
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(b, "Y", 0, Operation::Assign(Value::Int(2))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(b).ok());
+  EXPECT_EQ(DbQty(0), Value::Int(1));
+  EXPECT_EQ(DbQty(1), Value::Int(2));
+}
+
+TEST_F(GtmTest, FifoAdmissionAfterUnlock) {
+  const TxnId holder = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  const TxnId w1 = gtm_->Begin();
+  const TxnId w2 = gtm_->Begin();
+  const TxnId w3 = gtm_->Begin();
+  EXPECT_EQ(gtm_->Invoke(w1, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  EXPECT_EQ(gtm_->Invoke(w2, "X", 0, Operation::Sub(Value::Int(2))).code(),
+            StatusCode::kWaiting);
+  EXPECT_EQ(gtm_->Invoke(w3, "X", 0, Operation::Assign(Value::Int(9))).code(),
+            StatusCode::kWaiting);
+  ASSERT_TRUE(gtm_->RequestCommit(holder).ok());
+  // The two compatible subtractors are admitted together; the assignment
+  // stays queued behind them (FIFO).
+  std::vector<GtmEvent> events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].txn, w1);
+  EXPECT_EQ(events[1].txn, w2);
+  EXPECT_EQ(gtm_->StateOf(w3).value(), TxnState::kWaiting);
+  ASSERT_TRUE(gtm_->RequestCommit(w1).ok());
+  EXPECT_TRUE(gtm_->TakeEvents().empty());  // w2 still pending.
+  ASSERT_TRUE(gtm_->RequestCommit(w2).ok());
+  events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, w3);
+  ASSERT_TRUE(gtm_->RequestCommit(w3).ok());
+  EXPECT_EQ(DbQty(0), Value::Int(9));
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, AbortDiscardsCopiesAndAdmitsWaiters) {
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  ASSERT_TRUE(gtm_->RequestAbort(a).ok());
+  EXPECT_EQ(gtm_->StateOf(a).value(), TxnState::kAborted);
+  EXPECT_EQ(DbQty(0), Value::Int(100));  // Nothing leaked to the LDBS.
+  std::vector<GtmEvent> events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, b);
+  EXPECT_EQ(gtm_->ReadLocal(b, "X", 0).value(), Value::Int(99));
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, MultiObjectCommitIsAtomic) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(t, "Y", 0, Operation::Sub(Value::Int(2))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  EXPECT_EQ(DbQty(0), Value::Int(99));
+  EXPECT_EQ(DbQty(1), Value::Int(98));
+}
+
+TEST_F(GtmTest, SstConstraintViolationAbortsTransaction) {
+  ASSERT_TRUE(db_->AddConstraint("obj", CheckConstraint("nonneg", 1,
+                                                        CompareOp::kGe,
+                                                        Value::Int(0)))
+                  .ok());
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(200))).ok());
+  const Status s = gtm_->RequestCommit(t);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kAborted);
+  EXPECT_EQ(DbQty(0), Value::Int(100));
+  EXPECT_EQ(gtm_->metrics().counters().constraint_aborts, 1);
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, ConcurrentSubtractorsCanOverdraw) {
+  // The paper's Sec. VII problem 2: both subtractors are compatible, but
+  // together they violate the constraint; the later committer aborts at
+  // SST time.
+  ASSERT_TRUE(db_->AddConstraint("obj", CheckConstraint("nonneg", 1,
+                                                        CompareOp::kGe,
+                                                        Value::Int(0)))
+                  .ok());
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Sub(Value::Int(60))).ok());
+  ASSERT_TRUE(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(60))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  EXPECT_EQ(gtm_->RequestCommit(b).code(), StatusCode::kAborted);
+  EXPECT_EQ(DbQty(0), Value::Int(40));
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, UpgradeReadToMutation) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Read()).ok());
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(5))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  EXPECT_EQ(DbQty(0), Value::Int(95));
+}
+
+TEST_F(GtmTest, UpgradeBlockedByIncompatibleHolder) {
+  const TxnId holder = gtm_->Begin();
+  const TxnId reader = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(holder, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(reader, "X", 0, Operation::Read()).ok());
+  // Upgrading the read to an assignment conflicts with the subtractor.
+  EXPECT_EQ(
+      gtm_->Invoke(reader, "X", 0, Operation::Assign(Value::Int(1))).code(),
+      StatusCode::kConflict);
+  EXPECT_EQ(gtm_->StateOf(reader).value(), TxnState::kActive);
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, MixingMutationClassesOnOneMemberRejected) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->Invoke(t, "X", 0, Operation::Mul(Value::Int(2))).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(GtmTest, MulDivSharingReconciles) {
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  // Price member (1) holds 10.0.
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 1, Operation::Mul(Value::Int(2))).ok());
+  ASSERT_TRUE(gtm_->Invoke(b, "X", 1, Operation::Div(Value::Int(4))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(b).ok());
+  ASSERT_TRUE(DbPrice(0).is_numeric());
+  EXPECT_NEAR(DbPrice(0).ToDouble().value(), 5.0, 1e-9);
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, CommitRequiresActiveState) {
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  // Paper constraint (iii): a waiting transaction cannot commit.
+  EXPECT_EQ(gtm_->RequestCommit(b).code(), StatusCode::kFailedPrecondition);
+  // Terminal transactions cannot do anything.
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  EXPECT_EQ(gtm_->RequestCommit(a).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(gtm_->Invoke(a, "X", 0, Operation::Read()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(GtmTest, ReadOnlyCommitWritesNothing) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Read()).ok());
+  const int64_t before = gtm_->sst().counters().cells_written;
+  ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  EXPECT_EQ(gtm_->sst().counters().cells_written, before);
+  EXPECT_EQ(DbQty(0), Value::Int(100));
+}
+
+TEST_F(GtmTest, UnknownObjectAndMemberRejected) {
+  const TxnId t = gtm_->Begin();
+  EXPECT_EQ(gtm_->Invoke(t, "NOPE", 0, Operation::Read()).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(gtm_->Invoke(t, "X", 9, Operation::Read()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GtmTest, RegisterObjectValidation) {
+  EXPECT_EQ(gtm_->RegisterObject("X", "obj", Value::Int(0), {1}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(
+      gtm_->RegisterObject("W", "nope", Value::Int(0), {1}).code(),
+      StatusCode::kNotFound);
+  EXPECT_EQ(gtm_->RegisterObject("W", "obj", Value::Int(0), {}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(gtm_->RegisterObject("W", "obj", Value::Int(0), {99}).code(),
+            StatusCode::kInvalidArgument);
+  // Row must exist so X_permanent can be cached.
+  EXPECT_EQ(gtm_->RegisterObject("W", "obj", Value::Int(77), {1}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GtmTest, RegisterRowObjectBindsNonPkColumns) {
+  ASSERT_TRUE(gtm_->RegisterRowObject("R", "obj", Value::Int(2)).ok());
+  const ObjectState* obj = gtm_->GetObject("R").value();
+  EXPECT_EQ(obj->num_members(), 2u);  // qty + price, not id.
+  EXPECT_EQ(gtm_->PermanentValue("R", 0).value(), Value::Int(100));
+}
+
+TEST_F(GtmTest, RefreshPermanentRebindsAfterExternalWrite) {
+  // A bulk update bypasses the GTM...
+  ASSERT_TRUE(db_->UpdateRow("obj", Value::Int(0),
+                             Row({Value::Int(0), Value::Int(777),
+                                  Value::Double(10.0)}))
+                  .ok());
+  // ...the cache is stale until the rebind.
+  EXPECT_EQ(gtm_->PermanentValue("X", 0).value(), Value::Int(100));
+  ASSERT_TRUE(gtm_->RefreshPermanent("X").ok());
+  EXPECT_EQ(gtm_->PermanentValue("X", 0).value(), Value::Int(777));
+  // Transactions now snapshot the refreshed value.
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(7))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  EXPECT_EQ(DbQty(0), Value::Int(770));
+}
+
+TEST_F(GtmTest, RefreshPermanentRequiresQuiescence) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->RefreshPermanent("X").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(gtm_->RefreshPermanent("NOPE").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  EXPECT_TRUE(gtm_->RefreshPermanent("X").ok());
+}
+
+TEST_F(GtmTest, DeadlockRefusedAcrossTwoObjects) {
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Invoke(b, "Y", 0, Operation::Assign(Value::Int(2))).ok());
+  EXPECT_EQ(gtm_->Invoke(a, "Y", 0, Operation::Assign(Value::Int(3))).code(),
+            StatusCode::kWaiting);
+  // b requesting X closes the cycle: refused, b stays Active.
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Assign(Value::Int(4))).code(),
+            StatusCode::kDeadlock);
+  EXPECT_EQ(gtm_->StateOf(b).value(), TxnState::kActive);
+  EXPECT_EQ(gtm_->metrics().counters().deadlock_refusals, 1);
+  // b aborts; a's wait on Y resolves.
+  ASSERT_TRUE(gtm_->RequestAbort(b).ok());
+  std::vector<GtmEvent> events = gtm_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].txn, a);
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, AbortExpiredWaitsTimesOutWaiters) {
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  clock_.Advance(5.0);
+  EXPECT_TRUE(gtm_->AbortExpiredWaits(10.0).empty());
+  clock_.Advance(6.0);
+  std::vector<TxnId> victims = gtm_->AbortExpiredWaits(10.0);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], b);
+  EXPECT_EQ(gtm_->StateOf(b).value(), TxnState::kAborted);
+  EXPECT_EQ(gtm_->metrics().counters().timeout_aborts, 1);
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, ReadLocalQueuesBehindIncompatibleHolder) {
+  const TxnId holder = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(holder, "X", 0, Operation::Delete()).ok());
+  const TxnId reader = gtm_->Begin();
+  // Delete shares with nothing, so even a read must queue.
+  Result<Value> r = gtm_->ReadLocal(reader, "X", 0);
+  EXPECT_EQ(r.status().code(), StatusCode::kWaiting);
+  ASSERT_TRUE(gtm_->RequestAbort(holder).ok());
+  ASSERT_EQ(gtm_->TakeEvents().size(), 1u);
+  EXPECT_EQ(gtm_->ReadLocal(reader, "X", 0).value(), Value::Int(100));
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, DeleteClassNullsTheMemberAtCommit) {
+  // Register an object over the nullable-friendly price column? The schema
+  // forbids NULL here, so the SST must reject the delete and abort.
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Delete()).ok());
+  EXPECT_TRUE(gtm_->ReadLocal(t, "X", 0).value().is_null());
+  const Status s = gtm_->RequestCommit(t);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);  // qty is NOT NULL.
+  EXPECT_EQ(DbQty(0), Value::Int(100));
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, InsertClassCreatesMemberValueFromNull) {
+  // A nullable column models a member that can be absent.
+  Result<storage::Schema> schema = storage::Schema::Create(
+      {
+          storage::ColumnDef{"id", storage::ValueType::kInt64, false},
+          storage::ColumnDef{"note", storage::ValueType::kString, true},
+      },
+      0);
+  ASSERT_TRUE(db_->CreateTable("n", std::move(schema).value()).ok());
+  ASSERT_TRUE(
+      db_->InsertRow("n", Row({Value::Int(0), Value::Null()})).ok());
+  ASSERT_TRUE(gtm_->RegisterObject("N", "n", Value::Int(0), {1}).ok());
+  const TxnId t = gtm_->Begin();
+  // The member is absent: only insert is a legal first operation.
+  EXPECT_FALSE(gtm_->Invoke(t, "N", 0, Operation::Read()).ok());
+  ASSERT_TRUE(
+      gtm_->Invoke(t, "N", 0, Operation::Insert(Value::String("hi"))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  EXPECT_EQ(db_->GetTable("n").value()->GetColumnByKey(Value::Int(0), 1)
+                .value(),
+            Value::String("hi"));
+  // Now present: delete nulls it out again (nullable, so the SST accepts).
+  const TxnId d = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(d, "N", 0, Operation::Delete()).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(d).ok());
+  EXPECT_TRUE(db_->GetTable("n").value()->GetColumnByKey(Value::Int(0), 1)
+                  .value()
+                  .is_null());
+  ExpectInvariants();
+}
+
+TEST_F(GtmTest, MetricsTrackLatencies) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  clock_.Advance(2.0);
+  ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  ASSERT_EQ(gtm_->metrics().execution_time().count(), 1);
+  EXPECT_DOUBLE_EQ(gtm_->metrics().execution_time().mean(), 2.0);
+}
+
+TEST_F(GtmTest, IntrospectionListsStatesAndLiveCount) {
+  const TxnId active = gtm_->Begin();
+  const TxnId waiter = gtm_->Begin();
+  const TxnId sleeper = gtm_->Begin();
+  const TxnId done = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(active, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->Invoke(waiter, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  ASSERT_TRUE(
+      gtm_->Invoke(sleeper, "Y", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Sleep(sleeper).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(done).ok());  // Empty txn commits.
+  EXPECT_EQ(gtm_->TransactionsInState(TxnState::kActive),
+            (std::vector<TxnId>{active}));
+  EXPECT_EQ(gtm_->TransactionsInState(TxnState::kWaiting),
+            (std::vector<TxnId>{waiter}));
+  EXPECT_EQ(gtm_->TransactionsInState(TxnState::kSleeping),
+            (std::vector<TxnId>{sleeper}));
+  EXPECT_EQ(gtm_->TransactionsInState(TxnState::kCommitted),
+            (std::vector<TxnId>{done}));
+  EXPECT_EQ(gtm_->live_transaction_count(), 3u);
+}
+
+TEST_F(GtmTest, WaitTimeMeasured) {
+  const TxnId a = gtm_->Begin();
+  const TxnId b = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(a, "X", 0, Operation::Assign(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->Invoke(b, "X", 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  clock_.Advance(3.0);
+  ASSERT_TRUE(gtm_->RequestCommit(a).ok());
+  ASSERT_EQ(gtm_->metrics().wait_time().count(), 1);
+  EXPECT_DOUBLE_EQ(gtm_->metrics().wait_time().mean(), 3.0);
+  const ManagedTxn* mt = gtm_->GetTxn(b);
+  ASSERT_NE(mt, nullptr);
+  EXPECT_DOUBLE_EQ(mt->total_wait_time, 3.0);
+}
+
+}  // namespace
+}  // namespace preserial::gtm

@@ -1,0 +1,130 @@
+// Randomized stress of the lock manager: arbitrary acquire/release/cancel
+// traffic across transactions and resources. Invariants checked throughout:
+//   - the granted set of every resource stays mutually compatible;
+//   - a transaction reported kGranted really holds the lock;
+//   - deadlock refusals leave no residue;
+//   - every waiter is eventually granted once all holders release (no lost
+//     wakeups).
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lock/lock_manager.h"
+
+namespace preserial::lock {
+namespace {
+
+constexpr int kResources = 6;
+constexpr int kTxns = 12;
+
+ResourceId Res(int i) { return "r" + std::to_string(i); }
+
+class LockFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LockFuzzTest, InvariantsHoldUnderRandomTraffic) {
+  Rng rng(GetParam());
+  LockManager lm;
+  // Our model: per txn, the set of resources it waits on / holds.
+  std::map<TxnId, std::set<ResourceId>> waiting;
+  std::map<TxnId, std::map<ResourceId, LockMode>> held;
+
+  auto check_grants_compatible = [&] {
+    // Every pair of holders of the same resource must be compatible.
+    for (const auto& [txn, resources] : held) {
+      for (const auto& [res, mode] : resources) {
+        LockMode actual;
+        ASSERT_TRUE(lm.Holds(txn, res, &actual))
+            << "model thinks txn " << txn << " holds " << res;
+        ASSERT_EQ(static_cast<int>(actual) >= static_cast<int>(mode), true);
+        for (const auto& [other, other_resources] : held) {
+          if (other == txn) continue;
+          auto it = other_resources.find(res);
+          if (it == other_resources.end()) continue;
+          EXPECT_TRUE(Compatible(it->second, mode) ||
+                      Compatible(mode, it->second))
+              << res << ": " << LockModeName(it->second) << " vs "
+              << LockModeName(mode);
+        }
+      }
+    }
+  };
+
+  auto absorb = [&](const std::vector<LockGrant>& grants) {
+    for (const LockGrant& g : grants) {
+      waiting[g.txn].erase(g.resource);
+      held[g.txn][g.resource] = g.mode;
+    }
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const TxnId txn = 1 + rng.NextBounded(kTxns);
+    switch (rng.NextBounded(5)) {
+      case 0:
+      case 1: {  // Acquire a random mode on a random resource.
+        if (!waiting[txn].empty()) break;  // One blocked request at a time.
+        const ResourceId res = Res(rng.NextBounded(kResources));
+        const LockMode mode =
+            static_cast<LockMode>(rng.NextBounded(3));
+        const LockResult result = lm.Acquire(txn, res, mode);
+        switch (result) {
+          case LockResult::kGranted: {
+            LockMode& slot = held[txn][res];
+            slot = Stronger(slot, mode);
+            break;
+          }
+          case LockResult::kWaiting:
+            waiting[txn].insert(res);
+            break;
+          case LockResult::kDeadlock:
+            // Backed out; txn still holds what it held.
+            absorb(lm.TakePendingGrants());
+            break;
+        }
+        break;
+      }
+      case 2: {  // Release everything (commit/abort).
+        absorb(lm.ReleaseAll(txn));
+        held.erase(txn);
+        waiting.erase(txn);
+        break;
+      }
+      case 3: {  // Cancel waits (lock timeout).
+        absorb(lm.CancelWaits(txn));
+        waiting[txn].clear();
+        break;
+      }
+      case 4: {  // Release one held resource.
+        if (held[txn].empty()) break;
+        auto it = held[txn].begin();
+        std::advance(it, rng.NextBounded(held[txn].size()));
+        const ResourceId res = it->first;
+        held[txn].erase(it);
+        absorb(lm.Release(txn, res));
+        break;
+      }
+    }
+    if (step % 101 == 0) check_grants_compatible();
+  }
+
+  // Drain: release everyone; no waiter may be left stranded.
+  for (TxnId txn = 1; txn <= kTxns; ++txn) {
+    absorb(lm.ReleaseAll(txn));
+    held.erase(txn);
+    waiting.erase(txn);
+  }
+  for (TxnId txn = 1; txn <= kTxns; ++txn) {
+    EXPECT_FALSE(lm.IsWaiting(txn)) << txn;
+    EXPECT_TRUE(lm.HeldResources(txn).empty()) << txn;
+  }
+  EXPECT_EQ(lm.resource_count(), 0u);  // Queues garbage-collected.
+  EXPECT_FALSE(lm.BuildWaitsForGraph().DetectAnyCycle());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockFuzzTest,
+                         ::testing::Values(3, 14, 159, 2653));
+
+}  // namespace
+}  // namespace preserial::lock

@@ -1,0 +1,141 @@
+#include "lock/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace preserial::lock {
+namespace {
+
+TEST(LockManagerTest, GrantAndRelease) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, "r", LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_TRUE(lm.Holds(1, "r"));
+  EXPECT_EQ(lm.Acquire(2, "r", LockMode::kShared), LockResult::kWaiting);
+  EXPECT_TRUE(lm.IsWaiting(2));
+  std::vector<LockGrant> grants = lm.Release(1, "r");
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 2u);
+  EXPECT_EQ(grants[0].resource, "r");
+  EXPECT_TRUE(lm.Holds(2, "r"));
+  EXPECT_FALSE(lm.IsWaiting(2));
+}
+
+TEST(LockManagerTest, IndependentResourcesDontInteract) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, "a", LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(2, "b", LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.resource_count(), 2u);
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, "a", LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(1, "b", LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(2, "a", LockMode::kExclusive), LockResult::kWaiting);
+  EXPECT_EQ(lm.Acquire(3, "b", LockMode::kExclusive), LockResult::kWaiting);
+  std::vector<LockGrant> grants = lm.ReleaseAll(1);
+  EXPECT_EQ(grants.size(), 2u);
+  EXPECT_TRUE(lm.Holds(2, "a"));
+  EXPECT_TRUE(lm.Holds(3, "b"));
+  EXPECT_TRUE(lm.HeldResources(1).empty());
+}
+
+TEST(LockManagerTest, ClassicTwoResourceDeadlockRefused) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, "a", LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(2, "b", LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(1, "b", LockMode::kExclusive), LockResult::kWaiting);
+  // Txn 2 asking for "a" would close the cycle: refused.
+  EXPECT_EQ(lm.Acquire(2, "a", LockMode::kExclusive), LockResult::kDeadlock);
+  // Txn 2 still holds "b"; its refused request left no residue.
+  EXPECT_TRUE(lm.Holds(2, "b"));
+  EXPECT_FALSE(lm.IsWaiting(2));
+  // Unblocking: txn 2 commits, txn 1 gets "b".
+  std::vector<LockGrant> grants = lm.ReleaseAll(2);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 1u);
+}
+
+TEST(LockManagerTest, UpgradeDeadlockBetweenTwoReaders) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, "r", LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(2, "r", LockMode::kShared), LockResult::kGranted);
+  // Both try to upgrade: the second upgrade closes a cycle.
+  EXPECT_EQ(lm.Acquire(1, "r", LockMode::kExclusive), LockResult::kWaiting);
+  EXPECT_EQ(lm.Acquire(2, "r", LockMode::kExclusive), LockResult::kDeadlock);
+  // Victim (txn 2) aborts; txn 1's upgrade goes through.
+  std::vector<LockGrant> grants = lm.ReleaseAll(2);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 1u);
+  EXPECT_EQ(grants[0].mode, LockMode::kExclusive);
+}
+
+TEST(LockManagerTest, UpdateLocksAvoidUpgradeDeadlock) {
+  LockManager lm;
+  // The Sec. II fix: read-with-intent uses U, so the second reader queues
+  // instead of deadlocking later.
+  EXPECT_EQ(lm.Acquire(1, "r", LockMode::kUpdate), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(2, "r", LockMode::kUpdate), LockResult::kWaiting);
+  EXPECT_EQ(lm.Acquire(1, "r", LockMode::kExclusive), LockResult::kGranted);
+  std::vector<LockGrant> grants = lm.ReleaseAll(1);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 2u);
+}
+
+TEST(LockManagerTest, CancelWaitsKeepsHeldLocks) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, "a", LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(2, "a", LockMode::kExclusive), LockResult::kWaiting);
+  EXPECT_EQ(lm.Acquire(2, "b", LockMode::kShared), LockResult::kGranted);
+  (void)lm.CancelWaits(2);
+  EXPECT_FALSE(lm.IsWaiting(2));
+  EXPECT_TRUE(lm.Holds(2, "b"));
+  // Txn 1's release now grants nobody (the waiter backed out).
+  EXPECT_TRUE(lm.Release(1, "a").empty());
+}
+
+TEST(LockManagerTest, CancelWaitUnblocksLaterWaiters) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, "r", LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(2, "r", LockMode::kExclusive), LockResult::kWaiting);
+  EXPECT_EQ(lm.Acquire(3, "r", LockMode::kShared), LockResult::kWaiting);
+  std::vector<LockGrant> grants = lm.CancelWaits(2);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 3u);
+}
+
+TEST(LockManagerTest, WaitsForGraphMirrorsQueues) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, "a", LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(2, "a", LockMode::kExclusive), LockResult::kWaiting);
+  WaitsForGraph wfg = lm.BuildWaitsForGraph();
+  EXPECT_EQ(wfg.edge_count(), 1u);
+  EXPECT_TRUE(wfg.Successors(2).count(1) > 0);
+}
+
+TEST(LockManagerTest, HeldResourcesLists) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, "a", LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(1, "b", LockMode::kExclusive), LockResult::kGranted);
+  std::vector<ResourceId> held = lm.HeldResources(1);
+  EXPECT_EQ(held.size(), 2u);
+}
+
+TEST(LockManagerTest, GarbageCollectsEmptyQueues) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, "r", LockMode::kExclusive), LockResult::kGranted);
+  (void)lm.ReleaseAll(1);
+  EXPECT_EQ(lm.resource_count(), 0u);
+}
+
+TEST(LockManagerTest, ThreeWayDeadlockRefused) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(1, "a", LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(2, "b", LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(3, "c", LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(1, "b", LockMode::kExclusive), LockResult::kWaiting);
+  EXPECT_EQ(lm.Acquire(2, "c", LockMode::kExclusive), LockResult::kWaiting);
+  EXPECT_EQ(lm.Acquire(3, "a", LockMode::kExclusive), LockResult::kDeadlock);
+}
+
+}  // namespace
+}  // namespace preserial::lock

@@ -1,0 +1,47 @@
+#include "lock/lock_mode.h"
+
+#include <gtest/gtest.h>
+
+namespace preserial::lock {
+namespace {
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  // held, requested -> compatible
+  EXPECT_TRUE(Compatible(LockMode::kShared, LockMode::kShared));
+  EXPECT_TRUE(Compatible(LockMode::kShared, LockMode::kUpdate));
+  EXPECT_FALSE(Compatible(LockMode::kShared, LockMode::kExclusive));
+
+  EXPECT_TRUE(Compatible(LockMode::kUpdate, LockMode::kShared));
+  EXPECT_FALSE(Compatible(LockMode::kUpdate, LockMode::kUpdate));
+  EXPECT_FALSE(Compatible(LockMode::kUpdate, LockMode::kExclusive));
+
+  EXPECT_FALSE(Compatible(LockMode::kExclusive, LockMode::kShared));
+  EXPECT_FALSE(Compatible(LockMode::kExclusive, LockMode::kUpdate));
+  EXPECT_FALSE(Compatible(LockMode::kExclusive, LockMode::kExclusive));
+}
+
+TEST(LockModeTest, UpgradeOrdering) {
+  EXPECT_TRUE(IsUpgrade(LockMode::kShared, LockMode::kUpdate));
+  EXPECT_TRUE(IsUpgrade(LockMode::kShared, LockMode::kExclusive));
+  EXPECT_TRUE(IsUpgrade(LockMode::kUpdate, LockMode::kExclusive));
+  EXPECT_FALSE(IsUpgrade(LockMode::kExclusive, LockMode::kShared));
+  EXPECT_FALSE(IsUpgrade(LockMode::kShared, LockMode::kShared));
+}
+
+TEST(LockModeTest, Stronger) {
+  EXPECT_EQ(Stronger(LockMode::kShared, LockMode::kExclusive),
+            LockMode::kExclusive);
+  EXPECT_EQ(Stronger(LockMode::kUpdate, LockMode::kShared),
+            LockMode::kUpdate);
+  EXPECT_EQ(Stronger(LockMode::kShared, LockMode::kShared),
+            LockMode::kShared);
+}
+
+TEST(LockModeTest, Names) {
+  EXPECT_STREQ(LockModeName(LockMode::kShared), "S");
+  EXPECT_STREQ(LockModeName(LockMode::kUpdate), "U");
+  EXPECT_STREQ(LockModeName(LockMode::kExclusive), "X");
+}
+
+}  // namespace
+}  // namespace preserial::lock

@@ -1,0 +1,144 @@
+#include "lock/lock_table.h"
+
+#include <gtest/gtest.h>
+
+namespace preserial::lock {
+namespace {
+
+TEST(ResourceQueueTest, GrantsCompatibleImmediately) {
+  ResourceQueue q;
+  EXPECT_EQ(q.Acquire(1, LockMode::kShared), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(2, LockMode::kShared), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.granted_count(), 2u);
+  EXPECT_TRUE(q.HeldBy(1));
+  EXPECT_TRUE(q.HeldBy(2));
+}
+
+TEST(ResourceQueueTest, ExclusiveConflictsQueue) {
+  ResourceQueue q;
+  EXPECT_EQ(q.Acquire(1, LockMode::kExclusive), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(2, LockMode::kShared), AcquireOutcome::kWaiting);
+  EXPECT_TRUE(q.IsWaiting(2));
+  EXPECT_FALSE(q.HeldBy(2));
+}
+
+TEST(ResourceQueueTest, ReacquireSameModeIsNoOp) {
+  ResourceQueue q;
+  EXPECT_EQ(q.Acquire(1, LockMode::kExclusive), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(1, LockMode::kExclusive), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(1, LockMode::kShared), AcquireOutcome::kGranted);
+  LockMode mode;
+  ASSERT_TRUE(q.HeldBy(1, &mode));
+  EXPECT_EQ(mode, LockMode::kExclusive);  // Never downgrades.
+}
+
+TEST(ResourceQueueTest, ReleaseGrantsNextInFifoOrder) {
+  ResourceQueue q;
+  EXPECT_EQ(q.Acquire(1, LockMode::kExclusive), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(2, LockMode::kExclusive), AcquireOutcome::kWaiting);
+  EXPECT_EQ(q.Acquire(3, LockMode::kExclusive), AcquireOutcome::kWaiting);
+  std::vector<ResourceQueue::Grant> grants = q.Release(1);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 2u);
+  grants = q.Release(2);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 3u);
+}
+
+TEST(ResourceQueueTest, ReleaseGrantsCompatibleBatch) {
+  ResourceQueue q;
+  EXPECT_EQ(q.Acquire(1, LockMode::kExclusive), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(2, LockMode::kShared), AcquireOutcome::kWaiting);
+  EXPECT_EQ(q.Acquire(3, LockMode::kShared), AcquireOutcome::kWaiting);
+  EXPECT_EQ(q.Acquire(4, LockMode::kExclusive), AcquireOutcome::kWaiting);
+  std::vector<ResourceQueue::Grant> grants = q.Release(1);
+  // Both shared readers admitted together; the X stays queued.
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_EQ(grants[0].txn, 2u);
+  EXPECT_EQ(grants[1].txn, 3u);
+  EXPECT_TRUE(q.IsWaiting(4));
+}
+
+TEST(ResourceQueueTest, FreshRequestQueuesBehindWaiters) {
+  ResourceQueue q;
+  EXPECT_EQ(q.Acquire(1, LockMode::kShared), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(2, LockMode::kExclusive), AcquireOutcome::kWaiting);
+  // S would be compatible with the grant, but FIFO fairness queues it
+  // behind the waiting X to prevent writer starvation.
+  EXPECT_EQ(q.Acquire(3, LockMode::kShared), AcquireOutcome::kWaiting);
+}
+
+TEST(ResourceQueueTest, UpgradeGrantedWhenAlone) {
+  ResourceQueue q;
+  EXPECT_EQ(q.Acquire(1, LockMode::kShared), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(1, LockMode::kExclusive), AcquireOutcome::kGranted);
+  LockMode mode;
+  ASSERT_TRUE(q.HeldBy(1, &mode));
+  EXPECT_EQ(mode, LockMode::kExclusive);
+}
+
+TEST(ResourceQueueTest, UpgradeWaitsForOtherHolders) {
+  ResourceQueue q;
+  EXPECT_EQ(q.Acquire(1, LockMode::kShared), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(2, LockMode::kShared), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(1, LockMode::kExclusive), AcquireOutcome::kWaiting);
+  // Still holds the original S while waiting for the upgrade.
+  LockMode mode;
+  ASSERT_TRUE(q.HeldBy(1, &mode));
+  EXPECT_EQ(mode, LockMode::kShared);
+  std::vector<ResourceQueue::Grant> grants = q.Release(2);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 1u);
+  EXPECT_EQ(grants[0].mode, LockMode::kExclusive);
+}
+
+TEST(ResourceQueueTest, UpgradeJumpsAheadOfPlainWaiters) {
+  ResourceQueue q;
+  EXPECT_EQ(q.Acquire(1, LockMode::kShared), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(2, LockMode::kShared), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(3, LockMode::kExclusive), AcquireOutcome::kWaiting);
+  EXPECT_EQ(q.Acquire(1, LockMode::kExclusive), AcquireOutcome::kWaiting);
+  // When txn 2 releases, the upgrade (txn 1) wins over the older waiter 3.
+  std::vector<ResourceQueue::Grant> grants = q.Release(2);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 1u);
+  EXPECT_EQ(grants[0].mode, LockMode::kExclusive);
+}
+
+TEST(ResourceQueueTest, CancelWaitUnblocksQueue) {
+  ResourceQueue q;
+  EXPECT_EQ(q.Acquire(1, LockMode::kShared), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(2, LockMode::kExclusive), AcquireOutcome::kWaiting);
+  EXPECT_EQ(q.Acquire(3, LockMode::kShared), AcquireOutcome::kWaiting);
+  std::vector<ResourceQueue::Grant> grants = q.CancelWait(2);
+  // With the X waiter gone, the S waiter can share with holder 1.
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 3u);
+}
+
+TEST(ResourceQueueTest, BlockersIncludeHoldersAndEarlierWaiters) {
+  ResourceQueue q;
+  EXPECT_EQ(q.Acquire(1, LockMode::kShared), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(2, LockMode::kExclusive), AcquireOutcome::kWaiting);
+  EXPECT_EQ(q.Acquire(3, LockMode::kShared), AcquireOutcome::kWaiting);
+  std::vector<TxnId> blockers = q.BlockersOf(3);
+  // Txn 3 (S) is blocked by the earlier waiting X (2) but not holder 1 (S).
+  ASSERT_EQ(blockers.size(), 1u);
+  EXPECT_EQ(blockers[0], 2u);
+  blockers = q.BlockersOf(2);
+  ASSERT_EQ(blockers.size(), 1u);
+  EXPECT_EQ(blockers[0], 1u);
+  EXPECT_TRUE(q.BlockersOf(99).empty());
+}
+
+TEST(ResourceQueueTest, EmptyAfterFullDrain) {
+  ResourceQueue q;
+  EXPECT_EQ(q.Acquire(1, LockMode::kExclusive), AcquireOutcome::kGranted);
+  EXPECT_EQ(q.Acquire(2, LockMode::kExclusive), AcquireOutcome::kWaiting);
+  (void)q.Release(1);
+  (void)q.Release(2);
+  EXPECT_TRUE(q.Empty());
+}
+
+}  // namespace
+}  // namespace preserial::lock

@@ -1,0 +1,156 @@
+#include "model/analytic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace preserial::model {
+namespace {
+
+TEST(LogBinomialTest, SmallValuesExact) {
+  EXPECT_NEAR(std::exp(LogBinomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(52, 5)), 2598960.0, 1.0);
+}
+
+TEST(LogBinomialTest, InvalidArgumentsAreMinusInfinity) {
+  EXPECT_TRUE(std::isinf(LogBinomial(5, 6)));
+  EXPECT_TRUE(std::isinf(LogBinomial(5, -1)));
+  EXPECT_TRUE(std::isinf(LogBinomial(-2, 1)));
+}
+
+TEST(LogBinomialTest, LargeValuesStayFinite) {
+  EXPECT_TRUE(std::isfinite(LogBinomial(1000000, 500000)));
+}
+
+TEST(TwoPlTimeTest, PaperEquationThree) {
+  // tau(c) = tau_e (1 + c / (2n)).
+  EXPECT_DOUBLE_EQ(TwoPlExecutionTime(1000, 0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(TwoPlExecutionTime(1000, 500, 1.0), 1.25);
+  EXPECT_DOUBLE_EQ(TwoPlExecutionTime(1000, 1000, 1.0), 1.5);
+  EXPECT_DOUBLE_EQ(TwoPlExecutionTime(100, 50, 2.0), 2.5);
+}
+
+TEST(TwoPlTimeTest, LinearInConflicts) {
+  const double t0 = TwoPlExecutionTime(100, 10, 1.0);
+  const double t1 = TwoPlExecutionTime(100, 20, 1.0);
+  const double t2 = TwoPlExecutionTime(100, 30, 1.0);
+  EXPECT_NEAR(t1 - t0, t2 - t1, 1e-12);
+}
+
+TEST(HypergeometricTest, SumsToOne) {
+  const int64_t n = 100;
+  for (int64_t i : {0L, 10L, 50L, 100L}) {
+    for (int64_t c : {0L, 15L, 60L, 100L}) {
+      double total = 0;
+      for (int64_t k = 0; k <= std::min(i, c); ++k) {
+        total += IncompatibleConflictProbability(n, i, c, k);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9) << "i=" << i << " c=" << c;
+    }
+  }
+}
+
+TEST(HypergeometricTest, MeanIsCiOverN) {
+  const int64_t n = 200;
+  const int64_t i = 60;
+  const int64_t c = 50;
+  double mean = 0;
+  for (int64_t k = 0; k <= std::min(i, c); ++k) {
+    mean += static_cast<double>(k) *
+            IncompatibleConflictProbability(n, i, c, k);
+  }
+  EXPECT_NEAR(mean, static_cast<double>(c) * i / n, 1e-9);
+}
+
+TEST(HypergeometricTest, DegenerateCases) {
+  // No incompatible ops: K = 0 surely.
+  EXPECT_NEAR(IncompatibleConflictProbability(100, 0, 50, 0), 1.0, 1e-12);
+  // Everything incompatible: K = c surely.
+  EXPECT_NEAR(IncompatibleConflictProbability(100, 100, 50, 50), 1.0, 1e-9);
+  EXPECT_NEAR(IncompatibleConflictProbability(100, 100, 50, 49), 0.0, 1e-12);
+}
+
+TEST(OurTimeTest, MatchesClosedForm) {
+  const double tau_e = 1.0;
+  for (int64_t n : {50L, 200L, 1000L}) {
+    for (int64_t c = 0; c <= n; c += n / 5) {
+      for (int64_t i = 0; i <= n; i += n / 5) {
+        EXPECT_NEAR(OurExecutionTime(n, c, i, tau_e),
+                    OurExecutionTimeClosedForm(n, c, i, tau_e), 1e-9)
+            << "n=" << n << " c=" << c << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(OurTimeTest, PaperHeadlineFiftyPercentImprovement) {
+  // Best case c = 100 %, i = 0: ours is tau_e while 2PL is 1.5 tau_e,
+  // the paper's "theoretical time improvement of 50 %".
+  const int64_t n = 1000;
+  const double ours = OurExecutionTime(n, n, 0, 1.0);
+  const double theirs = TwoPlExecutionTime(n, n, 1.0);
+  EXPECT_DOUBLE_EQ(ours, 1.0);
+  EXPECT_DOUBLE_EQ(theirs, 1.5);
+  EXPECT_DOUBLE_EQ((theirs - ours) / ours, 0.5);
+}
+
+TEST(OurTimeTest, NeverWorseThanTwoPl) {
+  const int64_t n = 300;
+  for (int64_t c = 0; c <= n; c += 30) {
+    for (int64_t i = 0; i <= n; i += 30) {
+      EXPECT_LE(OurExecutionTime(n, c, i, 1.0) - 1e-12,
+                TwoPlExecutionTime(n, c, 1.0))
+          << "c=" << c << " i=" << i;
+    }
+  }
+}
+
+TEST(OurTimeTest, MonotoneInConflictsAndIncompatibilities) {
+  const int64_t n = 400;
+  double prev = 0;
+  for (int64_t c = 0; c <= n; c += 40) {
+    const double t = OurExecutionTime(n, c, n / 2, 1.0);
+    EXPECT_GE(t + 1e-12, prev);
+    prev = t;
+  }
+  prev = 0;
+  for (int64_t i = 0; i <= n; i += 40) {
+    const double t = OurExecutionTime(n, n / 2, i, 1.0);
+    EXPECT_GE(t + 1e-12, prev);
+    prev = t;
+  }
+}
+
+TEST(OurTimeTest, EqualsTwoPlWhenEverythingIncompatible) {
+  // i = n: every conflict is incompatible, E[K] = c, so the schemes match.
+  const int64_t n = 250;
+  for (int64_t c = 0; c <= n; c += 50) {
+    EXPECT_NEAR(OurExecutionTime(n, c, n, 1.0), TwoPlExecutionTime(n, c, 1.0),
+                1e-9);
+  }
+}
+
+TEST(AbortModelTest, ProductOfProbabilities) {
+  EXPECT_DOUBLE_EQ(SleeperAbortProbability(0.5, 0.4, 0.2), 0.04);
+  EXPECT_DOUBLE_EQ(SleeperAbortProbability(0, 1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(SleeperAbortProbability(1, 1, 1), 1.0);
+}
+
+TEST(AbortModelTest, ClampsOutOfRangeInputs) {
+  EXPECT_DOUBLE_EQ(SleeperAbortProbability(2.0, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(SleeperAbortProbability(-1.0, 1.0, 1.0), 0.0);
+}
+
+TEST(AbortModelTest, MonotoneInEachFactor) {
+  double prev = -1;
+  for (double d = 0; d <= 1.0; d += 0.1) {
+    const double p = SleeperAbortProbability(d, 0.6, 0.7);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace preserial::model

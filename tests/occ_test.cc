@@ -1,0 +1,167 @@
+#include "txn/occ.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace preserial::txn {
+namespace {
+
+using storage::CheckConstraint;
+using storage::ColumnDef;
+using storage::CompareOp;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class OccEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<storage::Database>();
+    ASSERT_TRUE(db_->Open().ok());
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"qty", ValueType::kInt64, false},
+                        },
+                        0)
+                        .value();
+    ASSERT_TRUE(db_->CreateTable("t", std::move(schema)).ok());
+    ASSERT_TRUE(
+        db_->InsertRow("t", Row({Value::Int(0), Value::Int(2)})).ok());
+    ASSERT_TRUE(db_->AddConstraint("t", CheckConstraint("nonneg", 1,
+                                                        CompareOp::kGe,
+                                                        Value::Int(0)))
+                    .ok());
+  }
+
+  Value Qty() {
+    return db_->GetTable("t").value()->GetColumnByKey(Value::Int(0), 1)
+        .value();
+  }
+
+  std::unique_ptr<storage::Database> db_;
+};
+
+TEST_F(OccEngineTest, BufferedOpsApplyAtCommit) {
+  OccEngine engine(db_.get());
+  const TxnId t = engine.Begin();
+  EXPECT_EQ(engine.Read(t, "t", Value::Int(0), 1).value(), Value::Int(2));
+  ASSERT_TRUE(
+      engine.BufferAdd(t, "t", Value::Int(0), 1, Value::Int(-1)).ok());
+  EXPECT_EQ(Qty(), Value::Int(2));  // Nothing applied yet (frozen).
+  ASSERT_TRUE(engine.Commit(t).ok());
+  EXPECT_EQ(Qty(), Value::Int(1));
+}
+
+TEST_F(OccEngineTest, NoLocksConcurrentTxnsAllProceed) {
+  OccEngine engine(db_.get());
+  const TxnId a = engine.Begin();
+  const TxnId b = engine.Begin();
+  // Both read and buffer concurrently; neither waits.
+  EXPECT_TRUE(engine.Read(a, "t", Value::Int(0), 1).ok());
+  EXPECT_TRUE(engine.Read(b, "t", Value::Int(0), 1).ok());
+  ASSERT_TRUE(
+      engine.BufferAdd(a, "t", Value::Int(0), 1, Value::Int(-1)).ok());
+  ASSERT_TRUE(
+      engine.BufferAdd(b, "t", Value::Int(0), 1, Value::Int(-1)).ok());
+  EXPECT_TRUE(engine.Commit(a).ok());
+  EXPECT_TRUE(engine.Commit(b).ok());
+  EXPECT_EQ(Qty(), Value::Int(0));  // Deltas compose.
+}
+
+TEST_F(OccEngineTest, ConstraintAbortsAtCommit) {
+  OccEngine engine(db_.get());
+  // Three concurrent bookings of the last two seats: the third aborts.
+  const TxnId a = engine.Begin();
+  const TxnId b = engine.Begin();
+  const TxnId c = engine.Begin();
+  for (TxnId t : {a, b, c}) {
+    ASSERT_TRUE(
+        engine.BufferAdd(t, "t", Value::Int(0), 1, Value::Int(-1)).ok());
+  }
+  EXPECT_TRUE(engine.Commit(a).ok());
+  EXPECT_TRUE(engine.Commit(b).ok());
+  EXPECT_EQ(engine.Commit(c).code(), StatusCode::kAborted);
+  EXPECT_EQ(Qty(), Value::Int(0));
+  EXPECT_EQ(engine.counters().constraint_aborts, 1);
+}
+
+TEST_F(OccEngineTest, ConstraintAbortIsAtomic) {
+  OccEngine engine(db_.get());
+  const TxnId t = engine.Begin();
+  // Two buffered ops; the second violates. Neither may be applied.
+  ASSERT_TRUE(
+      engine.BufferAdd(t, "t", Value::Int(0), 1, Value::Int(-1)).ok());
+  ASSERT_TRUE(
+      engine.BufferAdd(t, "t", Value::Int(0), 1, Value::Int(-5)).ok());
+  EXPECT_EQ(engine.Commit(t).code(), StatusCode::kAborted);
+  EXPECT_EQ(Qty(), Value::Int(2));
+}
+
+TEST_F(OccEngineTest, AssignOverwritesAtCommit) {
+  OccEngine engine(db_.get());
+  const TxnId t = engine.Begin();
+  ASSERT_TRUE(
+      engine.BufferAssign(t, "t", Value::Int(0), 1, Value::Int(50)).ok());
+  ASSERT_TRUE(
+      engine.BufferAdd(t, "t", Value::Int(0), 1, Value::Int(3)).ok());
+  ASSERT_TRUE(engine.Commit(t).ok());
+  EXPECT_EQ(Qty(), Value::Int(53));  // Ops apply in buffered order.
+}
+
+TEST_F(OccEngineTest, ValidateReadsFlavorAbortsOnStaleRead) {
+  OccEngine engine(db_.get(), OccEngine::Validation::kValidateReads);
+  const TxnId a = engine.Begin();
+  EXPECT_EQ(engine.Read(a, "t", Value::Int(0), 1).value(), Value::Int(2));
+  // A concurrent transaction changes the value under a's feet.
+  const TxnId b = engine.Begin();
+  ASSERT_TRUE(
+      engine.BufferAdd(b, "t", Value::Int(0), 1, Value::Int(-1)).ok());
+  ASSERT_TRUE(engine.Commit(b).ok());
+  ASSERT_TRUE(
+      engine.BufferAdd(a, "t", Value::Int(0), 1, Value::Int(-1)).ok());
+  EXPECT_EQ(engine.Commit(a).code(), StatusCode::kAborted);
+  EXPECT_EQ(engine.counters().validation_aborts, 1);
+  EXPECT_EQ(Qty(), Value::Int(1));  // Only b's effect.
+}
+
+TEST_F(OccEngineTest, ConstraintsOnlyFlavorToleratesStaleReads) {
+  OccEngine engine(db_.get(), OccEngine::Validation::kConstraintsOnly);
+  const TxnId a = engine.Begin();
+  EXPECT_TRUE(engine.Read(a, "t", Value::Int(0), 1).ok());
+  const TxnId b = engine.Begin();
+  ASSERT_TRUE(
+      engine.BufferAdd(b, "t", Value::Int(0), 1, Value::Int(-1)).ok());
+  ASSERT_TRUE(engine.Commit(b).ok());
+  ASSERT_TRUE(
+      engine.BufferAdd(a, "t", Value::Int(0), 1, Value::Int(-1)).ok());
+  EXPECT_TRUE(engine.Commit(a).ok());  // Stale read, but constraint holds.
+  EXPECT_EQ(Qty(), Value::Int(0));
+}
+
+TEST_F(OccEngineTest, UserAbortDiscardsBuffer) {
+  OccEngine engine(db_.get());
+  const TxnId t = engine.Begin();
+  ASSERT_TRUE(
+      engine.BufferAssign(t, "t", Value::Int(0), 1, Value::Int(9)).ok());
+  ASSERT_TRUE(engine.Abort(t).ok());
+  EXPECT_EQ(Qty(), Value::Int(2));
+  EXPECT_EQ(engine.Commit(t).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(OccEngineTest, OperationsOnDeadTxnRejected) {
+  OccEngine engine(db_.get());
+  const TxnId t = engine.Begin();
+  ASSERT_TRUE(engine.Commit(t).ok());
+  EXPECT_FALSE(engine.Read(t, "t", Value::Int(0), 1).ok());
+  EXPECT_FALSE(
+      engine.BufferAdd(t, "t", Value::Int(0), 1, Value::Int(1)).ok());
+  EXPECT_FALSE(engine.Abort(t).ok());
+}
+
+}  // namespace
+}  // namespace preserial::txn

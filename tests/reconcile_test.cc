@@ -1,0 +1,157 @@
+#include "semantics/reconcile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "semantics/commutativity.h"
+
+namespace preserial::semantics {
+namespace {
+
+using storage::Value;
+
+TEST(ReconcileAddSubTest, PaperEquationOne) {
+  // X_new = A_temp + X_permanent - X_read.
+  const Value r = ReconcileAddSub(Value::Int(100), Value::Int(104),
+                                  Value::Int(102))
+                      .value();
+  EXPECT_EQ(r, Value::Int(106));  // Table II, final commit of B.
+}
+
+TEST(ReconcileAddSubTest, TableTwoFullTrace) {
+  // Paper Table II: X starts at 100. A adds 1 then 3 (temp 104); B adds 2
+  // (temp 102). A commits first, then B.
+  const Value x0 = Value::Int(100);
+  // A's local commit: permanent still 100.
+  const Value x_after_a =
+      ReconcileAddSub(/*read=*/x0, /*temp=*/Value::Int(104),
+                      /*permanent=*/x0)
+          .value();
+  EXPECT_EQ(x_after_a, Value::Int(104));
+  // B's local commit: permanent is now 104.
+  const Value x_after_b =
+      ReconcileAddSub(/*read=*/x0, /*temp=*/Value::Int(102),
+                      /*permanent=*/x_after_a)
+          .value();
+  EXPECT_EQ(x_after_b, Value::Int(106));
+}
+
+TEST(ReconcileAddSubTest, CommitOrderDoesNotMatter) {
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int64_t x0 = rng.NextInt(-100, 100);
+    const int64_t da = rng.NextInt(-20, 20);
+    const int64_t db = rng.NextInt(-20, 20);
+    // Order 1: A then B.
+    const Value a_first =
+        ReconcileAddSub(Value::Int(x0), Value::Int(x0 + da), Value::Int(x0))
+            .value();
+    const Value then_b =
+        ReconcileAddSub(Value::Int(x0), Value::Int(x0 + db), a_first).value();
+    // Order 2: B then A.
+    const Value b_first =
+        ReconcileAddSub(Value::Int(x0), Value::Int(x0 + db), Value::Int(x0))
+            .value();
+    const Value then_a =
+        ReconcileAddSub(Value::Int(x0), Value::Int(x0 + da), b_first).value();
+    EXPECT_EQ(then_b, then_a);
+    EXPECT_EQ(then_b, Value::Int(x0 + da + db));
+  }
+}
+
+TEST(ReconcileMulDivTest, PaperEquationTwo) {
+  // X_new = (A_temp / X_read) * X_permanent.
+  const Value r = ReconcileMulDiv(Value::Int(10), Value::Int(20),
+                                  Value::Int(30))
+                      .value();
+  ASSERT_EQ(r.type(), storage::ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(r.as_double(), 60.0);  // Factor 2 applied to 30.
+}
+
+TEST(ReconcileMulDivTest, CommitOrderDoesNotMatter) {
+  Rng rng(9);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double x0 = static_cast<double>(rng.NextInt(1, 50));
+    const double fa = static_cast<double>(rng.NextInt(1, 8));
+    const double fb = 1.0 / static_cast<double>(rng.NextInt(1, 8));
+    const Value a_first = ReconcileMulDiv(Value::Double(x0),
+                                          Value::Double(x0 * fa),
+                                          Value::Double(x0))
+                              .value();
+    const Value then_b =
+        ReconcileMulDiv(Value::Double(x0), Value::Double(x0 * fb), a_first)
+            .value();
+    const Value b_first = ReconcileMulDiv(Value::Double(x0),
+                                          Value::Double(x0 * fb),
+                                          Value::Double(x0))
+                              .value();
+    const Value then_a =
+        ReconcileMulDiv(Value::Double(x0), Value::Double(x0 * fa), b_first)
+            .value();
+    EXPECT_NEAR(then_b.as_double(), then_a.as_double(), 1e-9);
+    EXPECT_NEAR(then_b.as_double(), x0 * fa * fb, 1e-9);
+  }
+}
+
+TEST(ReconcileMulDivTest, ZeroReadIsUndefined) {
+  EXPECT_FALSE(
+      ReconcileMulDiv(Value::Int(0), Value::Int(0), Value::Int(5)).ok());
+}
+
+TEST(ReconcileMulDivTest, NonNumericRejected) {
+  EXPECT_FALSE(ReconcileMulDiv(Value::String("x"), Value::Int(1),
+                               Value::Int(1))
+                   .ok());
+}
+
+TEST(ReconcileDispatchTest, PerClassBehaviour) {
+  const Value read = Value::Int(10);
+  const Value temp = Value::Int(13);
+  const Value permanent = Value::Int(11);
+  // Read: no change to the committed value.
+  EXPECT_EQ(Reconcile(OpClass::kRead, read, temp, permanent).value(),
+            permanent);
+  // Assign/insert: holder is exclusive, its copy wins.
+  EXPECT_EQ(
+      Reconcile(OpClass::kUpdateAssign, read, temp, permanent).value(), temp);
+  EXPECT_EQ(Reconcile(OpClass::kInsert, read, temp, permanent).value(), temp);
+  // Delete: the member becomes absent.
+  EXPECT_TRUE(
+      Reconcile(OpClass::kDelete, read, temp, permanent).value().is_null());
+  // Add/sub uses eq. (1).
+  EXPECT_EQ(
+      Reconcile(OpClass::kUpdateAddSub, read, temp, permanent).value(),
+      Value::Int(14));
+}
+
+TEST(ReconcileConsistencyTest, ReconcileMatchesReplayingOperations) {
+  // Property: for compatible add/sub holders, reconciling A's copy against
+  // a permanent value advanced by B equals applying both operation
+  // sequences to the original state.
+  Rng rng(11);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int64_t x0 = rng.NextInt(-50, 50);
+    Value state = Value::Int(x0);
+    Value temp_a = state;
+    Value temp_b = state;
+    int64_t net = 0;
+    for (int k = 0; k < 5; ++k) {
+      const Operation op = SampleOperation(OpClass::kUpdateAddSub, rng);
+      const bool mine = rng.NextBool(0.5);
+      Value& target = mine ? temp_a : temp_b;
+      target = Transition(target, op).value();
+      const int64_t delta = op.inverse ? -op.operand.as_int()
+                                       : op.operand.as_int();
+      net += delta;
+    }
+    // B commits first: permanent = reconcile(B).
+    const Value perm_b =
+        ReconcileAddSub(state, temp_b, state).value();
+    const Value final_value =
+        ReconcileAddSub(state, temp_a, perm_b).value();
+    EXPECT_EQ(final_value, Value::Int(x0 + net));
+  }
+}
+
+}  // namespace
+}  // namespace preserial::semantics

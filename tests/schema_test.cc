@@ -1,0 +1,147 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/row.h"
+
+namespace preserial::storage {
+namespace {
+
+Schema MakeTestSchema() {
+  return Schema::Create(
+             {
+                 ColumnDef{"id", ValueType::kInt64, false},
+                 ColumnDef{"name", ValueType::kString, true},
+                 ColumnDef{"price", ValueType::kDouble, false},
+             },
+             0)
+      .value();
+}
+
+TEST(SchemaCreateTest, ValidSchema) {
+  const Schema s = MakeTestSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.primary_key(), 0u);
+  EXPECT_EQ(s.column(1).name, "name");
+  EXPECT_TRUE(s.column(1).nullable);
+}
+
+TEST(SchemaCreateTest, RejectsEmpty) {
+  EXPECT_FALSE(Schema::Create({}, 0).ok());
+}
+
+TEST(SchemaCreateTest, RejectsPkOutOfRange) {
+  EXPECT_FALSE(
+      Schema::Create({ColumnDef{"a", ValueType::kInt64, false}}, 1).ok());
+}
+
+TEST(SchemaCreateTest, RejectsNullablePk) {
+  EXPECT_FALSE(
+      Schema::Create({ColumnDef{"a", ValueType::kInt64, true}}, 0).ok());
+}
+
+TEST(SchemaCreateTest, RejectsDuplicateNames) {
+  EXPECT_FALSE(Schema::Create(
+                   {
+                       ColumnDef{"a", ValueType::kInt64, false},
+                       ColumnDef{"a", ValueType::kString, false},
+                   },
+                   0)
+                   .ok());
+}
+
+TEST(SchemaCreateTest, RejectsUnnamedOrNullTyped) {
+  EXPECT_FALSE(
+      Schema::Create({ColumnDef{"", ValueType::kInt64, false}}, 0).ok());
+  EXPECT_FALSE(
+      Schema::Create({ColumnDef{"a", ValueType::kNull, false}}, 0).ok());
+}
+
+TEST(SchemaColumnIndexTest, FindsByName) {
+  const Schema s = MakeTestSchema();
+  EXPECT_EQ(s.ColumnIndex("price").value(), 2u);
+  EXPECT_EQ(s.ColumnIndex("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaValidateRowTest, AcceptsMatchingRow) {
+  const Schema s = MakeTestSchema();
+  EXPECT_TRUE(s.ValidateRow({Value::Int(1), Value::String("a"),
+                             Value::Double(2.0)})
+                  .ok());
+}
+
+TEST(SchemaValidateRowTest, AcceptsIntWhereDoubleDeclared) {
+  const Schema s = MakeTestSchema();
+  EXPECT_TRUE(
+      s.ValidateRow({Value::Int(1), Value::String("a"), Value::Int(2)}).ok());
+}
+
+TEST(SchemaValidateRowTest, NullOnlyInNullableColumns) {
+  const Schema s = MakeTestSchema();
+  EXPECT_TRUE(
+      s.ValidateRow({Value::Int(1), Value::Null(), Value::Double(2)}).ok());
+  EXPECT_FALSE(
+      s.ValidateRow({Value::Int(1), Value::Null(), Value::Null()}).ok());
+}
+
+TEST(SchemaValidateRowTest, RejectsArityMismatch) {
+  const Schema s = MakeTestSchema();
+  EXPECT_FALSE(s.ValidateRow({Value::Int(1)}).ok());
+  EXPECT_FALSE(s.ValidateRow({Value::Int(1), Value::String("a"),
+                              Value::Double(2), Value::Int(9)})
+                   .ok());
+}
+
+TEST(SchemaValidateRowTest, RejectsTypeMismatch) {
+  const Schema s = MakeTestSchema();
+  EXPECT_FALSE(s.ValidateRow({Value::String("1"), Value::String("a"),
+                              Value::Double(2)})
+                   .ok());
+  // Double where int declared is NOT accepted (no silent narrowing).
+  const Schema s2 =
+      Schema::Create({ColumnDef{"n", ValueType::kInt64, false}}, 0).value();
+  EXPECT_FALSE(s2.ValidateRow({Value::Double(1.5)}).ok());
+}
+
+TEST(SchemaToStringTest, MentionsColumnsAndPk) {
+  const std::string str = MakeTestSchema().ToString();
+  EXPECT_NE(str.find("id INT64 PRIMARY KEY"), std::string::npos);
+  EXPECT_NE(str.find("name STRING NULL"), std::string::npos);
+}
+
+TEST(RowTest, EncodeDecodeRoundTrip) {
+  const Row row({Value::Int(7), Value::String("x"), Value::Null()});
+  std::string buf;
+  row.EncodeTo(&buf);
+  size_t offset = 0;
+  Result<Row> back = Row::DecodeFrom(buf, &offset);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), row);
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(RowTest, EmptyRowRoundTrips) {
+  const Row row{std::vector<Value>{}};
+  std::string buf;
+  row.EncodeTo(&buf);
+  size_t offset = 0;
+  EXPECT_EQ(Row::DecodeFrom(buf, &offset).value(), row);
+}
+
+TEST(RowTest, TruncatedDecodeFails) {
+  const Row row({Value::Int(7), Value::String("abcdef")});
+  std::string buf;
+  row.EncodeTo(&buf);
+  size_t offset = 0;
+  EXPECT_FALSE(Row::DecodeFrom(buf.substr(0, buf.size() - 2), &offset).ok());
+}
+
+TEST(RowTest, SetAndToString) {
+  Row row({Value::Int(1), Value::Int(2)});
+  row.Set(1, Value::String("two"));
+  EXPECT_EQ(row.at(1), Value::String("two"));
+  EXPECT_EQ(row.ToString(), "(1, 'two')");
+}
+
+}  // namespace
+}  // namespace preserial::storage

@@ -1,0 +1,204 @@
+#include "sql/executor.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace preserial::sql {
+namespace {
+
+using storage::Value;
+
+class SqlExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto wal = std::make_unique<storage::MemoryWalStorage>();
+    wal_ = wal.get();
+    db_ = std::make_unique<storage::Database>(std::move(wal));
+    ASSERT_TRUE(db_->Open().ok());
+    exec_ = std::make_unique<Executor>(db_.get());
+    Must("CREATE TABLE flights (id INT PRIMARY KEY, free INT, "
+         "dest STRING NULL)");
+    Must("INSERT INTO flights VALUES (1, 50, 'NAP')");
+    Must("INSERT INTO flights VALUES (2, 0, 'ROM')");
+    Must("INSERT INTO flights VALUES (3, 12, 'MIL')");
+    Must("INSERT INTO flights VALUES (4, 12, NULL)");
+  }
+
+  ResultSet Must(const std::string& stmt) {
+    Result<ResultSet> r = exec_->Run(stmt);
+    EXPECT_TRUE(r.ok()) << stmt << " -> " << r.status().ToString();
+    return r.value_or(ResultSet{});
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  storage::MemoryWalStorage* wal_ = nullptr;  // Owned by db_.
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(SqlExecutorTest, SelectStarReturnsAllRowsInPkOrder) {
+  const ResultSet rs = Must("SELECT * FROM flights");
+  ASSERT_EQ(rs.columns.size(), 3u);
+  ASSERT_EQ(rs.rows.size(), 4u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(1));
+  EXPECT_EQ(rs.rows[3][0], Value::Int(4));
+}
+
+TEST_F(SqlExecutorTest, ProjectionSelectsNamedColumns) {
+  const ResultSet rs = Must("SELECT dest, id FROM flights WHERE id = 1");
+  ASSERT_EQ(rs.columns, (std::vector<std::string>{"dest", "id"}));
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::String("NAP"));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(1));
+}
+
+TEST_F(SqlExecutorTest, WherePkPointLookup) {
+  const ResultSet rs = Must("SELECT free FROM flights WHERE id = 3");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(12));
+  EXPECT_TRUE(Must("SELECT * FROM flights WHERE id = 99").rows.empty());
+}
+
+TEST_F(SqlExecutorTest, WhereConjunction) {
+  const ResultSet rs =
+      Must("SELECT id FROM flights WHERE free = 12 AND id > 3");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(4));
+}
+
+TEST_F(SqlExecutorTest, NullNeverMatchesComparisons) {
+  // Row 4 has dest NULL: equality and inequality both skip it.
+  EXPECT_EQ(Must("SELECT id FROM flights WHERE dest = 'MIL'").rows.size(),
+            1u);
+  EXPECT_EQ(Must("SELECT id FROM flights WHERE dest != 'MIL'").rows.size(),
+            2u);
+}
+
+TEST_F(SqlExecutorTest, OrderByAndLimit) {
+  const ResultSet rs =
+      Must("SELECT id FROM flights ORDER BY free DESC LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(1));  // free 50.
+  // Two rows share free=12; stable sort keeps pk order.
+  EXPECT_EQ(rs.rows[1][0], Value::Int(3));
+}
+
+TEST_F(SqlExecutorTest, UpdateWithWhere) {
+  const ResultSet rs = Must("UPDATE flights SET free = 99 WHERE free = 12");
+  EXPECT_EQ(rs.affected_rows, 2);
+  EXPECT_EQ(Must("SELECT id FROM flights WHERE free = 99").rows.size(), 2u);
+}
+
+TEST_F(SqlExecutorTest, UpdateAllRowsWithoutWhere) {
+  EXPECT_EQ(Must("UPDATE flights SET free = 1").affected_rows, 4);
+  EXPECT_EQ(Must("SELECT id FROM flights WHERE free = 1").rows.size(), 4u);
+}
+
+TEST_F(SqlExecutorTest, DeleteWithWhere) {
+  EXPECT_EQ(Must("DELETE FROM flights WHERE free <= 12").affected_rows, 3);
+  const ResultSet rs = Must("SELECT id FROM flights");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(1));
+}
+
+TEST_F(SqlExecutorTest, ConstraintViaAlterTableBites) {
+  Must("ALTER TABLE flights ADD CONSTRAINT nonneg CHECK (free >= 0)");
+  Result<ResultSet> r =
+      exec_->Run("UPDATE flights SET free = -1 WHERE id = 1");
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(Must("SELECT free FROM flights WHERE id = 1").rows[0][0],
+            Value::Int(50));
+  // Inserts violating the constraint fail too.
+  EXPECT_FALSE(exec_->Run("INSERT INTO flights VALUES (9, -3, 'X')").ok());
+}
+
+TEST_F(SqlExecutorTest, SecondaryIndexServesEqualityAndRange) {
+  Must("CREATE INDEX by_free ON flights (free)");
+  EXPECT_TRUE(db_->GetTable("flights").value()->HasIndexOn(1));
+  const ResultSet eq = Must("SELECT id FROM flights WHERE free = 12");
+  EXPECT_EQ(eq.rows.size(), 2u);
+  const ResultSet range =
+      Must("SELECT id FROM flights WHERE free >= 1 AND free <= 20");
+  EXPECT_EQ(range.rows.size(), 2u);
+  // Index stays correct through mutations.
+  Must("UPDATE flights SET free = 12 WHERE id = 2");
+  EXPECT_EQ(Must("SELECT id FROM flights WHERE free = 12").rows.size(), 3u);
+  Must("DELETE FROM flights WHERE id = 3");
+  EXPECT_EQ(Must("SELECT id FROM flights WHERE free = 12").rows.size(), 2u);
+  EXPECT_TRUE(db_->GetTable("flights").value()->CheckInvariants().ok());
+}
+
+TEST_F(SqlExecutorTest, DuplicateIndexRejected) {
+  Must("CREATE INDEX by_free ON flights (free)");
+  EXPECT_FALSE(exec_->Run("CREATE INDEX again ON flights (free)").ok());
+  EXPECT_FALSE(exec_->Run("CREATE INDEX by_free ON flights (dest)").ok());
+}
+
+TEST_F(SqlExecutorTest, InsertDuplicatePkRejected) {
+  EXPECT_EQ(exec_->Run("INSERT INTO flights VALUES (1, 5, 'X')")
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(SqlExecutorTest, TypeMismatchRejected) {
+  EXPECT_FALSE(exec_->Run("INSERT INTO flights VALUES ('one', 5, 'X')").ok());
+  EXPECT_FALSE(exec_->Run("INSERT INTO flights VALUES (9, 5)").ok());
+}
+
+TEST_F(SqlExecutorTest, UnknownTableAndColumnErrors) {
+  EXPECT_EQ(exec_->Run("SELECT * FROM nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(exec_->Run("SELECT wat FROM flights").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(exec_->Run("UPDATE flights SET wat = 1").ok());
+}
+
+TEST_F(SqlExecutorTest, ShowTables) {
+  Must("CREATE TABLE hotels (id INT PRIMARY KEY, rooms INT)");
+  const ResultSet rs = Must("SHOW TABLES");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::String("flights"));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(4));
+  EXPECT_EQ(rs.rows[1][0], Value::String("hotels"));
+}
+
+TEST_F(SqlExecutorTest, DropTable) {
+  Must("DROP TABLE flights");
+  EXPECT_FALSE(exec_->Run("SELECT * FROM flights").ok());
+}
+
+TEST_F(SqlExecutorTest, DmlAndDdlSurviveCrashRecovery) {
+  Must("UPDATE flights SET free = 7 WHERE id = 2");
+  Must("CREATE INDEX by_free ON flights (free)");
+  Must("DELETE FROM flights WHERE id = 4");
+  // Crash: rebuild a fresh database from the log bytes and query it via a
+  // fresh executor.
+  const std::string log = wal_->ReadAll().value();
+  auto wal_copy = std::make_unique<storage::MemoryWalStorage>();
+  ASSERT_TRUE(wal_copy->Reset(log).ok());
+  storage::Database recovered(std::move(wal_copy));
+  ASSERT_TRUE(recovered.Open().ok());
+  Executor exec2(&recovered);
+  Result<ResultSet> rs = exec2.Run("SELECT free FROM flights WHERE id = 2");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0], Value::Int(7));
+  EXPECT_TRUE(recovered.GetTable("flights").value()->HasIndexOn(1));
+  EXPECT_TRUE(
+      exec2.Run("SELECT * FROM flights WHERE id = 4").value().rows.empty());
+}
+
+TEST_F(SqlExecutorTest, ResultSetRendering) {
+  const ResultSet rs = Must("SELECT id, dest FROM flights LIMIT 2");
+  const std::string text = rs.ToString();
+  EXPECT_NE(text.find("id"), std::string::npos);
+  EXPECT_NE(text.find("dest"), std::string::npos);
+  EXPECT_NE(text.find("'NAP'"), std::string::npos);
+  EXPECT_NE(text.find("(2 row(s))"), std::string::npos);
+  const ResultSet dml = Must("UPDATE flights SET free = 5 WHERE id = 1");
+  EXPECT_NE(dml.ToString().find("1 row(s) affected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace preserial::sql

@@ -1,0 +1,90 @@
+#include "sql/token.h"
+
+#include <gtest/gtest.h>
+
+namespace preserial::sql {
+namespace {
+
+std::vector<Token> Lex(const std::string& s) {
+  Result<std::vector<Token>> r = Tokenize(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value_or({});
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  const std::vector<Token> tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndNormalized) {
+  const std::vector<Token> tokens = Lex("select SeLeCt SELECT");
+  ASSERT_EQ(tokens.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword);
+    EXPECT_EQ(tokens[i].text, "SELECT");
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepTheirCase) {
+  const std::vector<Token> tokens = Lex("Flights free_Tickets _x9");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Flights");
+  EXPECT_EQ(tokens[1].text, "free_Tickets");
+  EXPECT_EQ(tokens[2].text, "_x9");
+}
+
+TEST(LexerTest, NumbersIntAndFloatAndNegative) {
+  const std::vector<Token> tokens = Lex("42 -7 3.5 -0.25");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[1].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[1].text, "-7");
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[3].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[3].text, "-0.25");
+}
+
+TEST(LexerTest, StringsWithEscapedQuotes) {
+  const std::vector<Token> tokens = Lex("'hello' 'it''s'");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, SymbolsIncludingTwoCharOperators) {
+  const std::vector<Token> tokens = Lex("( ) , ; * = != <> < <= > >=");
+  ASSERT_EQ(tokens.size(), 13u);
+  EXPECT_EQ(tokens[5].text, "=");
+  EXPECT_EQ(tokens[6].text, "!=");
+  EXPECT_EQ(tokens[7].text, "!=");  // <> normalizes to !=.
+  EXPECT_EQ(tokens[9].text, "<=");
+  EXPECT_EQ(tokens[10].text, ">");
+  EXPECT_EQ(tokens[11].text, ">=");
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  const std::vector<Token> tokens = Lex("SELECT -- everything\n1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "1");
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+TEST(LexerTest, Positionsrecorded) {
+  const std::vector<Token> tokens = Lex("ab cd");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 3u);
+}
+
+}  // namespace
+}  // namespace preserial::sql

@@ -1,0 +1,156 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace preserial::sql {
+namespace {
+
+using storage::CompareOp;
+using storage::Value;
+using storage::ValueType;
+
+template <typename T>
+T ParseAs(const std::string& input) {
+  Result<Statement> r = Parse(input);
+  EXPECT_TRUE(r.ok()) << input << ": " << r.status().ToString();
+  if (!r.ok()) return T{};
+  const T* stmt = std::get_if<T>(&r.value());
+  EXPECT_NE(stmt, nullptr) << input << " parsed to the wrong variant";
+  return stmt == nullptr ? T{} : *stmt;
+}
+
+TEST(ParserTest, CreateTable) {
+  const auto stmt = ParseAs<CreateTableStmt>(
+      "CREATE TABLE flights (id INT PRIMARY KEY, free INT, note STRING "
+      "NULL, price DOUBLE NOT NULL);");
+  EXPECT_EQ(stmt.table, "flights");
+  ASSERT_EQ(stmt.columns.size(), 4u);
+  EXPECT_EQ(stmt.primary_key, 0u);
+  EXPECT_EQ(stmt.columns[0].type, ValueType::kInt64);
+  EXPECT_FALSE(stmt.columns[0].nullable);
+  EXPECT_TRUE(stmt.columns[2].nullable);
+  EXPECT_EQ(stmt.columns[3].type, ValueType::kDouble);
+}
+
+TEST(ParserTest, CreateTablePkElsewhere) {
+  const auto stmt = ParseAs<CreateTableStmt>(
+      "create table t (a string, b integer primary key)");
+  EXPECT_EQ(stmt.primary_key, 1u);
+}
+
+TEST(ParserTest, CreateTableRequiresPk) {
+  EXPECT_FALSE(Parse("CREATE TABLE t (a INT)").ok());
+}
+
+TEST(ParserTest, CreateTableRejectsTwoPks) {
+  EXPECT_FALSE(
+      Parse("CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)").ok());
+}
+
+TEST(ParserTest, CreateIndex) {
+  const auto stmt =
+      ParseAs<CreateIndexStmt>("CREATE INDEX by_free ON flights (free)");
+  EXPECT_EQ(stmt.index, "by_free");
+  EXPECT_EQ(stmt.table, "flights");
+  EXPECT_EQ(stmt.column, "free");
+}
+
+TEST(ParserTest, DropTable) {
+  EXPECT_EQ(ParseAs<DropTableStmt>("DROP TABLE t").table, "t");
+}
+
+TEST(ParserTest, InsertWithMixedLiterals) {
+  const auto stmt = ParseAs<InsertStmt>(
+      "INSERT INTO t VALUES (1, -2.5, 'it''s', TRUE, NULL)");
+  EXPECT_EQ(stmt.table, "t");
+  ASSERT_EQ(stmt.values.size(), 5u);
+  EXPECT_EQ(stmt.values[0], Value::Int(1));
+  EXPECT_EQ(stmt.values[1], Value::Double(-2.5));
+  EXPECT_EQ(stmt.values[2], Value::String("it's"));
+  EXPECT_EQ(stmt.values[3], Value::Bool(true));
+  EXPECT_TRUE(stmt.values[4].is_null());
+}
+
+TEST(ParserTest, SelectStar) {
+  const auto stmt = ParseAs<SelectStmt>("SELECT * FROM t");
+  EXPECT_EQ(stmt.table, "t");
+  EXPECT_TRUE(stmt.columns.empty());
+  EXPECT_TRUE(stmt.where.empty());
+}
+
+TEST(ParserTest, SelectFull) {
+  const auto stmt = ParseAs<SelectStmt>(
+      "SELECT id, free FROM flights WHERE free >= 1 AND id != 3 "
+      "ORDER BY free DESC LIMIT 10");
+  ASSERT_EQ(stmt.columns.size(), 2u);
+  ASSERT_EQ(stmt.where.size(), 2u);
+  EXPECT_EQ(stmt.where[0].column, "free");
+  EXPECT_EQ(stmt.where[0].op, CompareOp::kGe);
+  EXPECT_EQ(stmt.where[0].literal, Value::Int(1));
+  EXPECT_EQ(stmt.where[1].op, CompareOp::kNe);
+  ASSERT_TRUE(stmt.order_by.has_value());
+  EXPECT_EQ(*stmt.order_by, "free");
+  EXPECT_TRUE(stmt.order_desc);
+  ASSERT_TRUE(stmt.limit.has_value());
+  EXPECT_EQ(*stmt.limit, 10);
+}
+
+TEST(ParserTest, SelectAscIsDefaultAndExplicit) {
+  EXPECT_FALSE(
+      ParseAs<SelectStmt>("SELECT * FROM t ORDER BY a").order_desc);
+  EXPECT_FALSE(
+      ParseAs<SelectStmt>("SELECT * FROM t ORDER BY a ASC").order_desc);
+}
+
+TEST(ParserTest, Update) {
+  const auto stmt = ParseAs<UpdateStmt>(
+      "UPDATE flights SET free = 5, note = 'x' WHERE id = 2");
+  ASSERT_EQ(stmt.assignments.size(), 2u);
+  EXPECT_EQ(stmt.assignments[0].first, "free");
+  EXPECT_EQ(stmt.assignments[0].second, Value::Int(5));
+  ASSERT_EQ(stmt.where.size(), 1u);
+}
+
+TEST(ParserTest, DeleteWithAndWithoutWhere) {
+  EXPECT_EQ(ParseAs<DeleteStmt>("DELETE FROM t").where.size(), 0u);
+  EXPECT_EQ(
+      ParseAs<DeleteStmt>("DELETE FROM t WHERE a < 3 AND b > 1").where.size(),
+      2u);
+}
+
+TEST(ParserTest, AlterAddConstraint) {
+  const auto stmt = ParseAs<AlterAddConstraintStmt>(
+      "ALTER TABLE flights ADD CONSTRAINT nonneg CHECK (free >= 0)");
+  EXPECT_EQ(stmt.table, "flights");
+  EXPECT_EQ(stmt.constraint, "nonneg");
+  EXPECT_EQ(stmt.check.column, "free");
+  EXPECT_EQ(stmt.check.op, CompareOp::kGe);
+  EXPECT_EQ(stmt.check.literal, Value::Int(0));
+}
+
+TEST(ParserTest, ShowTables) {
+  Result<Statement> r = Parse("SHOW TABLES;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(std::get_if<ShowTablesStmt>(&r.value()), nullptr);
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(Parse("SELECT * FROM t extra").ok());
+  EXPECT_FALSE(Parse("DROP TABLE t t2").ok());
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  Result<Statement> r = Parse("SELECT FROM");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, GarbageRejected) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("FROB THE KNOB").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES ()").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE a ==").ok());
+}
+
+}  // namespace
+}  // namespace preserial::sql

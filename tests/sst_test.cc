@@ -1,0 +1,107 @@
+#include "gtm/sst.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace preserial::gtm {
+namespace {
+
+using storage::CheckConstraint;
+using storage::ColumnDef;
+using storage::CompareOp;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class SstTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<storage::Database>();
+    ASSERT_TRUE(db_->Open().ok());
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"qty", ValueType::kInt64, false},
+                        },
+                        0)
+                        .value();
+    ASSERT_TRUE(db_->CreateTable("t", std::move(schema)).ok());
+    for (int64_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          db_->InsertRow("t", Row({Value::Int(i), Value::Int(10)})).ok());
+    }
+    ASSERT_TRUE(db_->AddConstraint("t", CheckConstraint("nonneg", 1,
+                                                        CompareOp::kGe,
+                                                        Value::Int(0)))
+                    .ok());
+    sst_ = std::make_unique<SstExecutor>(db_.get());
+  }
+
+  Value Qty(int64_t id) {
+    return db_->GetTable("t").value()->GetColumnByKey(Value::Int(id), 1)
+        .value();
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<SstExecutor> sst_;
+};
+
+TEST_F(SstTest, AppliesAllWrites) {
+  ASSERT_TRUE(sst_->Execute({
+                     {"t", Value::Int(0), 1, Value::Int(5)},
+                     {"t", Value::Int(1), 1, Value::Int(6)},
+                 })
+                  .ok());
+  EXPECT_EQ(Qty(0), Value::Int(5));
+  EXPECT_EQ(Qty(1), Value::Int(6));
+  EXPECT_EQ(sst_->counters().executed, 1);
+  EXPECT_EQ(sst_->counters().cells_written, 2);
+}
+
+TEST_F(SstTest, EmptyWriteSetCommitsTrivially) {
+  ASSERT_TRUE(sst_->Execute({}).ok());
+  EXPECT_EQ(sst_->counters().executed, 1);
+}
+
+TEST_F(SstTest, ConstraintViolationRollsBackAtomically) {
+  const Status s = sst_->Execute({
+      {"t", Value::Int(0), 1, Value::Int(5)},
+      {"t", Value::Int(1), 1, Value::Int(-1)},  // Violates nonneg.
+  });
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+  // The first write was rolled back too.
+  EXPECT_EQ(Qty(0), Value::Int(10));
+  EXPECT_EQ(Qty(1), Value::Int(10));
+  EXPECT_EQ(sst_->counters().failed, 1);
+  EXPECT_EQ(sst_->counters().executed, 0);
+}
+
+TEST_F(SstTest, UnknownRowFailsCleanly) {
+  const Status s = sst_->Execute({
+      {"t", Value::Int(99), 1, Value::Int(5)},
+  });
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(sst_->counters().failed, 1);
+}
+
+TEST_F(SstTest, SequentialSstsSeeEachOther) {
+  ASSERT_TRUE(sst_->Execute({{"t", Value::Int(0), 1, Value::Int(4)}}).ok());
+  ASSERT_TRUE(sst_->Execute({{"t", Value::Int(0), 1, Value::Int(3)}}).ok());
+  EXPECT_EQ(Qty(0), Value::Int(3));
+  EXPECT_EQ(sst_->counters().executed, 2);
+}
+
+TEST_F(SstTest, WritesAreDurableInWal) {
+  ASSERT_TRUE(sst_->Execute({{"t", Value::Int(0), 1, Value::Int(7)}}).ok());
+  // Nothing to assert on bytes here (storage is owned), but a second
+  // database built from scratch in recovery_test covers replay; at minimum
+  // the in-memory state and table invariants must hold.
+  EXPECT_TRUE(db_->GetTable("t").value()->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace preserial::gtm

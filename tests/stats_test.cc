@@ -1,0 +1,106 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace preserial {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Population variance is 4; the sample variance is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeEqualsCombinedStream) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7 - 3;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(1);
+  RunningStat b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(HistogramTest, EmptyPercentilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, ExactPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 100.0);
+  EXPECT_NEAR(h.p50(), 50.5, 1e-9);
+  EXPECT_NEAR(h.p99(), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(HistogramTest, InterleavedAddAndQuery) {
+  Histogram h;
+  h.Add(10);
+  EXPECT_DOUBLE_EQ(h.p50(), 10.0);
+  h.Add(20);
+  EXPECT_DOUBLE_EQ(h.p50(), 15.0);  // Re-sorts after mutation.
+  h.Add(0);
+  EXPECT_DOUBLE_EQ(h.p50(), 10.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  EXPECT_NE(h.Summary().find("n=2"), std::string::npos);
+}
+
+TEST(RateCounterTest, Basics) {
+  RateCounter r;
+  EXPECT_EQ(r.rate(), 0.0);
+  r.AddHit();
+  r.AddMiss();
+  r.AddMiss();
+  r.Add(true);
+  EXPECT_EQ(r.hits(), 2);
+  EXPECT_EQ(r.total(), 4);
+  EXPECT_DOUBLE_EQ(r.rate(), 0.5);
+  EXPECT_DOUBLE_EQ(r.percent(), 50.0);
+}
+
+}  // namespace
+}  // namespace preserial

@@ -1,0 +1,122 @@
+#include "common/status.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace preserial {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const std::vector<Case> cases = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists},
+      {Status::FailedPrecondition("d"), StatusCode::kFailedPrecondition},
+      {Status::Conflict("e"), StatusCode::kConflict},
+      {Status::Waiting("f"), StatusCode::kWaiting},
+      {Status::Deadlock("g"), StatusCode::kDeadlock},
+      {Status::Aborted("h"), StatusCode::kAborted},
+      {Status::TimedOut("i"), StatusCode::kTimedOut},
+      {Status::ConstraintViolation("j"), StatusCode::kConstraintViolation},
+      {Status::Corruption("k"), StatusCode::kCorruption},
+      {Status::Unavailable("l"), StatusCode::kUnavailable},
+      {Status::Internal("m"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status s = Status::Conflict("incompatible ops");
+  EXPECT_EQ(s.ToString(), "CONFLICT: incompatible ops");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Aborted("x"));
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValueOnSuccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsStatusOnFailure) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+namespace macro_helpers {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Chain(int x) {
+  PRESERIAL_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  PRESERIAL_ASSIGN_OR_RETURN(int h, Half(x));
+  PRESERIAL_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+}  // namespace macro_helpers
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(macro_helpers::Chain(1).ok());
+  EXPECT_EQ(macro_helpers::Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacroTest, AssignOrReturnBindsAndPropagates) {
+  Result<int> ok = macro_helpers::Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_FALSE(macro_helpers::Quarter(6).ok());  // Inner Half(3) fails.
+  EXPECT_FALSE(macro_helpers::Quarter(5).ok());
+}
+
+}  // namespace
+}  // namespace preserial

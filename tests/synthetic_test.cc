@@ -1,0 +1,145 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "model/analytic.h"
+
+namespace preserial::workload {
+namespace {
+
+TEST(ConflictExperimentTest, NoConflictsMeansIdealTime) {
+  ConflictSpec spec;
+  spec.n = 50;
+  spec.c = 0;
+  spec.i = 10;
+  spec.tau_e = 1.0;
+  const ConflictResult r = RunConflictExperiment(spec);
+  EXPECT_DOUBLE_EQ(r.avg_exec_gtm, 1.0);
+  EXPECT_DOUBLE_EQ(r.avg_exec_2pl, 1.0);
+  EXPECT_EQ(r.k_incompatible_conflicts, 0);
+}
+
+TEST(ConflictExperimentTest, AllCompatibleConflictsAreFreeUnderGtm) {
+  ConflictSpec spec;
+  spec.n = 60;
+  spec.c = 60;  // Every transaction conflicts...
+  spec.i = 0;   // ...but all are add/sub: compatible.
+  const ConflictResult r = RunConflictExperiment(spec);
+  // GTM: everyone shares, latency tau_e. 2PL: everyone waits tau_e/2.
+  EXPECT_DOUBLE_EQ(r.avg_exec_gtm, 1.0);
+  EXPECT_DOUBLE_EQ(r.avg_exec_2pl, 1.5);
+  // The paper's headline 50 % improvement at c = 100 %, i = 0.
+  EXPECT_DOUBLE_EQ((r.avg_exec_2pl - r.avg_exec_gtm) / r.avg_exec_gtm, 0.5);
+}
+
+TEST(ConflictExperimentTest, AllIncompatibleMatchesTwoPl) {
+  ConflictSpec spec;
+  spec.n = 60;
+  spec.c = 60;
+  spec.i = 60;  // Everything assignment-class.
+  const ConflictResult r = RunConflictExperiment(spec);
+  EXPECT_DOUBLE_EQ(r.avg_exec_gtm, r.avg_exec_2pl);
+  EXPECT_DOUBLE_EQ(r.avg_exec_2pl, 1.5);
+}
+
+TEST(ConflictExperimentTest, SimulationTracksAnalyticModel) {
+  // At mid-grid points the simulated means must match the model evaluated
+  // at the *realized* K (exact) and be close to the expectation form.
+  for (uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    ConflictSpec spec;
+    spec.n = 200;
+    spec.c = 120;
+    spec.i = 80;
+    spec.seed = seed;
+    const ConflictResult r = RunConflictExperiment(spec);
+    // 2PL exactly matches eq. (3): c waits of tau_e/2 each.
+    EXPECT_NEAR(r.avg_exec_2pl, r.model_2pl, 1e-9);
+    // GTM exactly: tau_e (1 + K/(2n)) with the realized K.
+    const double expected_gtm =
+        model::TwoPlExecutionTime(spec.n, r.k_incompatible_conflicts,
+                                  spec.tau_e);
+    EXPECT_NEAR(r.avg_exec_gtm, expected_gtm, 1e-9);
+    // And statistically close to the expectation (eq. 5).
+    EXPECT_NEAR(r.avg_exec_gtm, r.model_gtm, 0.05);
+  }
+}
+
+TEST(ConflictExperimentTest, GtmNeverSlowerThanTwoPl) {
+  for (int64_t c : {0L, 50L, 100L}) {
+    for (int64_t i : {0L, 50L, 100L}) {
+      ConflictSpec spec;
+      spec.n = 100;
+      spec.c = c;
+      spec.i = i;
+      spec.seed = static_cast<uint64_t>(c * 1000 + i);
+      const ConflictResult r = RunConflictExperiment(spec);
+      EXPECT_LE(r.avg_exec_gtm, r.avg_exec_2pl + 1e-9)
+          << "c=" << c << " i=" << i;
+    }
+  }
+}
+
+TEST(SleeperAbortTest, NoDisconnectionsNoSleeperAborts) {
+  SleeperSpec spec;
+  spec.n = 200;
+  spec.p_disconnect = 0.0;
+  spec.p_conflict = 1.0;
+  spec.p_incompatible = 1.0;
+  const SleeperResult r = RunSleeperAbortExperiment(spec);
+  EXPECT_DOUBLE_EQ(r.abort_pct_all, 0.0);
+  EXPECT_DOUBLE_EQ(r.model_abort_pct, 0.0);
+}
+
+TEST(SleeperAbortTest, CompatibleTrafficNeverKillsSleepers) {
+  SleeperSpec spec;
+  spec.n = 200;
+  spec.p_disconnect = 1.0;
+  spec.p_conflict = 1.0;
+  spec.p_incompatible = 0.0;  // Only add/sub background.
+  const SleeperResult r = RunSleeperAbortExperiment(spec);
+  EXPECT_DOUBLE_EQ(r.abort_pct_all, 0.0);
+}
+
+TEST(SleeperAbortTest, CertainIncompatibleConflictKillsEverySleeper) {
+  SleeperSpec spec;
+  spec.n = 200;
+  spec.p_disconnect = 1.0;
+  spec.p_conflict = 1.0;
+  spec.p_incompatible = 1.0;
+  const SleeperResult r = RunSleeperAbortExperiment(spec);
+  EXPECT_DOUBLE_EQ(r.abort_pct_all, 100.0);
+  EXPECT_DOUBLE_EQ(r.abort_pct_disconnected, 100.0);
+  EXPECT_DOUBLE_EQ(r.model_abort_pct, 100.0);
+}
+
+TEST(SleeperAbortTest, MatchesProductModelStatistically) {
+  SleeperSpec spec;
+  spec.n = 3000;
+  spec.p_disconnect = 0.6;
+  spec.p_conflict = 0.5;
+  spec.p_incompatible = 0.4;
+  spec.seed = 11;
+  const SleeperResult r = RunSleeperAbortExperiment(spec);
+  EXPECT_DOUBLE_EQ(r.model_abort_pct, 12.0);
+  EXPECT_NEAR(r.abort_pct_all, r.model_abort_pct, 2.5);
+  // Among disconnected transactions the abort rate is P(c) * P(i) = 20 %.
+  EXPECT_NEAR(r.abort_pct_disconnected, 20.0, 3.5);
+}
+
+TEST(SleeperAbortTest, AbortRateGrowsWithEachFactor) {
+  auto run = [](double d, double c, double i) {
+    SleeperSpec spec;
+    spec.n = 1500;
+    spec.p_disconnect = d;
+    spec.p_conflict = c;
+    spec.p_incompatible = i;
+    spec.seed = 23;
+    return RunSleeperAbortExperiment(spec).abort_pct_all;
+  };
+  EXPECT_LT(run(0.2, 0.5, 0.5), run(0.8, 0.5, 0.5));
+  EXPECT_LT(run(0.5, 0.2, 0.5), run(0.5, 0.8, 0.5));
+  EXPECT_LT(run(0.5, 0.5, 0.2), run(0.5, 0.5, 0.8));
+}
+
+}  // namespace
+}  // namespace preserial::workload

@@ -1,0 +1,106 @@
+#include "lock/waits_for_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace preserial::lock {
+namespace {
+
+TEST(WaitsForGraphTest, EmptyHasNoCycle) {
+  WaitsForGraph g;
+  EXPECT_FALSE(g.DetectAnyCycle());
+  EXPECT_FALSE(g.HasCycleFrom(1));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(WaitsForGraphTest, SelfEdgesIgnored) {
+  WaitsForGraph g;
+  g.AddEdge(1, 1);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.HasCycleFrom(1));
+}
+
+TEST(WaitsForGraphTest, ChainHasNoCycle) {
+  WaitsForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  EXPECT_FALSE(g.DetectAnyCycle());
+  EXPECT_FALSE(g.HasCycleFrom(1));
+}
+
+TEST(WaitsForGraphTest, TwoCycleDetected) {
+  WaitsForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  std::vector<TxnId> cycle;
+  EXPECT_TRUE(g.HasCycleFrom(1, &cycle));
+  EXPECT_EQ(cycle.size(), 2u);
+  EXPECT_EQ(cycle[0], 1u);
+  EXPECT_TRUE(g.HasCycleFrom(2));
+  EXPECT_TRUE(g.DetectAnyCycle(&cycle));
+}
+
+TEST(WaitsForGraphTest, LongCycleDetectedFromEveryMember) {
+  WaitsForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 1);
+  for (TxnId t : {1u, 2u, 3u, 4u}) {
+    std::vector<TxnId> cycle;
+    EXPECT_TRUE(g.HasCycleFrom(t, &cycle)) << t;
+    EXPECT_EQ(cycle.size(), 4u);
+    EXPECT_EQ(cycle[0], t);
+  }
+}
+
+TEST(WaitsForGraphTest, NodeOffTheCycleIsNotOnIt) {
+  WaitsForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);  // Cycle 2 <-> 3; node 1 merely reaches it.
+  EXPECT_FALSE(g.HasCycleFrom(1));
+  EXPECT_TRUE(g.HasCycleFrom(2));
+  EXPECT_TRUE(g.DetectAnyCycle());
+}
+
+TEST(WaitsForGraphTest, DiamondIsAcyclic) {
+  WaitsForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 4);
+  g.AddEdge(3, 4);
+  EXPECT_FALSE(g.DetectAnyCycle());
+  EXPECT_FALSE(g.HasCycleFrom(1));
+}
+
+TEST(WaitsForGraphTest, CycleThroughSharedPrefix) {
+  WaitsForGraph g;
+  // 1 -> 2 -> 3, and 1 -> 3 directly, with 3 -> 1 closing the loop.
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  g.AddEdge(3, 1);
+  EXPECT_TRUE(g.HasCycleFrom(1));
+  EXPECT_TRUE(g.HasCycleFrom(3));
+}
+
+TEST(WaitsForGraphTest, ClearResets) {
+  WaitsForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  g.Clear();
+  EXPECT_FALSE(g.DetectAnyCycle());
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(WaitsForGraphTest, SuccessorsReflectEdges) {
+  WaitsForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  EXPECT_EQ(g.Successors(1).size(), 2u);
+  EXPECT_TRUE(g.Successors(2).empty());
+}
+
+}  // namespace
+}  // namespace preserial::lock
