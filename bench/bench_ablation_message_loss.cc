@@ -1,0 +1,98 @@
+// Ablation: message loss on the client<->GTM channel. Every request and
+// reply crosses a channel that drops, duplicates and reorders messages;
+// clients retry with exponential backoff against the GTM's idempotent
+// endpoints. Sweeps the loss rate and compares the paper's discipline —
+// degrade an unresponsive client to Sleep and resume later (Algorithms
+// 7-10) — against the naive baseline that aborts once the retry budget is
+// spent. Emits the same comparison as JSON after the table.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/gtm_experiment.h"
+
+int main() {
+  using namespace preserial;
+  using workload::ChannelSpec;
+  using workload::GtmExperimentSpec;
+  using workload::LossyExperimentResult;
+
+  GtmExperimentSpec base;
+  base.num_txns = 800;
+  base.num_objects = 5;
+  base.alpha = 0.7;
+  base.beta = 0.0;  // Outages come from the channel, not the plan.
+  base.interarrival = 0.5;
+  base.work_time = 2.0;
+  base.seed = 42;
+
+  ChannelSpec channel;
+  channel.duplicate = 0.1;
+  channel.reorder = 0.1;
+  channel.delay_mean = 0.05;
+  channel.request_timeout = 1.0;
+  channel.max_attempts = 3;
+  channel.reconnect_delay = 5.0;
+
+  const double loss_rates[] = {0.0, 0.1, 0.2, 0.3, 0.4};
+
+  bench::Banner(
+      "Ablation: channel loss rate — degrade-to-Sleep vs abort-on-loss");
+  bench::TablePrinter table({"loss", "sleep commit%", "abort commit%",
+                             "retries", "degrades", "dedup hits"},
+                            14);
+  table.PrintHeader();
+
+  struct RowOut {
+    double loss;
+    LossyExperimentResult degrade;
+    LossyExperimentResult naive;
+  };
+  std::vector<RowOut> rows;
+  for (double loss : loss_rates) {
+    ChannelSpec c = channel;
+    c.loss = loss;
+    c.degrade_to_sleep = true;
+    const LossyExperimentResult degrade = RunLossyGtmExperiment(base, c);
+    c.degrade_to_sleep = false;
+    const LossyExperimentResult naive = RunLossyGtmExperiment(base, c);
+    const double n = static_cast<double>(base.num_txns);
+    table.PrintRow({bench::Num(loss, 2),
+                    bench::Num(100.0 * degrade.run.committed / n, 2),
+                    bench::Num(100.0 * naive.run.committed / n, 2),
+                    bench::Num(degrade.run.retries, 0),
+                    bench::Num(degrade.run.degraded_to_sleep, 0),
+                    bench::Num(degrade.duplicates_suppressed, 0)});
+    rows.push_back({loss, degrade, naive});
+  }
+
+  std::puts(
+      "\nshape check: loss leaves the degrade-to-Sleep commit rate nearly "
+      "flat (silent requests park and resume) while abort-on-loss decays "
+      "with the chance that some request exhausts its budget.");
+
+  // Machine-readable mirror of the table.
+  std::printf("\nJSON: {\"bench\":\"ablation_message_loss\",\"rows\":[");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RowOut& r = rows[i];
+    std::printf(
+        "%s{\"loss\":%.2f,"
+        "\"degrade_to_sleep\":{\"committed\":%lld,\"aborted\":%lld,"
+        "\"retries\":%lld,\"degrades\":%lld,\"duplicates_suppressed\":%lld,"
+        "\"channel_dropped\":%lld},"
+        "\"abort_on_loss\":{\"committed\":%lld,\"aborted\":%lld,"
+        "\"retries\":%lld}}",
+        i ? "," : "", r.loss,
+        static_cast<long long>(r.degrade.run.committed),
+        static_cast<long long>(r.degrade.run.aborted),
+        static_cast<long long>(r.degrade.run.retries),
+        static_cast<long long>(r.degrade.run.degraded_to_sleep),
+        static_cast<long long>(r.degrade.duplicates_suppressed),
+        static_cast<long long>(r.degrade.channel.dropped),
+        static_cast<long long>(r.naive.run.committed),
+        static_cast<long long>(r.naive.run.aborted),
+        static_cast<long long>(r.naive.run.retries));
+  }
+  std::printf("]}\n");
+  return 0;
+}

@@ -4,15 +4,20 @@
 //   - sleeping transactions survive disconnections unless an incompatible
 //     operation commits meanwhile, so the GTM aborts far fewer of them;
 //   - compatible bookings share objects, so latency stays near the ideal
-//     work time while 2PL serializes.
+//     work time while 2PL serializes;
+//   - over a lossy channel, retrying against the GTM's idempotent
+//     endpoints and degrading unresponsive clients to Sleep keeps the
+//     commit rate high where a naive client gives up.
 
 #include <cstdio>
 
 #include "workload/gtm_experiment.h"
 
 using namespace preserial;
+using workload::ChannelSpec;
 using workload::ExperimentResult;
 using workload::GtmExperimentSpec;
+using workload::LossyExperimentResult;
 using workload::TwoPlPolicy;
 
 namespace {
@@ -67,5 +72,48 @@ int main() {
   std::puts("The GTM avoids both pathologies: disconnected transactions "
             "sleep without blocking anyone,\nand awake+reconcile lets them "
             "finish unless a genuinely incompatible operation committed.");
+
+  // Part two: the same workload when every request crosses a faulty
+  // channel. Clients stamp requests with sequence numbers, retry silent
+  // ones with backoff, and — in the paper's discipline — degrade to Sleep
+  // when the channel stays dead, resuming with Awake later.
+  GtmExperimentSpec lossy_spec = spec;
+  lossy_spec.beta = 0.0;  // The channel itself now supplies the outages.
+
+  ChannelSpec channel;
+  channel.loss = 0.25;
+  channel.duplicate = 0.1;
+  channel.reorder = 0.1;
+  channel.delay_mean = 0.05;
+  channel.max_attempts = 3;
+  channel.reconnect_delay = 5.0;
+
+  std::puts("\nsame workload over a lossy channel: 25% loss, 10% "
+            "duplication, 10% reordering\n");
+
+  channel.degrade_to_sleep = true;
+  const LossyExperimentResult sleepy = RunLossyGtmExperiment(lossy_spec,
+                                                             channel);
+  std::printf(
+      "%-12s committed %4lld / aborted %3lld  retries %lld  "
+      "degrades %lld  dedup hits %lld\n",
+      "retry+sleep", static_cast<long long>(sleepy.run.committed),
+      static_cast<long long>(sleepy.run.aborted),
+      static_cast<long long>(sleepy.run.retries),
+      static_cast<long long>(sleepy.run.degraded_to_sleep),
+      static_cast<long long>(sleepy.duplicates_suppressed));
+
+  channel.degrade_to_sleep = false;
+  const LossyExperimentResult naive = RunLossyGtmExperiment(lossy_spec,
+                                                            channel);
+  std::printf(
+      "%-12s committed %4lld / aborted %3lld  retries %lld\n",
+      "naive abort", static_cast<long long>(naive.run.committed),
+      static_cast<long long>(naive.run.aborted),
+      static_cast<long long>(naive.run.retries));
+
+  std::puts("\nEvery retried commit hit the GTM's reply cache instead of "
+            "applying twice, and degraded\nclients finished after "
+            "reconnecting — the naive client aborted them.");
   return 0;
 }

@@ -11,6 +11,12 @@ namespace preserial {
 using TimePoint = double;
 using Duration = double;
 
+// Sentinel for "block forever". Callers compare through IsNoTimeout rather
+// than against the literal so that any historically used huge sentinel
+// (anything within an order of magnitude) still means "no timeout".
+inline constexpr Duration kNoTimeout = 1e30;
+inline constexpr bool IsNoTimeout(Duration d) { return d >= kNoTimeout / 10; }
+
 // Abstract time source. The GTM and lock manager read time only through
 // this interface, so the same code runs under the discrete-event simulator
 // (virtual time) and in a live multithreaded service (wall-clock time).

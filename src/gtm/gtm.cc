@@ -416,6 +416,68 @@ Status Gtm::Invoke(TxnId txn, const ObjectId& object, MemberId member,
                     .c_str()));
 }
 
+// --- idempotent endpoints -------------------------------------------------------
+
+const Status* Gtm::LookupCachedReply(TxnId txn, uint64_t seq) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return nullptr;
+  const Status* cached = it->second->CachedReply(seq);
+  if (cached != nullptr) {
+    ++metrics_.counters().duplicates_suppressed;
+    if (trace_.enabled()) {
+      trace_.Record(clock_->Now(), TraceEventKind::kDuplicateSuppressed, txn,
+                    "", StrFormat("seq %llu -> %s",
+                                  static_cast<unsigned long long>(seq),
+                                  StatusCodeName(cached->code())));
+    }
+  }
+  return cached;
+}
+
+Status Gtm::ExecuteOnce(TxnId txn, uint64_t seq,
+                        const std::function<Status()>& call) {
+  if (const Status* cached = LookupCachedReply(txn, seq)) return *cached;
+  Status s = call();
+  auto it = txns_.find(txn);
+  if (it != txns_.end()) it->second->CacheReply(seq, s);
+  return s;
+}
+
+Status Gtm::InvokeOnce(TxnId txn, uint64_t seq, const ObjectId& object,
+                       MemberId member, const Operation& op) {
+  if (const Status* cached = LookupCachedReply(txn, seq)) {
+    if (cached->code() != StatusCode::kWaiting) return *cached;
+    // The original reply parked the client, but the queue may have moved
+    // on; answer from the current truth instead of the stale snapshot.
+    ManagedTxn* t = txns_.find(txn)->second.get();
+    if (!IsLive(t->state())) {
+      return Status::Aborted("transaction aborted while waiting");
+    }
+    if (t->HasGrant(Cell{object, member})) return Status::Ok();
+    return *cached;  // Still queued (or sleeping on the queue).
+  }
+  Status s = Invoke(txn, object, member, op);
+  auto it = txns_.find(txn);
+  if (it != txns_.end()) it->second->CacheReply(seq, s);
+  return s;
+}
+
+Status Gtm::CommitOnce(TxnId txn, uint64_t seq) {
+  return ExecuteOnce(txn, seq, [this, txn] { return RequestCommit(txn); });
+}
+
+Status Gtm::AbortOnce(TxnId txn, uint64_t seq) {
+  return ExecuteOnce(txn, seq, [this, txn] { return RequestAbort(txn); });
+}
+
+Status Gtm::SleepOnce(TxnId txn, uint64_t seq) {
+  return ExecuteOnce(txn, seq, [this, txn] { return Sleep(txn); });
+}
+
+Status Gtm::AwakeOnce(TxnId txn, uint64_t seq) {
+  return ExecuteOnce(txn, seq, [this, txn] { return Awake(txn); });
+}
+
 Result<Value> Gtm::ReadLocal(TxnId txn, const ObjectId& object,
                              MemberId member) {
   ManagedTxn* t = GetLiveTxn(txn);
@@ -483,6 +545,8 @@ Status Gtm::RequestCommit(TxnId txn) {
   }
   metrics_.counters().sst_executed = sst_.counters().executed;
   metrics_.counters().sst_failed = sst_.counters().failed;
+  metrics_.counters().sst_cells_written = sst_.counters().cells_written;
+  metrics_.counters().sst_injected_failures = sst_.counters().injected_failures;
   if (!sst_status.ok()) {
     int64_t* cause = sst_status.code() == StatusCode::kConstraintViolation
                          ? &metrics_.counters().constraint_aborts

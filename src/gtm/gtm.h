@@ -1,6 +1,8 @@
 #ifndef PRESERIAL_GTM_GTM_H_
 #define PRESERIAL_GTM_GTM_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -109,6 +111,23 @@ class Gtm {
   TxnId Begin(int priority = 0);
   Status Invoke(TxnId txn, const ObjectId& object, semantics::MemberId member,
                 const semantics::Operation& op);
+
+  // --- idempotent endpoints (at-least-once transport) ------------------------
+  //
+  // Each *Once call is stamped with a client-chosen request_seq, unique per
+  // transaction and reused verbatim on retries. The first delivery executes
+  // and caches the reply; redeliveries return the cached reply without
+  // re-executing — a retried CommitOnce can never apply twice. The one
+  // non-literal replay is a cached kWaiting Invoke: by the time the retry
+  // arrives the queued operation may have been granted (or the transaction
+  // killed), so the reply is re-derived from the current state.
+  Status InvokeOnce(TxnId txn, uint64_t seq, const ObjectId& object,
+                    semantics::MemberId member, const semantics::Operation& op);
+  Status CommitOnce(TxnId txn, uint64_t seq);
+  Status AbortOnce(TxnId txn, uint64_t seq);
+  Status SleepOnce(TxnId txn, uint64_t seq);
+  Status AwakeOnce(TxnId txn, uint64_t seq);
+
   // Reads the transaction's virtual copy (granting a read if necessary).
   Result<storage::Value> ReadLocal(TxnId txn, const ObjectId& object,
                                    semantics::MemberId member);
@@ -169,6 +188,15 @@ class Gtm {
  private:
   ManagedTxn* GetLiveTxn(TxnId txn);
   ObjectState* GetObjectMutable(const ObjectId& id);
+
+  // Dedup lookup shared by the *Once endpoints. Returns the cached reply
+  // when `seq` already executed for `txn` (terminal transactions answer
+  // too), bumping the duplicates_suppressed counter; null on first
+  // delivery or unknown transaction.
+  const Status* LookupCachedReply(TxnId txn, uint64_t seq);
+  // Runs `call` on first delivery and caches its reply under `seq`.
+  Status ExecuteOnce(TxnId txn, uint64_t seq,
+                     const std::function<Status()>& call);
 
   // Member-level conflict respecting the semantic_sharing ablation switch.
   bool EffectiveConflict(semantics::OpClass held, semantics::OpClass requested,

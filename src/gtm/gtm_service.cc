@@ -33,15 +33,25 @@ Status GtmService::Invoke(TxnId txn, const ObjectId& object,
     return s;
   }
   if (s.code() != StatusCode::kWaiting) return s;
+  return WaitForGrantLocked(lk, txn, timeout);
+}
 
+Status GtmService::WaitForGrantLocked(std::unique_lock<std::mutex>& lk,
+                                      TxnId txn, Duration timeout) {
+  // kNoTimeout would overflow a steady_clock deadline; wait untimed then.
+  const bool bounded = !IsNoTimeout(timeout);
   const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(timeout);
+                        std::chrono::duration<double>(bounded ? timeout : 0.0);
   while (granted_.count(txn) == 0) {
     // The admission pump may have aborted the waiter (stale entries) or a
     // timeout sweep may have killed it; stop waiting then.
     Result<TxnState> st = gtm_.StateOf(txn);
     if (st.ok() && !IsLive(st.value())) {
       return Status::Aborted("transaction aborted while waiting");
+    }
+    if (!bounded) {
+      cv_.wait(lk);
+      continue;
     }
     if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
       (void)gtm_.RequestAbort(txn);
@@ -56,21 +66,7 @@ Status GtmService::Invoke(TxnId txn, const ObjectId& object,
 
 Status GtmService::WaitForGrant(TxnId txn, Duration timeout) {
   std::unique_lock<std::mutex> lk(mu_);
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(timeout);
-  while (granted_.count(txn) == 0) {
-    Result<TxnState> st = gtm_.StateOf(txn);
-    if (st.ok() && !IsLive(st.value())) {
-      return Status::Aborted("transaction aborted while waiting");
-    }
-    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
-      (void)gtm_.RequestAbort(txn);
-      DrainEventsLocked();
-      return Status::TimedOut("invocation wait timed out; aborted");
-    }
-  }
-  granted_.erase(txn);
-  return Status::Ok();
+  return WaitForGrantLocked(lk, txn, timeout);
 }
 
 Result<storage::Value> GtmService::Read(TxnId txn, const ObjectId& object,
@@ -112,6 +108,50 @@ Status GtmService::Sleep(TxnId txn) {
 Status GtmService::Awake(TxnId txn) {
   std::lock_guard<std::mutex> lk(mu_);
   Status s = gtm_.Awake(txn);
+  DrainEventsLocked();
+  return s;
+}
+
+Status GtmService::InvokeOnce(TxnId txn, uint64_t seq, const ObjectId& object,
+                              semantics::MemberId member,
+                              const semantics::Operation& op,
+                              Duration timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Status s = gtm_.InvokeOnce(txn, seq, object, member, op);
+  DrainEventsLocked();
+  if (s.code() == StatusCode::kDeadlock) {
+    (void)gtm_.RequestAbort(txn);
+    DrainEventsLocked();
+    return s;
+  }
+  if (s.code() != StatusCode::kWaiting) return s;
+  return WaitForGrantLocked(lk, txn, timeout);
+}
+
+Status GtmService::CommitOnce(TxnId txn, uint64_t seq) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Status s = gtm_.CommitOnce(txn, seq);
+  DrainEventsLocked();
+  return s;
+}
+
+Status GtmService::AbortOnce(TxnId txn, uint64_t seq) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Status s = gtm_.AbortOnce(txn, seq);
+  DrainEventsLocked();
+  return s;
+}
+
+Status GtmService::SleepOnce(TxnId txn, uint64_t seq) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Status s = gtm_.SleepOnce(txn, seq);
+  DrainEventsLocked();
+  return s;
+}
+
+Status GtmService::AwakeOnce(TxnId txn, uint64_t seq) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Status s = gtm_.AwakeOnce(txn, seq);
   DrainEventsLocked();
   return s;
 }

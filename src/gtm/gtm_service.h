@@ -33,18 +33,31 @@ class GtmService {
   // transaction is aborted (kTimedOut). kDeadlock refusals abort too.
   Status Invoke(TxnId txn, const ObjectId& object, semantics::MemberId member,
                 const semantics::Operation& op,
-                Duration timeout = 1e30);
+                Duration timeout = kNoTimeout);
 
   // Reads the transaction's virtual copy (acquiring a read grant, possibly
   // blocking).
   Result<storage::Value> Read(TxnId txn, const ObjectId& object,
                               semantics::MemberId member,
-                              Duration timeout = 1e30);
+                              Duration timeout = kNoTimeout);
 
   Status Commit(TxnId txn);
   Status Abort(TxnId txn);
   Status Sleep(TxnId txn);
   Status Awake(TxnId txn);
+
+  // Idempotent variants for clients on an at-least-once transport: `seq`
+  // is the client's per-transaction request number, reused verbatim on
+  // retries. A redelivered request returns its original reply without
+  // re-executing (see Gtm::InvokeOnce and friends); a replayed kWaiting
+  // Invoke blocks again until the grant or the timeout.
+  Status InvokeOnce(TxnId txn, uint64_t seq, const ObjectId& object,
+                    semantics::MemberId member, const semantics::Operation& op,
+                    Duration timeout = kNoTimeout);
+  Status CommitOnce(TxnId txn, uint64_t seq);
+  Status AbortOnce(TxnId txn, uint64_t seq);
+  Status SleepOnce(TxnId txn, uint64_t seq);
+  Status AwakeOnce(TxnId txn, uint64_t seq);
 
   Result<TxnState> StateOf(TxnId txn);
 
@@ -60,6 +73,9 @@ class GtmService {
   void DrainEventsLocked();
   // Blocks until txn's queued invocation is granted (or timeout/abort).
   Status WaitForGrant(TxnId txn, Duration timeout);
+  // Same, with the caller already holding mu_ through `lk`.
+  Status WaitForGrantLocked(std::unique_lock<std::mutex>& lk, TxnId txn,
+                            Duration timeout);
 
   SystemClock clock_;
   Gtm gtm_;

@@ -1,6 +1,7 @@
 #ifndef PRESERIAL_GTM_MANAGED_TXN_H_
 #define PRESERIAL_GTM_MANAGED_TXN_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -98,6 +99,21 @@ class ManagedTxn {
     return wait_since_;
   }
 
+  // --- idempotent request dedup --------------------------------------------
+
+  // Reply cache keyed by the client's request_seq: a request that already
+  // executed returns its original reply instead of re-executing (exactly-
+  // once effects over an at-least-once channel). The Gtm keeps terminal
+  // transactions alive, so a retried commit whose reply was lost still
+  // finds its cached OK here.
+  const Status* CachedReply(uint64_t seq) const {
+    auto it = replies_.find(seq);
+    return it == replies_.end() ? nullptr : &it->second;
+  }
+  void CacheReply(uint64_t seq, Status reply) {
+    replies_[seq] = std::move(reply);
+  }
+
   // --- statistics ----------------------------------------------------------
 
   int64_t ops_executed = 0;
@@ -115,6 +131,7 @@ class ManagedTxn {
   std::map<Cell, semantics::OpClass> granted_;
   std::set<ObjectId> involved_;
   std::map<ObjectId, TimePoint> wait_since_;
+  std::map<uint64_t, Status> replies_;
 };
 
 }  // namespace preserial::gtm

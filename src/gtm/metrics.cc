@@ -35,9 +35,15 @@ std::string GtmMetrics::Summary() const {
       static_cast<long long>(counters_.timeout_aborts),
       static_cast<long long>(counters_.constraint_aborts),
       static_cast<long long>(counters_.user_aborts));
-  out += StrFormat("sst: executed=%lld failed=%lld\n",
+  out += StrFormat("sst: executed=%lld failed=%lld retries=%lld "
+                   "cells=%lld injected_failures=%lld\n",
                    static_cast<long long>(counters_.sst_executed),
-                   static_cast<long long>(counters_.sst_failed));
+                   static_cast<long long>(counters_.sst_failed),
+                   static_cast<long long>(counters_.sst_retries),
+                   static_cast<long long>(counters_.sst_cells_written),
+                   static_cast<long long>(counters_.sst_injected_failures));
+  out += StrFormat("dedup: duplicates_suppressed=%lld\n",
+                   static_cast<long long>(counters_.duplicates_suppressed));
   out += "exec_time: " + execution_time_.Summary() + "\n";
   out += "wait_time: " + wait_time_.Summary() + "\n";
   return out;

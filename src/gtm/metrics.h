@@ -33,6 +33,14 @@ struct GtmCounters {
   int64_t sst_executed = 0;
   int64_t sst_failed = 0;
   int64_t sst_retries = 0;  // Transient failures absorbed by the retry policy.
+  // Mirrors of the executor's own counters (synced at each commit).
+  int64_t sst_cells_written = 0;
+  int64_t sst_injected_failures = 0;
+
+  // Requests answered from the per-transaction reply cache instead of
+  // re-executing (at-least-once channels re-deliver; effects stay
+  // exactly-once).
+  int64_t duplicates_suppressed = 0;
 
   int64_t starvation_denials = 0;
   int64_t admission_denials = 0;  // Constraint-aware admission refusals.

@@ -26,6 +26,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "DEADLOCK_REFUSAL";
     case TraceEventKind::kAdmissionDenial:
       return "ADMISSION_DENIAL";
+    case TraceEventKind::kDuplicateSuppressed:
+      return "DUPLICATE_SUPPRESSED";
   }
   return "?";
 }

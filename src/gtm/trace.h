@@ -23,6 +23,7 @@ enum class TraceEventKind {
   kAwakeAbort,
   kDeadlockRefusal,
   kAdmissionDenial,  // Constraint-aware admission refused an operation.
+  kDuplicateSuppressed,  // Retried request answered from the reply cache.
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

@@ -28,9 +28,21 @@ void MultiGtmSession::Start() {
   if (plan_.steps.empty()) {
     DoCommit();
   } else {
-    RunStep();
+    ScheduleStep();
   }
   pump_();
+}
+
+void MultiGtmSession::ScheduleStep() {
+  const Duration hop = plan_.steps[current_step_].invoke_delay;
+  if (hop <= 0) {
+    RunStep();
+    return;
+  }
+  sim_->After(hop, [this] {
+    RunStep();
+    pump_();
+  });
 }
 
 void MultiGtmSession::RunStep() {
@@ -41,7 +53,8 @@ void MultiGtmSession::RunStep() {
     return;
   }
   const TourStep& step = plan_.steps[current_step_];
-  const Status s = gtm_->Invoke(txn_, step.object, step.member, step.op);
+  const Status s =
+      gtm_->InvokeOnce(txn_, next_seq_++, step.object, step.member, step.op);
   switch (s.code()) {
     case StatusCode::kOk:
       StepDone();
@@ -89,7 +102,7 @@ void MultiGtmSession::AdvanceOrCommit() {
   }
   ++current_step_;
   if (current_step_ < plan_.steps.size()) {
-    RunStep();
+    ScheduleStep();
     pump_();
     return;
   }
@@ -98,7 +111,7 @@ void MultiGtmSession::AdvanceOrCommit() {
 
 void MultiGtmSession::DoSleep() {
   if (finished_) return;
-  const Status s = gtm_->Sleep(txn_);
+  const Status s = gtm_->SleepOnce(txn_, next_seq_++);
   if (!s.ok()) {
     // Sleeping disabled (ablation) aborts on disconnection.
     Finish(false, AbortCause::kAwakeConflict);
@@ -112,7 +125,7 @@ void MultiGtmSession::DoSleep() {
 
 void MultiGtmSession::DoAwake() {
   if (finished_) return;
-  const Status s = gtm_->Awake(txn_);
+  const Status s = gtm_->AwakeOnce(txn_, next_seq_++);
   if (!s.ok()) {
     Finish(false, s.code() == StatusCode::kAborted
                       ? AbortCause::kAwakeConflict
@@ -148,7 +161,12 @@ void MultiGtmSession::DoCommit() {
     resume_action_ = 2;
     return;
   }
-  const Status s = gtm_->RequestCommit(txn_);
+  if (!commit_delay_paid_ && plan_.commit_delay > 0) {
+    commit_delay_paid_ = true;
+    sim_->After(plan_.commit_delay, [this] { DoCommit(); });
+    return;
+  }
+  const Status s = gtm_->CommitOnce(txn_, next_seq_++);
   if (s.ok()) {
     Finish(true, AbortCause::kNone);
   } else {
@@ -228,7 +246,7 @@ void MultiTwoPlSession::ScheduleDisconnect() {
 void MultiTwoPlSession::ArmWaitTimeout() {
   waiting_ = true;
   const uint64_t epoch = ++wait_epoch_;
-  if (plan_.lock_wait_timeout >= 1e29) return;
+  if (IsNoTimeout(plan_.lock_wait_timeout)) return;
   sim_->After(plan_.lock_wait_timeout, [this, epoch] {
     if (finished_ || !waiting_ || wait_epoch_ != epoch) return;
     (void)engine_->Abort(txn_);

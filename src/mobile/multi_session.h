@@ -16,11 +16,14 @@ struct TourStep {
   semantics::Operation op;
   // User think time after this step completes, before the next one.
   Duration think_time = 0;
+  // Wireless hop before this step's invocation reaches the middleware.
+  Duration invoke_delay = 0;
 };
 
 struct MultiTxnPlan {
   std::vector<TourStep> steps;
   Duration final_think = 0;  // Between the last step and the commit.
+  Duration commit_delay = 0; // Wireless hop before the commit request.
   // Disconnection at an absolute offset from the session start; the client
   // sleeps wherever it happens to be (thinking or queued).
   DisconnectPlan disconnect;
@@ -47,6 +50,7 @@ class MultiGtmSession : public GtmWaiter {
   bool finished() const { return finished_; }
 
  private:
+  void ScheduleStep();     // Pay the step's wireless hop, then RunStep.
   void RunStep();          // Invoke steps_[current_step_].
   void StepDone();         // Think, then advance.
   void AdvanceOrCommit();
@@ -70,6 +74,9 @@ class MultiGtmSession : public GtmWaiter {
   bool resume_pending_ = false;
   // What to resume: 0 = advance/commit, 1 = run current step.
   int resume_action_ = 0;
+  // Requests carry per-transaction sequence numbers (idempotent endpoints).
+  uint64_t next_seq_ = 1;
+  bool commit_delay_paid_ = false;
 };
 
 // The strict-2PL counterpart: each step locks its cell (read-for-update +
@@ -89,8 +96,8 @@ struct MultiTwoPlPlan {
   std::vector<TwoPlTourStep> steps;
   Duration final_think = 0;
   DisconnectPlan disconnect;  // Locks stay held while away.
-  Duration lock_wait_timeout = 1e30;
-  Duration idle_timeout = 1e30;  // System abort of disconnected holders.
+  Duration lock_wait_timeout = kNoTimeout;
+  Duration idle_timeout = kNoTimeout;  // System abort of disconnected holders.
   int tag = 0;
 };
 

@@ -20,4 +20,30 @@ double NetworkModel::mean_delay() const {
   return latency_ == nullptr ? 0.0 : latency_->Mean();
 }
 
+std::vector<Duration> LossyChannel::SampleDeliveries(Rng& rng) const {
+  ++counters_.messages;
+  // The original plus any injected duplicates; each copy then faces loss
+  // and delay independently (a duplicate can survive its original).
+  int copies = 1;
+  while (copies < 4 && rng.NextBool(faults_.duplicate)) {
+    ++copies;
+    ++counters_.duplicated;
+  }
+  std::vector<Duration> deliveries;
+  for (int c = 0; c < copies; ++c) {
+    if (rng.NextBool(faults_.loss)) {
+      ++counters_.dropped;
+      continue;
+    }
+    Duration delay = latency_.SampleDelay(rng);
+    if (rng.NextBool(faults_.reorder)) {
+      delay += rng.NextExponential(faults_.reorder_delay_mean);
+      ++counters_.reordered;
+    }
+    deliveries.push_back(delay);
+    ++counters_.delivered;
+  }
+  return deliveries;
+}
+
 }  // namespace preserial::mobile

@@ -2,6 +2,7 @@
 #define PRESERIAL_MOBILE_NETWORK_H_
 
 #include <memory>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/random.h"
@@ -33,6 +34,53 @@ class NetworkModel {
 
  private:
   std::unique_ptr<sim::Distribution> latency_;  // Null => zero latency.
+};
+
+// Fault rates of an unreliable wireless hop. All probabilities are per
+// message copy and independent.
+struct ChannelFaults {
+  double loss = 0.0;       // P(a copy never arrives).
+  double duplicate = 0.0;  // P(an extra copy is injected).
+  double reorder = 0.0;    // P(a copy is held back by an extra delay).
+  // Mean of the exponential extra delay a reordered copy pays (enough to
+  // overtake later messages under typical latencies).
+  Duration reorder_delay_mean = 0.5;
+};
+
+// An unreliable channel: the latency model plus drop/duplicate/reorder
+// faults. One logical send becomes zero or more deliveries, each with its
+// own arrival delay — an empty sample means the message was lost. The
+// channel is direction-agnostic; requests and replies sample independently.
+class LossyChannel {
+ public:
+  // Running totals, aggregated over both directions.
+  struct Counters {
+    int64_t messages = 0;    // Logical sends.
+    int64_t delivered = 0;   // Copies that arrived.
+    int64_t dropped = 0;     // Copies lost in flight.
+    int64_t duplicated = 0;  // Extra copies injected.
+    int64_t reordered = 0;   // Copies that paid the reorder delay.
+  };
+
+  LossyChannel() = default;
+  LossyChannel(NetworkModel latency, ChannelFaults faults)
+      : latency_(std::move(latency)), faults_(faults) {}
+
+  // Arrival delays for one logical message: usually {delay}, possibly
+  // empty (lost) or longer (duplicated). Every copy — original or
+  // duplicate — is dropped, delayed and reordered independently.
+  std::vector<Duration> SampleDeliveries(Rng& rng) const;
+
+  const NetworkModel& latency() const { return latency_; }
+  const ChannelFaults& faults() const { return faults_; }
+  const Counters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = Counters{}; }
+
+ private:
+  NetworkModel latency_;
+  ChannelFaults faults_;
+  // Sampling is logically const; the tallies are observability only.
+  mutable Counters counters_;
 };
 
 }  // namespace preserial::mobile

@@ -1,0 +1,20 @@
+#include "mobile/retry.h"
+
+#include <algorithm>
+
+namespace preserial::mobile {
+
+Duration RetryPolicy::BackoffBeforeAttempt(int completed_attempts,
+                                           Rng& rng) const {
+  Duration base = initial_backoff;
+  for (int i = 1; i < completed_attempts; ++i) {
+    base *= backoff_multiplier;
+    if (base >= max_backoff) break;
+  }
+  base = std::min(base, max_backoff);
+  const double lo = std::max(0.0, 1.0 - jitter);
+  const double hi = 1.0 + jitter;
+  return base * (lo + (hi - lo) * rng.NextDouble());
+}
+
+}  // namespace preserial::mobile

@@ -1,0 +1,32 @@
+#ifndef PRESERIAL_MOBILE_RETRY_H_
+#define PRESERIAL_MOBILE_RETRY_H_
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace preserial::mobile {
+
+// Client-side retry discipline for requests over a LossyChannel: each
+// attempt gets `request_timeout` to produce a reply; a silent attempt is
+// followed by exponential backoff with jitter, up to `max_attempts` total
+// attempts. What happens when the budget is exhausted is the caller's
+// policy (the fault-tolerant session degrades into the paper's Sleep state
+// instead of aborting).
+struct RetryPolicy {
+  Duration request_timeout = 1.0;   // Per-attempt reply deadline.
+  Duration initial_backoff = 0.25;  // Pause before the second attempt.
+  double backoff_multiplier = 2.0;
+  Duration max_backoff = 8.0;
+  // Uniform jitter fraction: the backoff is scaled by a factor drawn from
+  // [1 - jitter, 1 + jitter] to decorrelate retry storms.
+  double jitter = 0.5;
+  int max_attempts = 5;  // Total attempts (first try included).
+
+  // Pause between attempt number `completed_attempts` (1-based, just timed
+  // out) and the next one.
+  Duration BackoffBeforeAttempt(int completed_attempts, Rng& rng) const;
+};
+
+}  // namespace preserial::mobile
+
+#endif  // PRESERIAL_MOBILE_RETRY_H_

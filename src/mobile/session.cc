@@ -20,6 +20,8 @@ const char* AbortCauseName(AbortCause c) {
       return "lock-wait-timeout";
     case AbortCause::kDisconnectTimeout:
       return "disconnect-timeout";
+    case AbortCause::kChannelLoss:
+      return "channel-loss";
     case AbortCause::kOther:
       return "other";
   }
@@ -144,6 +146,223 @@ void GtmSession::Finish(bool committed, AbortCause cause) {
   done_(stats_);
 }
 
+// --- FaultTolerantGtmSession ----------------------------------------------------
+
+FaultTolerantGtmSession::FaultTolerantGtmSession(
+    gtm::Gtm* gtm, sim::Simulator* simulator, const LossyChannel* channel,
+    Rng* rng, FtPlan plan, PumpFn pump, DoneFn done)
+    : gtm_(gtm),
+      sim_(simulator),
+      plan_(std::move(plan)),
+      pump_(std::move(pump)),
+      done_(std::move(done)),
+      stub_(simulator, channel, rng, plan_.retry) {}
+
+void FaultTolerantGtmSession::Start() {
+  stats_.arrival = sim_->Now();
+  stats_.tag = plan_.base.tag;
+  // Session establishment is reliable (see class comment); everything after
+  // Begin crosses the lossy channel.
+  txn_ = gtm_->Begin();
+  stats_.txn = txn_;
+  SendInvoke();
+}
+
+void FaultTolerantGtmSession::SendInvoke() {
+  if (invoke_seq_ == 0) invoke_seq_ = next_seq_++;
+  const TxnPlan& base = plan_.base;
+  stub_.Send(
+      /*execute=*/[gtm = gtm_, pump = pump_, txn = txn_, seq = invoke_seq_,
+                   base] {
+        const Status s =
+            gtm->InvokeOnce(txn, seq, base.object, base.member, base.op);
+        pump();  // Server-side effects may admit other sessions' waiters.
+        return s;
+      },
+      /*on_reply=*/[this](const Status& s) { OnInvokeReply(s); },
+      /*on_exhausted=*/[this] { OnExhausted(); });
+}
+
+void FaultTolerantGtmSession::OnInvokeReply(const Status& s) {
+  if (finished_ || phase_ != Phase::kInvoke) return;  // Stale reply.
+  switch (s.code()) {
+    case StatusCode::kOk:
+      ProceedAfterGrant();
+      break;
+    case StatusCode::kWaiting:
+      // Parked; the (reliable) grant notification resumes us.
+      break;
+    case StatusCode::kDeadlock:
+      (void)gtm_->RequestAbort(txn_);
+      Finish(false, AbortCause::kDeadlock);
+      break;
+    case StatusCode::kConstraintViolation:
+      (void)gtm_->RequestAbort(txn_);
+      Finish(false, AbortCause::kConstraint);
+      break;
+    case StatusCode::kAborted:
+      Finish(false, AbortCause::kOther);
+      break;
+    default:
+      (void)gtm_->RequestAbort(txn_);
+      Finish(false, AbortCause::kOther);
+      break;
+  }
+  pump_();
+}
+
+void FaultTolerantGtmSession::OnGranted() {
+  if (finished_ || granted_) return;
+  ProceedAfterGrant();
+}
+
+void FaultTolerantGtmSession::OnSystemAbort(AbortCause cause) {
+  if (finished_) return;
+  Finish(false, cause);
+}
+
+void FaultTolerantGtmSession::ProceedAfterGrant() {
+  if (phase_ != Phase::kInvoke) return;
+  granted_ = true;
+  phase_ = Phase::kWorking;
+  stub_.Cancel();  // A late kWaiting reply must not re-park us.
+  sim_->After(plan_.base.work_time, [this] { SendCommit(); });
+}
+
+void FaultTolerantGtmSession::SendCommit() {
+  if (finished_) return;
+  phase_ = Phase::kCommit;
+  if (commit_seq_ == 0) commit_seq_ = next_seq_++;
+  stub_.Send(
+      /*execute=*/[gtm = gtm_, pump = pump_, txn = txn_, seq = commit_seq_] {
+        const Status s = gtm->CommitOnce(txn, seq);
+        pump();  // The commit releases admissions for other waiters.
+        return s;
+      },
+      /*on_reply=*/[this](const Status& s) { OnCommitReply(s); },
+      /*on_exhausted=*/[this] { OnExhausted(); });
+}
+
+void FaultTolerantGtmSession::OnCommitReply(const Status& s) {
+  if (finished_ || phase_ != Phase::kCommit) return;
+  if (s.ok()) {
+    Finish(true, AbortCause::kNone);
+  } else if (s.code() == StatusCode::kFailedPrecondition) {
+    // The transaction was no longer committable (e.g. system-aborted while
+    // the request was in flight).
+    Finish(false, AbortCause::kOther);
+  } else {
+    Finish(false, AbortCause::kConstraint);
+  }
+  pump_();
+}
+
+void FaultTolerantGtmSession::OnExhausted() {
+  if (finished_) return;
+  if (plan_.mode == FtMode::kAbortOnLoss || degrades_ >= plan_.max_degrades) {
+    GiveUp();
+    return;
+  }
+  ++degrades_;
+  ++stats_.degraded_sleeps;
+  stats_.disconnected = true;
+  // The client is effectively offline; the middleware's inactivity oracle
+  // Ξ (Alg 8) parks it rather than aborting. Modeling note: we invoke
+  // Sleep directly — a server-side decision needs no channel crossing.
+  Result<gtm::TxnState> st = gtm_->StateOf(txn_);
+  if (st.ok() && (st.value() == gtm::TxnState::kActive ||
+                  st.value() == gtm::TxnState::kWaiting)) {
+    const Status s = gtm_->Sleep(txn_);
+    if (!s.ok() && s.code() == StatusCode::kAborted) {
+      // Sleeping disabled (ablation): the outage killed the transaction.
+      Finish(false, AbortCause::kChannelLoss);
+      pump_();
+      return;
+    }
+    pump_();  // Parking a holder can admit waiters.
+  }
+  sim_->After(plan_.reconnect_delay, [this] { Reconnect(); });
+}
+
+void FaultTolerantGtmSession::Reconnect() {
+  if (finished_) return;
+  Result<gtm::TxnState> st = gtm_->StateOf(txn_);
+  if (!st.ok() || st.value() != gtm::TxnState::kSleeping) {
+    // Not parked (e.g. the lost request had already committed or aborted
+    // us): resend the pending request and learn the outcome from the
+    // reply cache.
+    ResendPending();
+    return;
+  }
+  const uint64_t awake_seq = next_seq_++;
+  stub_.Send(
+      /*execute=*/[gtm = gtm_, pump = pump_, txn = txn_, awake_seq] {
+        const Status s = gtm->AwakeOnce(txn, awake_seq);
+        pump();
+        return s;
+      },
+      /*on_reply=*/[this](const Status& s) {
+        if (finished_) return;
+        if (s.ok() || s.code() == StatusCode::kFailedPrecondition) {
+          // Awake succeeded (or the transaction was no longer sleeping —
+          // e.g. a duplicate awake already landed); push the pending
+          // request through.
+          ResendPending();
+          return;
+        }
+        Finish(false, s.code() == StatusCode::kAborted
+                          ? AbortCause::kAwakeConflict
+                          : AbortCause::kOther);
+        pump_();
+      },
+      /*on_exhausted=*/[this] { OnExhausted(); });
+}
+
+void FaultTolerantGtmSession::ResendPending() {
+  switch (phase_) {
+    case Phase::kInvoke:
+      SendInvoke();
+      return;
+    case Phase::kWorking:
+      // The outage hit during user work; nothing is pending with the
+      // middleware, so just let the work timer (already scheduled) fire.
+      return;
+    case Phase::kCommit:
+      SendCommit();
+      return;
+    case Phase::kDone:
+      return;
+  }
+}
+
+void FaultTolerantGtmSession::GiveUp() {
+  // Before declaring the transaction lost, reconcile with the server-side
+  // truth: a commit may have applied even though every reply drowned.
+  Result<gtm::TxnState> st = gtm_->StateOf(txn_);
+  if (st.ok() && st.value() == gtm::TxnState::kCommitted) {
+    Finish(true, AbortCause::kNone);
+    pump_();
+    return;
+  }
+  if (st.ok() && gtm::IsLive(st.value())) {
+    (void)gtm_->RequestAbort(txn_);
+  }
+  Finish(false, AbortCause::kChannelLoss);
+  pump_();
+}
+
+void FaultTolerantGtmSession::Finish(bool committed, AbortCause cause) {
+  if (finished_) return;
+  finished_ = true;
+  phase_ = Phase::kDone;
+  stub_.Cancel();
+  stats_.finish = sim_->Now();
+  stats_.committed = committed;
+  stats_.cause = cause;
+  stats_.retries = stub_.retries();
+  done_(stats_);
+}
+
 // --- TwoPlSession ----------------------------------------------------------------
 
 TwoPlSession::TwoPlSession(txn::TwoPhaseLockingEngine* engine,
@@ -183,7 +402,7 @@ void TwoPlSession::OnRunnable() {
 void TwoPlSession::ArmWaitTimeout() {
   waiting_ = true;
   const uint64_t epoch = ++wait_epoch_;
-  if (plan_.lock_wait_timeout >= 1e29) return;
+  if (IsNoTimeout(plan_.lock_wait_timeout)) return;
   sim_->After(plan_.lock_wait_timeout, [this, epoch] {
     if (finished_ || !waiting_ || wait_epoch_ != epoch) return;
     (void)engine_->Abort(txn_);

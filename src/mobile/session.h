@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "gtm/gtm.h"
+#include "mobile/client.h"
 #include "mobile/disconnect_model.h"
 #include "sim/simulator.h"
 #include "txn/txn_manager.h"
@@ -21,6 +22,7 @@ enum class AbortCause {
   kConstraint,       // SST / admission constraint failure.
   kLockWaitTimeout,  // Gave up waiting for a lock (2PL baseline).
   kDisconnectTimeout,// System aborted a disconnected holder (2PL baseline).
+  kChannelLoss,      // Gave up on an unresponsive channel (retry budget).
   kOther,
 };
 
@@ -35,6 +37,10 @@ struct SessionStats {
   bool disconnected = false;  // The plan included a disconnection.
   AbortCause cause = AbortCause::kNone;
   int tag = 0;  // Caller-defined class label (e.g. subtract vs assign).
+  // Fault-tolerant transport only: request attempts beyond the first, and
+  // degrade-to-Sleep episodes after an exhausted retry budget.
+  int64_t retries = 0;
+  int64_t degraded_sleeps = 0;
 
   Duration Latency() const { return finish - arrival; }
 };
@@ -115,6 +121,89 @@ class GtmSession : public GtmWaiter {
   bool granted_ = false;
 };
 
+// How a fault-tolerant session reacts when its retry budget runs out.
+enum class FtMode {
+  // Park the transaction in the paper's Sleep state (the middleware's
+  // inactivity oracle Ξ would do the same to an unresponsive client) and
+  // resume after `reconnect_delay` with Awake + a resend of the pending
+  // request under its original sequence number.
+  kDegradeToSleep,
+  // The naive baseline: give up and abort the transaction.
+  kAbortOnLoss,
+};
+
+// Plan of a fault-tolerant session: the base single-operation transaction
+// plus the transport discipline. `base.disconnect` and the base delay
+// fields are ignored — the channel supplies all delays and outages here.
+struct FtPlan {
+  TxnPlan base;
+  RetryPolicy retry;
+  FtMode mode = FtMode::kDegradeToSleep;
+  Duration reconnect_delay = 5.0;  // Offline time per degrade episode.
+  int max_degrades = 8;            // Degrade episodes before giving up.
+};
+
+// Simulated mobile client whose every Invoke/Commit/Awake crosses a
+// LossyChannel through a RequestStub: requests are stamped with
+// per-transaction sequence numbers (the GTM's idempotent *Once endpoints
+// dedup redeliveries), silent requests retry with backoff, and an
+// exhausted budget degrades into Sleep instead of aborting (Algorithms
+// 7-10) — unless the plan says kAbortOnLoss.
+//
+// Begin and the grant notification (OnGranted, forwarded by the runner's
+// pump) are modeled reliable: they stand for session establishment and the
+// middleware's server-push channel, whose loss is equivalent to a lost
+// reply followed by a retry. See DESIGN.md, "Failure model".
+class FaultTolerantGtmSession : public GtmWaiter {
+ public:
+  using DoneFn = std::function<void(const SessionStats&)>;
+  using PumpFn = std::function<void()>;
+
+  FaultTolerantGtmSession(gtm::Gtm* gtm, sim::Simulator* simulator,
+                          const LossyChannel* channel, Rng* rng, FtPlan plan,
+                          PumpFn pump, DoneFn done);
+
+  void Start();
+  void OnGranted() override;
+  void OnSystemAbort(AbortCause cause) override;
+
+  TxnId txn() const { return txn_; }
+  bool finished() const { return finished_; }
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  enum class Phase { kInvoke, kWorking, kCommit, kDone };
+
+  void SendInvoke();
+  void OnInvokeReply(const Status& s);
+  void ProceedAfterGrant();
+  void SendCommit();
+  void OnCommitReply(const Status& s);
+  // Retry budget exhausted: degrade to Sleep (or abort, kAbortOnLoss).
+  void OnExhausted();
+  void Reconnect();
+  // Re-sends the phase's pending request under its original seq.
+  void ResendPending();
+  void GiveUp();
+  void Finish(bool committed, AbortCause cause);
+
+  gtm::Gtm* gtm_;
+  sim::Simulator* sim_;
+  FtPlan plan_;
+  PumpFn pump_;
+  DoneFn done_;
+  RequestStub stub_;
+  TxnId txn_ = kInvalidTxnId;
+  SessionStats stats_;
+  Phase phase_ = Phase::kInvoke;
+  bool finished_ = false;
+  bool granted_ = false;
+  uint64_t next_seq_ = 1;
+  uint64_t invoke_seq_ = 0;  // Assigned at first send, reused on resends.
+  uint64_t commit_seq_ = 0;
+  int degrades_ = 0;
+};
+
 // The same client shape against the strict-2PL baseline engine: lock the
 // cell up front (read-for-update + write for subtractions, blind write for
 // assignments), hold the lock through the user's work and any
@@ -131,8 +220,8 @@ struct TwoPlPlan {
   storage::Value assign_value;       // For assignments.
   Duration work_time = 1.0;
   DisconnectPlan disconnect;
-  Duration lock_wait_timeout = 1e30;
-  Duration idle_timeout = 1e30;
+  Duration lock_wait_timeout = kNoTimeout;
+  Duration idle_timeout = kNoTimeout;
   Duration invoke_delay = 0;   // Wireless hop before the first operation.
   Duration commit_delay = 0;   // Wireless hop before the commit request.
   int tag = 0;                 // Copied into SessionStats.tag.

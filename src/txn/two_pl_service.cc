@@ -28,8 +28,10 @@ void TwoPlService::DrainRunnableLocked() {
 template <typename T, typename Fn>
 Result<T> TwoPlService::RunBlocking(TxnId txn, Duration timeout, Fn&& op) {
   std::unique_lock<std::mutex> lk(mu_);
+  // kNoTimeout would overflow a steady_clock deadline; wait untimed then.
+  const bool bounded = !IsNoTimeout(timeout);
   const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(timeout);
+                        std::chrono::duration<double>(bounded ? timeout : 0.0);
   while (true) {
     Result<T> result = op();
     DrainRunnableLocked();
@@ -43,6 +45,11 @@ Result<T> TwoPlService::RunBlocking(TxnId txn, Duration timeout, Fn&& op) {
     }
     // Parked: wait until our lock request is granted.
     while (runnable_.count(txn) == 0) {
+      if (!bounded) {
+        cv_.wait(lk);
+        DrainRunnableLocked();
+        continue;
+      }
       if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
         (void)engine_.Abort(txn);
         DrainRunnableLocked();

@@ -30,17 +30,17 @@ class TwoPlService {
 
   Result<storage::Value> Read(TxnId txn, const std::string& table,
                               const storage::Value& key, size_t column,
-                              Duration timeout = 1e30);
+                              Duration timeout = kNoTimeout);
   Result<storage::Value> ReadForUpdate(TxnId txn, const std::string& table,
                                        const storage::Value& key,
-                                       size_t column, Duration timeout = 1e30);
+                                       size_t column, Duration timeout = kNoTimeout);
   Status Write(TxnId txn, const std::string& table,
                const storage::Value& key, size_t column, storage::Value v,
-               Duration timeout = 1e30);
+               Duration timeout = kNoTimeout);
   Status Insert(TxnId txn, const std::string& table, storage::Row row,
-                Duration timeout = 1e30);
+                Duration timeout = kNoTimeout);
   Status Delete(TxnId txn, const std::string& table,
-                const storage::Value& key, Duration timeout = 1e30);
+                const storage::Value& key, Duration timeout = kNoTimeout);
 
   Status Commit(TxnId txn);
   Status Abort(TxnId txn);

@@ -157,6 +157,78 @@ ExperimentResult RunGtmExperiment(const GtmExperimentSpec& spec,
   return result;
 }
 
+LossyExperimentResult RunLossyGtmExperiment(const GtmExperimentSpec& spec,
+                                            const ChannelSpec& channel,
+                                            const gtm::GtmOptions& options) {
+  Rng rng(spec.seed);
+  // Channel faults draw from their own stream so the planned workload stays
+  // identical across fault rates and modes (paired comparisons).
+  Rng channel_rng(spec.seed ^ 0x9e3779b97f4a7c15ull);
+  std::unique_ptr<storage::Database> db = BuildDatabase(spec);
+
+  sim::Simulator simulator;
+  gtm::Gtm gtm(db.get(), simulator.clock(), options);
+  GtmRunner runner(&gtm, &simulator);
+
+  mobile::ChannelFaults faults;
+  faults.loss = channel.loss;
+  faults.duplicate = channel.duplicate;
+  faults.reorder = channel.reorder;
+  mobile::LossyChannel lossy(
+      channel.delay_mean > 0
+          ? mobile::NetworkModel(
+                std::make_unique<sim::ExponentialDist>(channel.delay_mean))
+          : mobile::NetworkModel(),
+      faults);
+
+  for (size_t i = 0; i < spec.num_objects; ++i) {
+    semantics::LogicalDependencies deps;
+    deps.AddDependency(0, 1);
+    Status s = gtm.RegisterObject(ObjectIdFor(i), kTable,
+                                  Value::Int(static_cast<int64_t>(i)),
+                                  {kColQty, kColPrice}, std::move(deps));
+    PRESERIAL_CHECK(s.ok()) << s.ToString();
+  }
+
+  for (const PlannedTxn& p : BuildPlans(spec, &rng)) {
+    mobile::FtPlan plan;
+    plan.base.object = ObjectIdFor(p.object);
+    if (p.is_subtract) {
+      plan.base.member = 0;  // qty
+      plan.base.op = semantics::Operation::Sub(Value::Int(1));
+    } else {
+      plan.base.member = 1;  // price
+      plan.base.op =
+          semantics::Operation::Assign(Value::Double(spec.price_value));
+    }
+    plan.base.work_time = spec.work_time;
+    plan.base.tag = p.is_subtract ? kTagSubtract : kTagAssign;
+    plan.retry.request_timeout = channel.request_timeout;
+    plan.retry.max_attempts = channel.max_attempts;
+    plan.mode = channel.degrade_to_sleep ? mobile::FtMode::kDegradeToSleep
+                                         : mobile::FtMode::kAbortOnLoss;
+    plan.reconnect_delay = channel.reconnect_delay;
+    plan.max_degrades = channel.max_degrades;
+    runner.AddFaultTolerantSession(std::move(plan), p.arrival, &lossy,
+                                   &channel_rng);
+  }
+
+  LossyExperimentResult result;
+  result.run = runner.Run();
+  result.channel = lossy.counters();
+  const gtm::GtmCounters& c = gtm.metrics().counters();
+  result.duplicates_suppressed = c.duplicates_suppressed;
+  result.awake_aborts = c.awake_aborts;
+  for (size_t i = 0; i < spec.num_objects; ++i) {
+    Result<Value> qty = db->GetTable(kTable).value()->GetColumnByKey(
+        Value::Int(static_cast<int64_t>(i)), kColQty);
+    PRESERIAL_CHECK(qty.ok());
+    result.quantity_consumed +=
+        spec.initial_quantity - qty.value().as_int();
+  }
+  return result;
+}
+
 ExperimentResult RunTwoPlExperiment(const GtmExperimentSpec& spec,
                                     const TwoPlPolicy& policy) {
   Rng rng(spec.seed);

@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "gtm/policies.h"
+#include "mobile/network.h"
 #include "workload/runner.h"
 
 namespace preserial::workload {
@@ -65,6 +66,43 @@ struct ExperimentResult {
 // Runs the experiment against the GTM with the given options.
 ExperimentResult RunGtmExperiment(const GtmExperimentSpec& spec,
                                   const gtm::GtmOptions& options = {});
+
+// Transport discipline of the lossy-channel experiment: fault rates of the
+// client<->GTM channel plus the client's retry/degrade policy.
+struct ChannelSpec {
+  double loss = 0.2;       // P(drop) per message copy.
+  double duplicate = 0.1;  // P(extra copy) per message.
+  double reorder = 0.1;    // P(extra delay) per surviving copy.
+  Duration delay_mean = 0.1;       // Mean one-way latency (exponential).
+  Duration request_timeout = 1.0;  // Client deadline per attempt.
+  int max_attempts = 3;            // Retry budget per request.
+  Duration reconnect_delay = 5.0;  // Offline span per degrade episode.
+  int max_degrades = 8;
+  // true = degrade to Sleep on an exhausted budget (Algorithms 7-10);
+  // false = the naive baseline that aborts on loss.
+  bool degrade_to_sleep = true;
+};
+
+// Aggregate of one lossy-channel run.
+struct LossyExperimentResult {
+  RunStats run;
+  mobile::LossyChannel::Counters channel;
+  int64_t duplicates_suppressed = 0;  // Redeliveries the GTM absorbed.
+  int64_t awake_aborts = 0;
+  // Ground truth read back from the database: total quantity subtracted
+  // across all objects. Committed subtract sessions must equal this — any
+  // difference is a double-applied or lost commit.
+  int64_t quantity_consumed = 0;
+};
+
+// Runs the Sec. VI-B arrival sequence with every client request crossing a
+// LossyChannel: requests carry sequence numbers (the GTM dedups
+// redeliveries), silent requests retry with backoff, and exhausted budgets
+// degrade to Sleep or abort per `channel.degrade_to_sleep`. Disconnection
+// plans are ignored — the channel itself supplies the outages.
+LossyExperimentResult RunLossyGtmExperiment(
+    const GtmExperimentSpec& spec, const ChannelSpec& channel,
+    const gtm::GtmOptions& options = {});
 
 // Runs the same arrival sequence against the strict-2PL baseline.
 ExperimentResult RunTwoPlExperiment(const GtmExperimentSpec& spec,

@@ -23,6 +23,8 @@ void RunStats::Record(const SessionStats& s) {
     ++aborted_by_tag[s.tag];
     if (s.disconnected) ++disconnected_aborted;
   }
+  retries += s.retries;
+  degraded_to_sleep += s.degraded_sleeps;
 }
 
 // --- GtmRunner ------------------------------------------------------------------
@@ -67,6 +69,27 @@ void GtmRunner::AddMultiSession(mobile::MultiTxnPlan plan, TimePoint arrival,
     sweep_scheduled_ = true;
     sim_->After(wait_timeout_ / 2, [this] { SweepTimeouts(); });
   }
+}
+
+mobile::FaultTolerantGtmSession* GtmRunner::AddFaultTolerantSession(
+    mobile::FtPlan plan, TimePoint arrival, const mobile::LossyChannel* channel,
+    Rng* rng, bool measured) {
+  auto session = std::make_unique<mobile::FaultTolerantGtmSession>(
+      gtm_, sim_, channel, rng, std::move(plan), /*pump=*/[this] { Pump(); },
+      /*done=*/[this, measured](const SessionStats& s) {
+        if (measured) stats_.Record(s);
+      });
+  mobile::FaultTolerantGtmSession* raw = session.get();
+  ft_sessions_.push_back(std::move(session));
+  sim_->At(arrival, [this, raw] {
+    raw->Start();
+    by_txn_[raw->txn()] = raw;
+  });
+  if (wait_timeout_ > 0 && !sweep_scheduled_) {
+    sweep_scheduled_ = true;
+    sim_->After(wait_timeout_ / 2, [this] { SweepTimeouts(); });
+  }
+  return raw;
 }
 
 void GtmRunner::Pump() {

@@ -28,6 +28,9 @@ struct RunStats {
   std::map<int, int64_t> aborted_by_tag;
   int64_t disconnected = 0;          // Sessions whose plan disconnected.
   int64_t disconnected_aborted = 0;  // ... and ended aborted.
+  // Fault-tolerant transport only (zero otherwise).
+  int64_t retries = 0;            // Request attempts beyond the first.
+  int64_t degraded_to_sleep = 0;  // Degrade-to-Sleep episodes.
 
   void Record(const mobile::SessionStats& s);
 
@@ -78,6 +81,12 @@ class GtmRunner {
   // Multi-step variant (package tours and other long running transactions).
   void AddMultiSession(mobile::MultiTxnPlan plan, TimePoint arrival,
                        bool measured = true);
+  // Fault-tolerant variant: every request crosses `channel` (which must
+  // outlive the runner) with retry/backoff and idempotent resends. Returns
+  // the session so callers can inspect per-session stats after Run().
+  mobile::FaultTolerantGtmSession* AddFaultTolerantSession(
+      mobile::FtPlan plan, TimePoint arrival,
+      const mobile::LossyChannel* channel, Rng* rng, bool measured = true);
 
   // Runs the simulation to completion and returns the aggregate.
   const RunStats& Run();
@@ -99,6 +108,7 @@ class GtmRunner {
   Duration wait_timeout_;
   std::vector<std::unique_ptr<mobile::GtmSession>> sessions_;
   std::vector<std::unique_ptr<mobile::MultiGtmSession>> multi_sessions_;
+  std::vector<std::unique_ptr<mobile::FaultTolerantGtmSession>> ft_sessions_;
   std::map<TxnId, mobile::GtmWaiter*> by_txn_;
   RunStats stats_;
   bool pumping_ = false;

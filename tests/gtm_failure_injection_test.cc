@@ -121,6 +121,42 @@ TEST_F(GtmFailureInjectionTest, DeterministicFailuresAreNeverRetried) {
   EXPECT_EQ(gtm_->metrics().counters().constraint_aborts, 1);
 }
 
+TEST_F(GtmFailureInjectionTest, ExecutorCountersMirroredIntoMetrics) {
+  GtmOptions options;
+  options.sst_retry_limit = 3;
+  Rebuild(options);
+  int failures_left = 2;
+  gtm_->mutable_sst()->set_failure_injector(
+      [&failures_left](const auto&) -> Status {
+        if (failures_left > 0) {
+          --failures_left;
+          return Status::Unavailable("flaky link to the LDBS");
+        }
+        return Status::Ok();
+      });
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  // One metrics snapshot tells the whole SST story: the executor-level
+  // counters are mirrored on every commit request.
+  const GtmCounters& c = gtm_->metrics().counters();
+  EXPECT_EQ(c.sst_retries, 2);
+  EXPECT_EQ(c.sst_executed, gtm_->sst().counters().executed);
+  EXPECT_EQ(c.sst_failed, gtm_->sst().counters().failed);
+  EXPECT_EQ(c.sst_injected_failures, gtm_->sst().counters().injected_failures);
+  EXPECT_EQ(c.sst_cells_written, gtm_->sst().counters().cells_written);
+  EXPECT_EQ(c.sst_injected_failures, 2);
+  EXPECT_GT(c.sst_cells_written, 0);
+  // A second, failing commit keeps the mirror current.
+  gtm_->mutable_sst()->set_failure_injector(
+      [](const auto&) { return Status::Unavailable("down"); });
+  const TxnId t2 = gtm_->Begin();
+  ASSERT_TRUE(gtm_->Invoke(t2, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(gtm_->RequestCommit(t2).code(), StatusCode::kAborted);
+  EXPECT_EQ(gtm_->metrics().counters().sst_injected_failures,
+            gtm_->sst().counters().injected_failures);
+}
+
 TEST_F(GtmFailureInjectionTest, FailedCommitReleasesObjectForWaiters) {
   Rebuild(GtmOptions());
   gtm_->mutable_sst()->set_failure_injector(

@@ -1,0 +1,172 @@
+// Idempotent *Once endpoints: redelivered requests return the cached reply
+// without re-executing, so an at-least-once transport can never apply an
+// operation or a commit twice.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gtm/gtm.h"
+#include "storage/database.h"
+
+namespace preserial::gtm {
+namespace {
+
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class GtmIdempotencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<storage::Database>();
+    ASSERT_TRUE(db_->Open().ok());
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"qty", ValueType::kInt64, false},
+                        },
+                        0)
+                        .value();
+    ASSERT_TRUE(db_->CreateTable("obj", std::move(schema)).ok());
+    ASSERT_TRUE(
+        db_->InsertRow("obj", Row({Value::Int(0), Value::Int(100)})).ok());
+    clock_.Set(0.0);
+    gtm_ = std::make_unique<Gtm>(db_.get(), &clock_, GtmOptions{});
+    ASSERT_TRUE(gtm_->RegisterObject("X", "obj", Value::Int(0), {1}).ok());
+  }
+
+  Value DbQty() {
+    return db_->GetTable("obj").value()->GetColumnByKey(Value::Int(0), 1)
+        .value();
+  }
+
+  int64_t Suppressed() {
+    return gtm_->metrics().counters().duplicates_suppressed;
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  ManualClock clock_;
+  std::unique_ptr<Gtm> gtm_;
+};
+
+TEST_F(GtmIdempotencyTest, RedeliveredInvokeDoesNotReapply) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->InvokeOnce(t, 1, "X", 0, Operation::Sub(Value::Int(1)))
+                  .ok());
+  EXPECT_EQ(gtm_->ReadLocal(t, "X", 0).value(), Value::Int(99));
+  // The retry returns the cached OK and leaves the virtual copy alone.
+  ASSERT_TRUE(gtm_->InvokeOnce(t, 1, "X", 0, Operation::Sub(Value::Int(1)))
+                  .ok());
+  EXPECT_EQ(gtm_->ReadLocal(t, "X", 0).value(), Value::Int(99));
+  EXPECT_EQ(Suppressed(), 1);
+  // A fresh sequence number is a new request and does apply.
+  ASSERT_TRUE(gtm_->InvokeOnce(t, 2, "X", 0, Operation::Sub(Value::Int(1)))
+                  .ok());
+  EXPECT_EQ(gtm_->ReadLocal(t, "X", 0).value(), Value::Int(98));
+  EXPECT_TRUE(gtm_->CheckInvariants().ok());
+}
+
+TEST_F(GtmIdempotencyTest, RedeliveredCommitAppliesExactlyOnce) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->InvokeOnce(t, 1, "X", 0, Operation::Sub(Value::Int(1)))
+                  .ok());
+  ASSERT_TRUE(gtm_->CommitOnce(t, 2).ok());
+  EXPECT_EQ(DbQty(), Value::Int(99));
+  // Redeliveries — even long after the transaction is terminal — answer
+  // from the cache and never run the SST again.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(gtm_->CommitOnce(t, 2).ok());
+    EXPECT_EQ(DbQty(), Value::Int(99));
+  }
+  EXPECT_EQ(Suppressed(), 3);
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kCommitted);
+}
+
+TEST_F(GtmIdempotencyTest, RedeliveredAbortStaysAborted) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->InvokeOnce(t, 1, "X", 0, Operation::Sub(Value::Int(1)))
+                  .ok());
+  ASSERT_TRUE(gtm_->AbortOnce(t, 2).ok());
+  EXPECT_TRUE(gtm_->AbortOnce(t, 2).ok());
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kAborted);
+  EXPECT_EQ(DbQty(), Value::Int(100));
+}
+
+TEST_F(GtmIdempotencyTest, RedeliveredSleepAndAwakeAreAbsorbed) {
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->InvokeOnce(t, 1, "X", 0, Operation::Sub(Value::Int(1)))
+                  .ok());
+  ASSERT_TRUE(gtm_->SleepOnce(t, 2).ok());
+  EXPECT_TRUE(gtm_->SleepOnce(t, 2).ok());  // Duplicate, not a double sleep.
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kSleeping);
+  ASSERT_TRUE(gtm_->AwakeOnce(t, 3).ok());
+  EXPECT_TRUE(gtm_->AwakeOnce(t, 3).ok());
+  EXPECT_EQ(gtm_->StateOf(t).value(), TxnState::kActive);
+  ASSERT_TRUE(gtm_->CommitOnce(t, 4).ok());
+  EXPECT_EQ(DbQty(), Value::Int(99));
+}
+
+TEST_F(GtmIdempotencyTest, WaitingReplayReDerivesAfterGrant) {
+  const TxnId holder = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->InvokeOnce(holder, 1, "X", 0, Operation::Assign(Value::Int(50)))
+          .ok());
+  const TxnId waiter = gtm_->Begin();
+  Status first =
+      gtm_->InvokeOnce(waiter, 1, "X", 0, Operation::Sub(Value::Int(1)));
+  ASSERT_EQ(first.code(), StatusCode::kWaiting);
+  // Still queued: the retry replays kWaiting.
+  EXPECT_EQ(gtm_->InvokeOnce(waiter, 1, "X", 0, Operation::Sub(Value::Int(1)))
+                .code(),
+            StatusCode::kWaiting);
+  // The holder commits; admission grants the queued subtraction.
+  ASSERT_TRUE(gtm_->CommitOnce(holder, 2).ok());
+  ASSERT_EQ(gtm_->TakeEvents().size(), 1u);
+  // The same retry now reports the grant instead of the stale kWaiting —
+  // and still does not re-apply the buffered operation.
+  EXPECT_TRUE(gtm_->InvokeOnce(waiter, 1, "X", 0, Operation::Sub(Value::Int(1)))
+                  .ok());
+  EXPECT_EQ(gtm_->ReadLocal(waiter, "X", 0).value(), Value::Int(49));
+  ASSERT_TRUE(gtm_->CommitOnce(waiter, 2).ok());
+  EXPECT_EQ(DbQty(), Value::Int(49));
+  EXPECT_TRUE(gtm_->CheckInvariants().ok());
+}
+
+TEST_F(GtmIdempotencyTest, WaitingReplayReportsSystemAbort) {
+  const TxnId holder = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->InvokeOnce(holder, 1, "X", 0, Operation::Assign(Value::Int(50)))
+          .ok());
+  const TxnId waiter = gtm_->Begin();
+  ASSERT_EQ(gtm_->InvokeOnce(waiter, 1, "X", 0, Operation::Sub(Value::Int(1)))
+                .code(),
+            StatusCode::kWaiting);
+  clock_.Set(100.0);
+  ASSERT_EQ(gtm_->AbortExpiredWaits(10.0).size(), 1u);
+  // The retried invoke must not resurrect the aborted waiter.
+  EXPECT_EQ(gtm_->InvokeOnce(waiter, 1, "X", 0, Operation::Sub(Value::Int(1)))
+                .code(),
+            StatusCode::kAborted);
+  EXPECT_EQ(gtm_->StateOf(waiter).value(), TxnState::kAborted);
+}
+
+TEST_F(GtmIdempotencyTest, SuppressionsAreTraced) {
+  gtm_->trace()->Enable(64);
+  const TxnId t = gtm_->Begin();
+  ASSERT_TRUE(gtm_->InvokeOnce(t, 1, "X", 0, Operation::Sub(Value::Int(1)))
+                  .ok());
+  ASSERT_TRUE(gtm_->InvokeOnce(t, 1, "X", 0, Operation::Sub(Value::Int(1)))
+                  .ok());
+  bool saw = false;
+  for (const TraceEvent& e : gtm_->trace()->Snapshot()) {
+    if (e.kind == TraceEventKind::kDuplicateSuppressed) saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace preserial::gtm

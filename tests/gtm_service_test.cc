@@ -124,6 +124,64 @@ TEST_F(GtmServiceTest, InvokeTimesOutAndAborts) {
   EXPECT_EQ(DbQty(), Value::Int(7));
 }
 
+TEST_F(GtmServiceTest, DefaultNoTimeoutWaitsOutLongHolds) {
+  // Regression for the kNoTimeout sentinel: the default (unbounded) wait
+  // must park cleanly — no overflowed deadline — and resume on the grant.
+  const TxnId holder = service_->Begin();
+  ASSERT_TRUE(
+      service_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(7)))
+          .ok());
+  std::atomic<bool> waiter_done{false};
+  std::thread waiter([this, &waiter_done] {
+    const TxnId t = service_->Begin();
+    // No timeout argument: waits on the unbounded path.
+    EXPECT_TRUE(
+        service_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+    EXPECT_TRUE(service_->Commit(t).ok());
+    waiter_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(waiter_done.load());
+  ASSERT_TRUE(service_->Commit(holder).ok());
+  waiter.join();
+  EXPECT_TRUE(waiter_done.load());
+  EXPECT_EQ(DbQty(), Value::Int(6));
+}
+
+TEST_F(GtmServiceTest, TimedOutWaiterAbortsWhollyAndReleasesAdmissions) {
+  // The timed-out transaction already held an admission on another object;
+  // kTimedOut must abort the whole transaction, releasing that admission
+  // for conflicting requesters.
+  ASSERT_TRUE(
+      db_->InsertRow("obj", Row({Value::Int(1), Value::Int(500)})).ok());
+  ASSERT_TRUE(
+      service_->gtm()->RegisterObject("Y", "obj", Value::Int(1), {1}).ok());
+
+  const TxnId holder = service_->Begin();
+  ASSERT_TRUE(
+      service_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(7)))
+          .ok());
+  const TxnId doomed = service_->Begin();
+  ASSERT_TRUE(
+      service_->Invoke(doomed, "Y", 0, Operation::Assign(Value::Int(8)))
+          .ok());
+  const Status s =
+      service_->Invoke(doomed, "X", 0, Operation::Sub(Value::Int(1)),
+                       /*timeout=*/0.05);
+  EXPECT_EQ(s.code(), StatusCode::kTimedOut);
+  EXPECT_EQ(service_->StateOf(doomed).value(), TxnState::kAborted);
+
+  // Y is free again: an incompatible assign proceeds without waiting.
+  const TxnId next = service_->Begin();
+  EXPECT_TRUE(
+      service_->Invoke(next, "Y", 0, Operation::Assign(Value::Int(9)), 1.0)
+          .ok());
+  ASSERT_TRUE(service_->Commit(next).ok());
+  ASSERT_TRUE(service_->Commit(holder).ok());
+  EXPECT_EQ(DbQty(), Value::Int(7));  // The doomed subtraction never landed.
+  EXPECT_TRUE(service_->gtm()->CheckInvariants().ok());
+}
+
 TEST_F(GtmServiceTest, SleepAwakeThroughService) {
   const TxnId t = service_->Begin();
   ASSERT_TRUE(service_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
@@ -222,6 +280,81 @@ TEST_F(GtmServiceTest, ExpiredWaitSweepWakesTheVictimThread) {
   EXPECT_TRUE(victim_aborted.load());
   ASSERT_TRUE(service_->Commit(holder).ok());
   EXPECT_EQ(DbQty(), Value::Int(7));
+}
+
+TEST_F(GtmServiceTest, MaintenanceSweepsUnderConcurrentClients) {
+  // A housekeeping thread loops all three maintenance sweeps while client
+  // threads run transactions: subtractions on X (conserved quantity) and
+  // conflicting assignments on Y (real waits for the expiry sweep to
+  // consider). Whatever the sweeps do, the ledger must balance.
+  ASSERT_TRUE(
+      db_->InsertRow("obj", Row({Value::Int(1), Value::Int(500)})).ok());
+  ASSERT_TRUE(
+      service_->gtm()->RegisterObject("Y", "obj", Value::Int(1), {1}).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread housekeeper([this, &stop] {
+    while (!stop.load()) {
+      (void)service_->SleepIdleTransactions(0.002);
+      (void)service_->AbortExpiredWaits(0.2);
+      (void)service_->DetectAndResolveDeadlocks();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  constexpr int kSubThreads = 4;
+  constexpr int kAssignThreads = 2;
+  constexpr int kTxnsPerThread = 15;
+  std::atomic<int> sub_committed{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSubThreads; ++i) {
+    threads.emplace_back([this, &sub_committed] {
+      for (int j = 0; j < kTxnsPerThread; ++j) {
+        const TxnId t = service_->Begin();
+        if (!service_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1)), 2.0)
+                 .ok()) {
+          (void)service_->Abort(t);
+          continue;
+        }
+        // Linger so the idle sweep can park some of us mid-work.
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+        Status c = service_->Commit(t);
+        if (!c.ok() && service_->Awake(t).ok()) {
+          c = service_->Commit(t);  // The sweep had parked us; resume.
+        }
+        if (c.ok()) {
+          sub_committed.fetch_add(1);
+        } else {
+          (void)service_->Abort(t);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < kAssignThreads; ++i) {
+    threads.emplace_back([this, i] {
+      for (int j = 0; j < kTxnsPerThread; ++j) {
+        const TxnId t = service_->Begin();
+        const Status s = service_->Invoke(
+            t, "Y", 0, Operation::Assign(Value::Int(i * 100 + j)), 2.0);
+        if (!s.ok()) {
+          (void)service_->Abort(t);
+          continue;
+        }
+        Status c = service_->Commit(t);
+        if (!c.ok() && service_->Awake(t).ok()) c = service_->Commit(t);
+        if (!c.ok()) (void)service_->Abort(t);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  stop.store(true);
+  housekeeper.join();
+
+  EXPECT_GT(sub_committed.load(), 0);
+  // Conservation: X lost exactly one unit per committed subtraction —
+  // sweeps may abort or park transactions but never corrupt the ledger.
+  EXPECT_EQ(DbQty(), Value::Int(1000 - sub_committed.load()));
+  EXPECT_TRUE(service_->gtm()->CheckInvariants().ok());
 }
 
 TEST_F(GtmServiceTest, DeadlockSweepBreaksCrossObjectCycle) {

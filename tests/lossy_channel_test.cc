@@ -1,0 +1,195 @@
+#include "mobile/network.h"
+
+#include <gtest/gtest.h>
+
+#include "mobile/client.h"
+#include "mobile/retry.h"
+#include "sim/simulator.h"
+
+namespace preserial::mobile {
+namespace {
+
+// --- LossyChannel ---------------------------------------------------------------
+
+TEST(LossyChannelTest, FaultFreeChannelDeliversEveryMessageOnce) {
+  Rng rng(1);
+  LossyChannel channel(NetworkModel(), ChannelFaults{});
+  for (int i = 0; i < 100; ++i) {
+    std::vector<Duration> deliveries = channel.SampleDeliveries(rng);
+    ASSERT_EQ(deliveries.size(), 1u);
+    EXPECT_EQ(deliveries[0], 0.0);  // Zero-latency NetworkModel.
+  }
+  EXPECT_EQ(channel.counters().messages, 100);
+  EXPECT_EQ(channel.counters().delivered, 100);
+  EXPECT_EQ(channel.counters().dropped, 0);
+  EXPECT_EQ(channel.counters().duplicated, 0);
+}
+
+TEST(LossyChannelTest, FullLossDropsEverything) {
+  Rng rng(2);
+  ChannelFaults faults;
+  faults.loss = 1.0;
+  LossyChannel channel(NetworkModel(), faults);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(channel.SampleDeliveries(rng).empty());
+  }
+  EXPECT_EQ(channel.counters().delivered, 0);
+  EXPECT_GE(channel.counters().dropped, 50);
+}
+
+TEST(LossyChannelTest, DuplicationIsCapped) {
+  Rng rng(3);
+  ChannelFaults faults;
+  faults.duplicate = 1.0;  // Every message wants infinitely many copies.
+  LossyChannel channel(NetworkModel(), faults);
+  std::vector<Duration> deliveries = channel.SampleDeliveries(rng);
+  EXPECT_LE(deliveries.size(), 4u);
+  EXPECT_GE(deliveries.size(), 2u);
+}
+
+TEST(LossyChannelTest, LossRateIsStatisticallyHonoured) {
+  Rng rng(4);
+  ChannelFaults faults;
+  faults.loss = 0.5;
+  LossyChannel channel(NetworkModel(), faults);
+  for (int i = 0; i < 10000; ++i) (void)channel.SampleDeliveries(rng);
+  const double delivered_frac =
+      static_cast<double>(channel.counters().delivered) / 10000.0;
+  EXPECT_NEAR(delivered_frac, 0.5, 0.03);
+  channel.ResetCounters();
+  EXPECT_EQ(channel.counters().messages, 0);
+}
+
+TEST(LossyChannelTest, ReorderAddsExtraDelay) {
+  Rng rng(5);
+  ChannelFaults faults;
+  faults.reorder = 1.0;
+  faults.reorder_delay_mean = 2.0;
+  LossyChannel channel(NetworkModel(), faults);
+  double total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    for (Duration d : channel.SampleDeliveries(rng)) total += d;
+  }
+  EXPECT_EQ(channel.counters().reordered, 1000);
+  // Mean extra delay should be near reorder_delay_mean.
+  EXPECT_NEAR(total / 1000.0, 2.0, 0.3);
+}
+
+// --- RetryPolicy ----------------------------------------------------------------
+
+TEST(RetryPolicyTest, ExponentialBackoffWithoutJitter) {
+  RetryPolicy policy;
+  policy.initial_backoff = 0.25;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = 1.0;
+  policy.jitter = 0.0;
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeAttempt(1, rng), 0.25);
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeAttempt(2, rng), 0.5);
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeAttempt(3, rng), 1.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeAttempt(10, rng), 1.0);  // Capped.
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinBounds) {
+  RetryPolicy policy;
+  policy.initial_backoff = 1.0;
+  policy.jitter = 0.5;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration b = policy.BackoffBeforeAttempt(1, rng);
+    EXPECT_GE(b, 0.5);
+    EXPECT_LE(b, 1.5);
+  }
+}
+
+// --- RequestStub ----------------------------------------------------------------
+
+struct StubHarness {
+  sim::Simulator sim;
+  Rng rng{42};
+  LossyChannel channel;
+  RequestStub stub;
+
+  StubHarness(ChannelFaults faults, RetryPolicy policy)
+      : channel(NetworkModel(), faults),
+        stub(&sim, &channel, &rng, policy) {}
+};
+
+TEST(RequestStubTest, ReliableChannelExecutesAndRepliesOnce) {
+  RetryPolicy policy;
+  StubHarness h(ChannelFaults{}, policy);
+  int executed = 0;
+  int replied = 0;
+  h.stub.Send([&] { ++executed; return Status::Ok(); },
+              [&](const Status& s) {
+                ++replied;
+                EXPECT_TRUE(s.ok());
+              },
+              [&] { FAIL() << "budget exhausted on a reliable channel"; });
+  h.sim.Run();
+  EXPECT_EQ(executed, 1);
+  EXPECT_EQ(replied, 1);
+  EXPECT_EQ(h.stub.retries(), 0);
+}
+
+TEST(RequestStubTest, DeadChannelExhaustsRetryBudget) {
+  ChannelFaults faults;
+  faults.loss = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.jitter = 0.0;
+  StubHarness h(faults, policy);
+  int executed = 0;
+  bool exhausted = false;
+  h.stub.Send([&] { ++executed; return Status::Ok(); },
+              [&](const Status&) { FAIL() << "no reply can arrive"; },
+              [&] { exhausted = true; });
+  h.sim.Run();
+  EXPECT_EQ(executed, 0);
+  EXPECT_TRUE(exhausted);
+  EXPECT_EQ(h.stub.retries(), 2);  // 3 attempts = 2 retries.
+  // Elapsed: 3 timeouts + backoffs 0.25 and 0.5.
+  EXPECT_DOUBLE_EQ(h.sim.Now(), 3 * policy.request_timeout + 0.25 + 0.5);
+}
+
+TEST(RequestStubTest, DuplicatedRepliesCompleteOnlyOnce) {
+  ChannelFaults faults;
+  faults.duplicate = 0.9;
+  RetryPolicy policy;
+  StubHarness h(faults, policy);
+  int executed = 0;
+  int replied = 0;
+  h.stub.Send([&] { ++executed; return Status::Ok(); },
+              [&](const Status&) { ++replied; }, [&] {});
+  h.sim.Run();
+  EXPECT_GE(executed, 1);  // Server may see several copies...
+  EXPECT_EQ(replied, 1);   // ...the client completes exactly once.
+}
+
+TEST(RequestStubTest, LossyChannelEventuallyGetsThrough) {
+  ChannelFaults faults;
+  faults.loss = 0.5;
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  StubHarness h(faults, policy);
+  int replied = 0;
+  h.stub.Send([&] { return Status::Ok(); },
+              [&](const Status&) { ++replied; }, [&] {});
+  h.sim.Run();
+  EXPECT_EQ(replied, 1);
+  EXPECT_GT(h.stub.retries(), 0);  // Seed 42 drops at least one attempt.
+}
+
+TEST(RequestStubTest, CancelSuppressesLateReplies) {
+  RetryPolicy policy;
+  StubHarness h(ChannelFaults{}, policy);
+  int replied = 0;
+  h.stub.Send([&] { return Status::Ok(); },
+              [&](const Status&) { ++replied; }, [&] {});
+  h.stub.Cancel();  // Before the simulator delivers anything.
+  h.sim.Run();
+  EXPECT_EQ(replied, 0);
+}
+
+}  // namespace
+}  // namespace preserial::mobile

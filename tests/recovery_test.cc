@@ -237,6 +237,50 @@ TEST_F(DatabaseRecoveryTest, CheckpointPreservesIndexDdl) {
   EXPECT_TRUE(reopened->GetTable("t").value()->HasIndexOn(1));
 }
 
+TEST_F(DatabaseRecoveryTest, MidLogCorruptionFailsOpenLoudly) {
+  const std::string log = BuildAndCapture([](Database& db) {
+    ASSERT_TRUE(db.CreateTable("t", CounterSchema()).ok());
+    ASSERT_TRUE(db.InsertRow("t", Row({Value::Int(1), Value::Int(1)})).ok());
+    ASSERT_TRUE(db.InsertRow("t", Row({Value::Int(2), Value::Int(2)})).ok());
+  });
+  // Flip a payload byte of the first record: a bad CRC in the log body is
+  // real corruption, not a torn tail, and silently dropping the suffix
+  // would resurrect deleted data. Open must refuse.
+  std::string corrupted = log;
+  corrupted[9] = static_cast<char>(corrupted[9] ^ 0xff);
+  auto storage = std::make_unique<MemoryWalStorage>();
+  ASSERT_TRUE(storage->Reset(corrupted).ok());
+  Database db(std::move(storage));
+  Result<RecoveryStats> opened = db.Open();
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(DatabaseRecoveryTest, TornTailAfterCheckpointKeepsSnapshot) {
+  auto storage = std::make_unique<MemoryWalStorage>();
+  MemoryWalStorage* raw = storage.get();
+  Database db(std::move(storage));
+  ASSERT_TRUE(db.Open().ok());
+  ASSERT_TRUE(db.CreateTable("t", CounterSchema()).ok());
+  for (int64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db.InsertRow("t", Row({Value::Int(i), Value::Int(i)})).ok());
+  }
+  ASSERT_TRUE(db.Checkpoint().ok());
+  ASSERT_TRUE(db.InsertRow("t", Row({Value::Int(5), Value::Int(5)})).ok());
+  ASSERT_TRUE(db.InsertRow("t", Row({Value::Int(6), Value::Int(6)})).ok());
+  std::string log = raw->ReadAll().value();
+  log.resize(log.size() - 2);  // Crash mid-write of the last insert.
+
+  // The torn suffix is trimmed; everything up to it — the checkpoint
+  // snapshot plus the first post-checkpoint insert — survives.
+  std::unique_ptr<Database> reopened = Reopen(log);
+  Table* t = reopened->GetTable("t").value();
+  EXPECT_EQ(t->row_count(), 6u);
+  EXPECT_TRUE(t->GetColumnByKey(Value::Int(5), 1).ok());
+  EXPECT_FALSE(t->GetColumnByKey(Value::Int(6), 1).ok());
+  EXPECT_TRUE(t->CheckInvariants().ok());
+}
+
 TEST_F(DatabaseRecoveryTest, FreshDatabaseOpensEmpty) {
   Database db;
   Result<RecoveryStats> stats = db.Open();
