@@ -72,27 +72,25 @@ int main() {
       "with the chance that some request exhausts its budget.");
 
   // Machine-readable mirror of the table.
-  std::printf("\nJSON: {\"bench\":\"ablation_message_loss\",\"rows\":[");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const RowOut& r = rows[i];
-    std::printf(
-        "%s{\"loss\":%.2f,"
-        "\"degrade_to_sleep\":{\"committed\":%lld,\"aborted\":%lld,"
-        "\"retries\":%lld,\"degrades\":%lld,\"duplicates_suppressed\":%lld,"
-        "\"channel_dropped\":%lld},"
-        "\"abort_on_loss\":{\"committed\":%lld,\"aborted\":%lld,"
-        "\"retries\":%lld}}",
-        i ? "," : "", r.loss,
-        static_cast<long long>(r.degrade.run.committed),
-        static_cast<long long>(r.degrade.run.aborted),
-        static_cast<long long>(r.degrade.run.retries),
-        static_cast<long long>(r.degrade.run.degraded_to_sleep),
-        static_cast<long long>(r.degrade.duplicates_suppressed),
-        static_cast<long long>(r.degrade.channel.dropped),
-        static_cast<long long>(r.naive.run.committed),
-        static_cast<long long>(r.naive.run.aborted),
-        static_cast<long long>(r.naive.run.retries));
+  bench::JsonRows json("ablation_message_loss");
+  for (const RowOut& r : rows) {
+    json.BeginRow();
+    json.Num("loss", r.loss, 2);
+    json.BeginObject("degrade_to_sleep");
+    json.Int("committed", r.degrade.run.committed);
+    json.Int("aborted", r.degrade.run.aborted);
+    json.Int("retries", r.degrade.run.retries);
+    json.Int("degrades", r.degrade.run.degraded_to_sleep);
+    json.Int("duplicates_suppressed", r.degrade.duplicates_suppressed);
+    json.Int("channel_dropped", r.degrade.channel.dropped);
+    json.EndObject();
+    json.BeginObject("abort_on_loss");
+    json.Int("committed", r.naive.run.committed);
+    json.Int("aborted", r.naive.run.aborted);
+    json.Int("retries", r.naive.run.retries);
+    json.EndObject();
+    json.EndRow();
   }
-  std::printf("]}\n");
+  json.Finish();
   return 0;
 }

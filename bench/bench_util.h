@@ -42,6 +42,72 @@ inline void Banner(const std::string& title) {
   std::puts(("== " + title + " ==").c_str());
 }
 
+// Streaming emitter for the machine-readable mirror a bench prints after
+// its table: one `JSON: {"bench":"<name>", ...,"rows":[{...},...]}` line.
+// Commas are managed automatically; nesting via BeginObject/EndObject.
+//
+//   JsonRows json("ablation_foo");
+//   for (...) {
+//     json.BeginRow();
+//     json.Num("x", x, 2);
+//     json.BeginObject("inner");
+//     json.Int("committed", n);
+//     json.EndObject();
+//     json.EndRow();
+//   }
+//   json.Finish();
+class JsonRows {
+ public:
+  explicit JsonRows(const std::string& bench_name) {
+    std::printf("\nJSON: {\"bench\":\"%s\",\"rows\":[", bench_name.c_str());
+  }
+
+  void BeginRow() {
+    if (row_count_++ > 0) std::printf(",");
+    std::printf("{");
+    first_.assign(1, true);
+  }
+  void EndRow() {
+    std::printf("}");
+    first_.clear();
+  }
+
+  void BeginObject(const std::string& key) {
+    Key(key);
+    std::printf("{");
+    first_.push_back(true);
+  }
+  void EndObject() {
+    std::printf("}");
+    first_.pop_back();
+  }
+
+  void Int(const std::string& key, int64_t v) {
+    Key(key);
+    std::printf("%lld", static_cast<long long>(v));
+  }
+  void Num(const std::string& key, double v, int precision = 4) {
+    Key(key);
+    std::printf("%.*f", precision, v);
+  }
+  void Str(const std::string& key, const std::string& v) {
+    Key(key);
+    std::printf("\"%s\"", v.c_str());
+  }
+
+  void Finish() { std::printf("]}\n"); }
+
+ private:
+  void Key(const std::string& key) {
+    if (!first_.back()) std::printf(",");
+    first_.back() = false;
+    std::printf("\"%s\":", key.c_str());
+  }
+
+  size_t row_count_ = 0;
+  std::vector<bool> first_;
+};
+
 }  // namespace preserial::bench
 
 #endif  // PRESERIAL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,85 @@
+#include "cluster/cluster.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "gtm/txn_state.h"
+
+namespace preserial::cluster {
+
+GtmCluster::GtmCluster(size_t num_shards, const Clock* clock,
+                       gtm::GtmOptions options,
+                       std::unique_ptr<Partitioner> partitioner)
+    : map_(num_shards, std::move(partitioner)) {
+  dbs_.reserve(num_shards);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    dbs_.push_back(std::make_unique<storage::Database>());
+    shards_.push_back(
+        std::make_unique<gtm::Gtm>(dbs_.back().get(), clock, options));
+  }
+}
+
+Status GtmCluster::RegisterObject(const gtm::ObjectId& id,
+                                  const std::string& table,
+                                  const storage::Value& key,
+                                  std::vector<size_t> member_columns,
+                                  semantics::LogicalDependencies deps) {
+  return shards_[ShardOf(id)]->RegisterObject(
+      id, table, key, std::move(member_columns), std::move(deps));
+}
+
+Status GtmCluster::RegisterRowObject(const gtm::ObjectId& id,
+                                     const std::string& table,
+                                     const storage::Value& key) {
+  return shards_[ShardOf(id)]->RegisterRowObject(id, table, key);
+}
+
+Status GtmCluster::CreateTableAllShards(const std::string& table,
+                                        const storage::Schema& schema) {
+  for (auto& db : dbs_) {
+    Result<storage::Table*> t = db->CreateTable(table, schema);
+    if (!t.ok()) return t.status();
+  }
+  return Status::Ok();
+}
+
+Result<storage::Value> GtmCluster::PermanentValue(
+    const gtm::ObjectId& id, semantics::MemberId member) const {
+  return shards_[ShardOf(id)]->PermanentValue(id, member);
+}
+
+gtm::GtmMetrics::Snapshot GtmCluster::AggregateSnapshot() const {
+  gtm::GtmMetrics::Snapshot agg;
+  for (const auto& shard : shards_) {
+    agg.MergeFrom(shard->metrics().TakeSnapshot());
+  }
+  return agg;
+}
+
+Status GtmCluster::Prepare(ShardId shard, TxnId branch) {
+  return shards_[shard]->Prepare(branch);
+}
+
+Status GtmCluster::CommitPrepared(ShardId shard, TxnId branch) {
+  return shards_[shard]->CommitPrepared(branch);
+}
+
+Status GtmCluster::AbortBranch(ShardId shard, TxnId branch) {
+  gtm::Gtm* g = shards_[shard].get();
+  if (g->IsPrepared(branch)) return g->AbortPrepared(branch);
+  Result<gtm::TxnState> st = g->StateOf(branch);
+  if (!st.ok()) return st.status();
+  switch (st.value()) {
+    case gtm::TxnState::kAborted:
+      return Status::Ok();  // Idempotent.
+    case gtm::TxnState::kCommitted:
+      return Status::FailedPrecondition(StrFormat(
+          "AbortBranch: shard %zu txn %llu already committed", shard,
+          static_cast<unsigned long long>(branch)));
+    default:
+      return g->RequestAbort(branch);
+  }
+}
+
+}  // namespace preserial::cluster

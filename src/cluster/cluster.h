@@ -1,0 +1,81 @@
+#ifndef PRESERIAL_CLUSTER_CLUSTER_H_
+#define PRESERIAL_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "cluster/shard_map.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "gtm/gtm.h"
+#include "storage/database.h"
+
+namespace preserial::cluster {
+
+// N independent GTM shards, each with its own lock domain, metrics, SST
+// executor and LDBS, bound together by a ShardMap. The cluster owns the
+// shard Gtms and their databases; ownership of an object follows
+// ShardOf(object.id) — its backing row lives only in the owning shard's
+// database and all operations on it route to that shard's Gtm.
+//
+// Externally synchronized, like Gtm: the discrete-event simulator drives
+// it directly, ClusterService adds per-shard locking for real threads. The
+// ShardBackend implementation forwards to the shard Gtms without locking.
+class GtmCluster : public ShardBackend {
+ public:
+  GtmCluster(size_t num_shards, const Clock* clock,
+             gtm::GtmOptions options = {},
+             std::unique_ptr<Partitioner> partitioner = {});
+
+  GtmCluster(const GtmCluster&) = delete;
+  GtmCluster& operator=(const GtmCluster&) = delete;
+
+  size_t num_shards() const override { return map_.num_shards(); }
+  const ShardMap& shard_map() const { return map_; }
+  ShardId ShardOf(const gtm::ObjectId& id) const { return map_.ShardOf(id); }
+
+  gtm::Gtm* shard(ShardId s) { return shards_[s].get(); }
+  const gtm::Gtm* shard(ShardId s) const { return shards_[s].get(); }
+  storage::Database* db(ShardId s) { return dbs_[s].get(); }
+
+  // Shard-routed registration: binds the object on its owning shard. The
+  // backing row must already exist in that shard's database (see
+  // CreateTableAllShards + db(ShardOf(id))->InsertRow).
+  Status RegisterObject(const gtm::ObjectId& id, const std::string& table,
+                        const storage::Value& key,
+                        std::vector<size_t> member_columns,
+                        semantics::LogicalDependencies deps = {});
+  Status RegisterRowObject(const gtm::ObjectId& id, const std::string& table,
+                           const storage::Value& key);
+
+  // DDL convenience: creates the same table on every shard's LDBS (rows are
+  // then inserted only into their owners).
+  Status CreateTableAllShards(const std::string& table,
+                              const storage::Schema& schema);
+
+  // X_permanent of a member, read from the owning shard.
+  Result<storage::Value> PermanentValue(const gtm::ObjectId& id,
+                                        semantics::MemberId member) const;
+
+  // Per-shard and merged metrics (satellite: Snapshot::MergeFrom).
+  gtm::GtmMetrics::Snapshot ShardSnapshot(ShardId s) const {
+    return shards_[s]->metrics().TakeSnapshot();
+  }
+  gtm::GtmMetrics::Snapshot AggregateSnapshot() const;
+
+  // --- ShardBackend (unlocked; single-threaded drivers only) ---------------
+  Status Prepare(ShardId shard, TxnId branch) override;
+  Status CommitPrepared(ShardId shard, TxnId branch) override;
+  Status AbortBranch(ShardId shard, TxnId branch) override;
+
+ private:
+  ShardMap map_;
+  std::vector<std::unique_ptr<storage::Database>> dbs_;
+  std::vector<std::unique_ptr<gtm::Gtm>> shards_;
+};
+
+}  // namespace preserial::cluster
+
+#endif  // PRESERIAL_CLUSTER_CLUSTER_H_

@@ -1,0 +1,158 @@
+#include "cluster/coordinator.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace preserial::cluster {
+
+using storage::WalRecord;
+using storage::WalRecordType;
+
+ClusterCoordinator::ClusterCoordinator(ShardBackend* shards,
+                                       storage::WalStorage* wal_storage)
+    : shards_(shards), wal_storage_(wal_storage), wal_(wal_storage) {}
+
+Status ClusterCoordinator::CommitGlobal(
+    TxnId global, const std::vector<std::pair<ShardId, TxnId>>& branches) {
+  if (branches.empty()) {
+    ++counters_.commits;
+    return Status::Ok();
+  }
+  // Participant list first: a recovering coordinator must know which
+  // branches to re-drive whatever happens next.
+  PRESERIAL_RETURN_IF_ERROR(
+      wal_.LogClusterPrepare(global, {branches.begin(), branches.end()}));
+
+  // Phase 1: collect votes in shard order. The first no-vote decides abort.
+  for (size_t i = 0; i < branches.size(); ++i) {
+    const auto& [shard, branch] = branches[i];
+    Status vote = shards_->Prepare(shard, branch);
+    if (!vote.ok()) {
+      ++counters_.prepare_failures;
+      PRESERIAL_RETURN_IF_ERROR(DriveAbort(global, branches));
+      return Status::Aborted(StrFormat(
+          "global txn %llu aborted: shard %zu voted no: %s",
+          static_cast<unsigned long long>(global), shard,
+          vote.message().c_str()));
+    }
+  }
+
+  if (crash_point_ == CrashPoint::kAfterPrepare) {
+    crash_point_ = CrashPoint::kNone;
+    ++counters_.crashes;
+    return Status::Unavailable(
+        "coordinator crashed after prepare (transaction in doubt)");
+  }
+
+  // The decision point: once this record is durable the transaction IS
+  // committed, whatever happens to this coordinator.
+  PRESERIAL_RETURN_IF_ERROR(wal_.LogClusterCommit(global));
+
+  if (crash_point_ == CrashPoint::kAfterDecision) {
+    crash_point_ = CrashPoint::kNone;
+    ++counters_.crashes;
+    return Status::Unavailable(
+        "coordinator crashed after commit decision (shards not driven)");
+  }
+
+  return DriveCommit(global, branches);
+}
+
+Status ClusterCoordinator::AbortGlobal(
+    TxnId global, const std::vector<std::pair<ShardId, TxnId>>& branches) {
+  return DriveAbort(global, branches);
+}
+
+Status ClusterCoordinator::DriveCommit(
+    TxnId global, const std::vector<std::pair<ShardId, TxnId>>& branches) {
+  ++counters_.commits;
+  for (const auto& [shard, branch] : branches) {
+    Status s = shards_->CommitPrepared(shard, branch);
+    if (!s.ok()) {
+      // Post-decision failure: the branch could not follow the durable
+      // commit (e.g. its SST stayed down past the retry budget). This is
+      // the classic heuristic-mixed hazard; surface it loudly.
+      ++counters_.heuristic_hazards;
+      PRESERIAL_LOG(Error)
+          << "heuristic hazard: global txn " << global << " committed but "
+          << "shard " << shard << " branch " << branch
+          << " failed phase 2: " << s.ToString();
+    }
+  }
+  PRESERIAL_RETURN_IF_ERROR(wal_.LogClusterEnd(global));
+  return Status::Ok();
+}
+
+Status ClusterCoordinator::DriveAbort(
+    TxnId global, const std::vector<std::pair<ShardId, TxnId>>& branches) {
+  PRESERIAL_RETURN_IF_ERROR(wal_.LogClusterAbort(global));
+  ++counters_.aborts;
+  for (const auto& [shard, branch] : branches) {
+    (void)shards_->AbortBranch(shard, branch);
+  }
+  return wal_.LogClusterEnd(global);
+}
+
+Result<ClusterCoordinator::RecoveryOutcome> ClusterCoordinator::Recover() {
+  PRESERIAL_ASSIGN_OR_RETURN(std::string log, wal_storage_->ReadAll());
+  storage::WalScanResult scan = storage::ScanWal(log);
+  PRESERIAL_RETURN_IF_ERROR(scan.status);
+
+  struct InFlight {
+    std::vector<std::pair<ShardId, TxnId>> branches;
+    bool committed = false;
+    bool aborted = false;
+    bool ended = false;
+  };
+  // In log order; a later prepare for the same global id (retry after an
+  // aborted attempt) overwrites cleanly because the earlier one ended.
+  std::map<TxnId, InFlight> txns;
+  for (const WalRecord& r : scan.records) {
+    switch (r.type) {
+      case WalRecordType::kClusterPrepare: {
+        InFlight& t = txns[r.txn_id];
+        t = InFlight{};
+        t.branches.reserve(r.branches.size());
+        for (const auto& [shard, branch] : r.branches) {
+          t.branches.emplace_back(static_cast<ShardId>(shard), branch);
+        }
+        break;
+      }
+      case WalRecordType::kClusterCommit:
+        txns[r.txn_id].committed = true;
+        break;
+      case WalRecordType::kClusterAbort:
+        txns[r.txn_id].aborted = true;
+        break;
+      case WalRecordType::kClusterEnd:
+        txns[r.txn_id].ended = true;
+        break;
+      default:
+        break;  // Foreign records sharing the log are not ours to judge.
+    }
+  }
+
+  RecoveryOutcome out;
+  for (auto& [global, t] : txns) {
+    if (t.ended) continue;
+    if (t.committed) {
+      // Decision was durable: finish the drive (phase 2 is idempotent).
+      PRESERIAL_RETURN_IF_ERROR(DriveCommit(global, t.branches));
+      --counters_.commits;  // DriveCommit counts; this is a re-drive.
+      ++counters_.recovered_commits;
+      ++out.committed_forward;
+    } else {
+      // No durable commit: presumed abort (covers both an explicit abort
+      // record whose drive was cut short and a prepare with no decision).
+      PRESERIAL_RETURN_IF_ERROR(DriveAbort(global, t.branches));
+      --counters_.aborts;
+      ++counters_.recovered_aborts;
+      ++out.presumed_aborts;
+    }
+  }
+  return out;
+}
+
+}  // namespace preserial::cluster

@@ -1,0 +1,115 @@
+#ifndef PRESERIAL_CLUSTER_COORDINATOR_H_
+#define PRESERIAL_CLUSTER_COORDINATOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "storage/wal.h"
+
+namespace preserial::cluster {
+
+// The coordinator's view of the shard fleet. GtmCluster implements it
+// directly for single-threaded (simulated) runs; ClusterService wraps the
+// same calls in per-shard locks for genuinely concurrent runs.
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+  virtual size_t num_shards() const = 0;
+
+  // Phase-1 vote: reconcile + validate the branch and park it Committing
+  // (Gtm::Prepare). Ok = yes-vote.
+  virtual Status Prepare(ShardId shard, TxnId branch) = 0;
+  // Phase-2 drive; idempotent on an already-committed branch.
+  virtual Status CommitPrepared(ShardId shard, TxnId branch) = 0;
+  // Best-effort abort of a branch in any non-committed state (prepared or
+  // not); idempotent on an already-aborted branch.
+  virtual Status AbortBranch(ShardId shard, TxnId branch) = 0;
+};
+
+// Simulated coordinator crash points (the process "dies" after the named
+// step; a fresh coordinator over the same WAL must Recover()).
+enum class CrashPoint {
+  kNone,
+  kAfterPrepare,   // All yes-votes in, decision not yet logged (in doubt).
+  kAfterDecision,  // Commit decision durable, no shard driven yet.
+};
+
+// Runs two-phase commit over per-shard GTM branches and makes the decision
+// durable in its own WAL (kClusterPrepare / kClusterCommit / kClusterAbort /
+// kClusterEnd records), so an in-doubt shard can always learn the outcome:
+//
+//   1. log prepare(global, branches)      -- who participates
+//   2. Prepare every branch               -- phase 1 (Alg 3 per shard)
+//   3. log commit|abort                   -- THE decision point
+//   4. CommitPrepared / AbortBranch all   -- phase 2 (Alg 4 per shard)
+//   5. log end                            -- lazily forgets the txn
+//
+// Recovery is presumed-abort: a prepare record without a decision aborts;
+// a decision without an end record is re-driven (phase 2 is idempotent).
+class ClusterCoordinator {
+ public:
+  struct Counters {
+    int64_t commits = 0;
+    int64_t aborts = 0;           // Decided abort (prepare failed).
+    int64_t prepare_failures = 0;  // No-votes observed in phase 1.
+    int64_t recovered_commits = 0;  // Re-driven forward by Recover().
+    int64_t recovered_aborts = 0;   // Presumed-abort resolutions.
+    int64_t heuristic_hazards = 0;  // Phase-2 drive failed post-decision.
+    int64_t crashes = 0;            // Injected crash points hit.
+  };
+
+  struct RecoveryOutcome {
+    int64_t committed_forward = 0;  // Decisions re-driven to completion.
+    int64_t presumed_aborts = 0;    // Undecided transactions aborted.
+  };
+
+  // `wal_storage` must outlive the coordinator; pass the same storage to a
+  // successor coordinator to take over after a crash.
+  ClusterCoordinator(ShardBackend* shards, storage::WalStorage* wal_storage);
+
+  // Runs 2PC for `global` over `branches` ((shard, branch-txn) pairs, one
+  // per participating shard). Returns Ok on a committed decision, Aborted
+  // when some branch voted no, Unavailable when an injected crash point
+  // fired (the transaction is then in doubt until Recover()).
+  Status CommitGlobal(TxnId global,
+                      const std::vector<std::pair<ShardId, TxnId>>& branches);
+
+  // Durably decides abort and drives every branch down. For coordinator-
+  // initiated aborts of transactions that never reached prepare, callers
+  // can abort branches directly; this path exists for symmetry and tests.
+  Status AbortGlobal(TxnId global,
+                     const std::vector<std::pair<ShardId, TxnId>>& branches);
+
+  // Replays this coordinator's WAL and finishes every unfinished
+  // transaction: decided ones are re-driven (idempotent), undecided ones
+  // are presumed aborted. Safe to call on a fresh log.
+  Result<RecoveryOutcome> Recover();
+
+  // Test hook: the next CommitGlobal "crashes" (returns kUnavailable,
+  // leaving shards as they are) at the given point, then re-arms to kNone.
+  void set_crash_point(CrashPoint p) { crash_point_ = p; }
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  // Logs the abort decision and drives every branch down. `end` also logs
+  // the end record.
+  Status DriveAbort(TxnId global,
+                    const std::vector<std::pair<ShardId, TxnId>>& branches);
+  Status DriveCommit(TxnId global,
+                     const std::vector<std::pair<ShardId, TxnId>>& branches);
+
+  ShardBackend* shards_;
+  storage::WalStorage* wal_storage_;
+  storage::WalWriter wal_;
+  CrashPoint crash_point_ = CrashPoint::kNone;
+  Counters counters_;
+};
+
+}  // namespace preserial::cluster
+
+#endif  // PRESERIAL_CLUSTER_COORDINATOR_H_

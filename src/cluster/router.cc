@@ -1,0 +1,379 @@
+#include "cluster/router.h"
+
+#include <functional>
+#include <set>
+
+#include "common/strings.h"
+
+namespace preserial::cluster {
+
+using gtm::GtmEvent;
+using gtm::TxnState;
+
+GtmRouter::GtmRouter(GtmCluster* cluster, ClusterCoordinator* coordinator)
+    : cluster_(cluster), coordinator_(coordinator) {
+  branch_to_global_.resize(cluster_->num_shards());
+}
+
+GtmRouter::GlobalTxn* GtmRouter::Get(TxnId txn) {
+  auto it = globals_.find(txn);
+  return it == globals_.end() ? nullptr : &it->second;
+}
+
+const GtmRouter::GlobalTxn* GtmRouter::Get(TxnId txn) const {
+  auto it = globals_.find(txn);
+  return it == globals_.end() ? nullptr : &it->second;
+}
+
+TxnId GtmRouter::Begin(int priority) {
+  const TxnId id = next_global_++;
+  GlobalTxn g;
+  g.priority = priority;
+  globals_.emplace(id, std::move(g));
+  return id;
+}
+
+TxnId GtmRouter::BranchFor(TxnId txn, GlobalTxn* g, ShardId shard) {
+  auto it = g->branches.find(shard);
+  if (it != g->branches.end()) return it->second;
+  const TxnId branch = cluster_->shard(shard)->Begin(g->priority);
+  g->branches.emplace(shard, branch);
+  branch_to_global_[shard].emplace(branch, txn);
+  return branch;
+}
+
+void GtmRouter::InvalidateAll(TxnId txn, GlobalTxn* g) {
+  (void)txn;
+  for (const auto& [shard, branch] : g->branches) {
+    Result<TxnState> st = cluster_->shard(shard)->StateOf(branch);
+    if (!st.ok()) continue;
+    switch (st.value()) {
+      case TxnState::kActive:
+      case TxnState::kWaiting:
+      case TxnState::kSleeping:
+        (void)cluster_->shard(shard)->RequestAbort(branch);
+        break;
+      default:
+        break;  // Terminal or mid-commit branches are left alone.
+    }
+  }
+  g->terminal = TxnState::kAborted;
+  ++aborted_;
+}
+
+void GtmRouter::CheckUnilateralAborts(TxnId txn, GlobalTxn* g) {
+  for (const auto& [shard, branch] : g->branches) {
+    Result<TxnState> st = cluster_->shard(shard)->StateOf(branch);
+    if (st.ok() && st.value() == TxnState::kAborted) {
+      // One shard took the branch down on its own (timeout sweep, admission
+      // failure): atomicity says the whole global transaction dies.
+      InvalidateAll(txn, g);
+      return;
+    }
+  }
+}
+
+Status GtmRouter::Invoke(TxnId txn, const gtm::ObjectId& object,
+                         semantics::MemberId member,
+                         const semantics::Operation& op) {
+  GlobalTxn* g = Get(txn);
+  if (g == nullptr || g->terminal.has_value()) {
+    return Status::FailedPrecondition(StrFormat(
+        "Invoke requires an Active transaction (global txn %llu)",
+        static_cast<unsigned long long>(txn)));
+  }
+  CheckUnilateralAborts(txn, g);
+  if (g->terminal.has_value() || g->sleeping_unbranched) {
+    return Status::FailedPrecondition(StrFormat(
+        "Invoke requires an Active transaction (global txn %llu)",
+        static_cast<unsigned long long>(txn)));
+  }
+  const ShardId shard = cluster_->ShardOf(object);
+  const TxnId branch = BranchFor(txn, g, shard);
+  return cluster_->shard(shard)->Invoke(branch, object, member, op);
+}
+
+Result<storage::Value> GtmRouter::ReadLocal(TxnId txn,
+                                            const gtm::ObjectId& object,
+                                            semantics::MemberId member) {
+  GlobalTxn* g = Get(txn);
+  if (g == nullptr || g->terminal.has_value() || g->sleeping_unbranched) {
+    return Status::FailedPrecondition("ReadLocal on unknown/terminal txn");
+  }
+  const ShardId shard = cluster_->ShardOf(object);
+  const TxnId branch = BranchFor(txn, g, shard);
+  return cluster_->shard(shard)->ReadLocal(branch, object, member);
+}
+
+Status GtmRouter::RequestCommit(TxnId txn) {
+  GlobalTxn* g = Get(txn);
+  if (g == nullptr || g->terminal.has_value()) {
+    return Status::FailedPrecondition(
+        "RequestCommit requires an Active transaction (constraint iii)");
+  }
+  CheckUnilateralAborts(txn, g);
+  if (g->terminal.has_value() || g->sleeping_unbranched) {
+    return Status::FailedPrecondition(
+        "RequestCommit requires an Active transaction (constraint iii)");
+  }
+
+  if (g->branches.empty()) {
+    // Read-nothing transaction: trivially committed.
+    g->terminal = TxnState::kCommitted;
+    ++committed_;
+    return Status::Ok();
+  }
+
+  if (g->branches.size() == 1) {
+    // One-phase fast path: the owning shard's local commit decides alone.
+    const auto& [shard, branch] = *g->branches.begin();
+    Status s = cluster_->shard(shard)->RequestCommit(branch);
+    if (s.ok()) {
+      g->terminal = TxnState::kCommitted;
+      ++committed_;
+    } else if (s.code() == StatusCode::kAborted) {
+      g->terminal = TxnState::kAborted;
+      ++aborted_;
+    }
+    return s;
+  }
+
+  std::vector<std::pair<ShardId, TxnId>> branches(g->branches.begin(),
+                                                  g->branches.end());
+  Status s = coordinator_->CommitGlobal(txn, branches);
+  if (s.ok()) {
+    g->terminal = TxnState::kCommitted;
+    ++committed_;
+  } else if (s.code() == StatusCode::kAborted) {
+    g->terminal = TxnState::kAborted;
+    ++aborted_;
+  }
+  // kUnavailable (injected coordinator crash) leaves the transaction in
+  // doubt: no terminal state; a successor coordinator's Recover() settles
+  // the branches.
+  return s;
+}
+
+Status GtmRouter::RequestAbort(TxnId txn) {
+  GlobalTxn* g = Get(txn);
+  if (g == nullptr || g->terminal.has_value()) {
+    return Status::FailedPrecondition(
+        "RequestAbort requires a live, non-committing transaction");
+  }
+  for (const auto& [shard, branch] : g->branches) {
+    Result<TxnState> st = cluster_->shard(shard)->StateOf(branch);
+    if (st.ok() && st.value() == TxnState::kCommitting) {
+      return Status::FailedPrecondition(
+          "RequestAbort requires a live, non-committing transaction");
+    }
+  }
+  InvalidateAll(txn, g);
+  return Status::Ok();
+}
+
+Status GtmRouter::Sleep(TxnId txn) {
+  GlobalTxn* g = Get(txn);
+  if (g == nullptr || g->terminal.has_value()) {
+    return Status::FailedPrecondition(
+        "Sleep requires an Active or Waiting transaction (Alg 8)");
+  }
+  if (g->branches.empty()) {
+    if (g->sleeping_unbranched) {
+      return Status::FailedPrecondition(
+          "Sleep requires an Active or Waiting transaction (Alg 8)");
+    }
+    g->sleeping_unbranched = true;
+    return Status::Ok();
+  }
+  for (const auto& [shard, branch] : g->branches) {
+    Status s = cluster_->shard(shard)->Sleep(branch);
+    if (s.code() == StatusCode::kAborted) {
+      // sleep_enabled=false ablation: the shard aborted the branch; the
+      // whole global transaction follows.
+      InvalidateAll(txn, g);
+      return s;
+    }
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status GtmRouter::Awake(TxnId txn) {
+  GlobalTxn* g = Get(txn);
+  if (g == nullptr || g->terminal.has_value()) {
+    return Status::FailedPrecondition("Awake requires a Sleeping transaction");
+  }
+  if (g->branches.empty()) {
+    if (!g->sleeping_unbranched) {
+      return Status::FailedPrecondition(
+          "Awake requires a Sleeping transaction");
+    }
+    g->sleeping_unbranched = false;
+    return Status::Ok();
+  }
+  for (const auto& [shard, branch] : g->branches) {
+    Status s = cluster_->shard(shard)->Awake(branch);
+    if (s.code() == StatusCode::kAborted) {
+      // Algorithm 9 staleness on one shard kills the whole transaction:
+      // already-awoken sibling branches are invalidated too.
+      InvalidateAll(txn, g);
+      return s;
+    }
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+// --- idempotent endpoints -------------------------------------------------------
+
+Status GtmRouter::ExecuteOnceRouted(TxnId txn, uint64_t seq,
+                                    const std::function<Status()>& call) {
+  GlobalTxn* g = Get(txn);
+  if (g != nullptr) {
+    auto it = g->once_replies.find(seq);
+    if (it != g->once_replies.end()) return it->second;
+  }
+  Status s = call();
+  if (g != nullptr) g->once_replies.emplace(seq, s);
+  return s;
+}
+
+Status GtmRouter::InvokeOnce(TxnId txn, uint64_t seq,
+                             const gtm::ObjectId& object,
+                             semantics::MemberId member,
+                             const semantics::Operation& op) {
+  GlobalTxn* g = Get(txn);
+  if (g == nullptr || g->terminal.has_value()) {
+    return Status::FailedPrecondition(StrFormat(
+        "Invoke requires an Active transaction (global txn %llu)",
+        static_cast<unsigned long long>(txn)));
+  }
+  CheckUnilateralAborts(txn, g);
+  if (g->terminal.has_value()) {
+    return Status::Aborted("transaction aborted while waiting");
+  }
+  if (g->sleeping_unbranched) {
+    return Status::FailedPrecondition(StrFormat(
+        "Invoke requires an Active transaction (global txn %llu)",
+        static_cast<unsigned long long>(txn)));
+  }
+  // The owning shard's reply cache handles redelivery: client seqs are
+  // unique per global transaction, so they are unique per branch too.
+  const ShardId shard = cluster_->ShardOf(object);
+  const TxnId branch = BranchFor(txn, g, shard);
+  return cluster_->shard(shard)->InvokeOnce(branch, seq, object, member, op);
+}
+
+Status GtmRouter::CommitOnce(TxnId txn, uint64_t seq) {
+  return ExecuteOnceRouted(txn, seq,
+                           [this, txn] { return RequestCommit(txn); });
+}
+
+Status GtmRouter::AbortOnce(TxnId txn, uint64_t seq) {
+  return ExecuteOnceRouted(txn, seq, [this, txn] { return RequestAbort(txn); });
+}
+
+Status GtmRouter::SleepOnce(TxnId txn, uint64_t seq) {
+  return ExecuteOnceRouted(txn, seq, [this, txn] { return Sleep(txn); });
+}
+
+Status GtmRouter::AwakeOnce(TxnId txn, uint64_t seq) {
+  return ExecuteOnceRouted(txn, seq, [this, txn] { return Awake(txn); });
+}
+
+// --- introspection --------------------------------------------------------------
+
+Result<TxnState> GtmRouter::StateOf(TxnId txn) const {
+  const GlobalTxn* g = Get(txn);
+  if (g == nullptr) {
+    return Status::NotFound(StrFormat(
+        "unknown global txn %llu", static_cast<unsigned long long>(txn)));
+  }
+  if (g->terminal.has_value()) return *g->terminal;
+  if (g->branches.empty()) {
+    return g->sleeping_unbranched ? TxnState::kSleeping : TxnState::kActive;
+  }
+  bool all_committed = true;
+  bool all_sleeping = true;
+  bool any_committing = false;
+  bool any_waiting = false;
+  for (const auto& [shard, branch] : g->branches) {
+    Result<TxnState> st = cluster_->shard(shard)->StateOf(branch);
+    if (!st.ok()) return st.status();
+    switch (st.value()) {
+      case TxnState::kAborted:
+      case TxnState::kAborting:
+        return TxnState::kAborted;
+      case TxnState::kCommitted:
+        all_sleeping = false;
+        break;
+      case TxnState::kCommitting:
+        any_committing = true;
+        all_committed = all_sleeping = false;
+        break;
+      case TxnState::kWaiting:
+        any_waiting = true;
+        all_committed = all_sleeping = false;
+        break;
+      case TxnState::kSleeping:
+        all_committed = false;
+        break;
+      case TxnState::kActive:
+        all_committed = all_sleeping = false;
+        break;
+    }
+  }
+  if (all_committed) return TxnState::kCommitted;
+  if (any_committing) return TxnState::kCommitting;
+  if (any_waiting) return TxnState::kWaiting;
+  if (all_sleeping) return TxnState::kSleeping;
+  return TxnState::kActive;
+}
+
+std::vector<GtmEvent> GtmRouter::TakeEvents() {
+  std::vector<GtmEvent> out;
+  for (ShardId s = 0; s < cluster_->num_shards(); ++s) {
+    for (GtmEvent e : cluster_->shard(s)->TakeEvents()) {
+      auto it = branch_to_global_[s].find(e.txn);
+      if (it != branch_to_global_[s].end()) e.txn = it->second;
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<TxnId> GtmRouter::AbortExpiredWaits(Duration max_wait) {
+  std::set<TxnId> victims;
+  for (ShardId s = 0; s < cluster_->num_shards(); ++s) {
+    for (TxnId branch : cluster_->shard(s)->AbortExpiredWaits(max_wait)) {
+      auto it = branch_to_global_[s].find(branch);
+      if (it == branch_to_global_[s].end()) continue;
+      victims.insert(it->second);
+    }
+  }
+  // A timeout on one shard (which also breaks cross-shard wait cycles the
+  // per-shard WFGs cannot see) aborts the sibling branches everywhere.
+  for (TxnId global : victims) {
+    GlobalTxn* g = Get(global);
+    if (g != nullptr && !g->terminal.has_value()) InvalidateAll(global, g);
+  }
+  return {victims.begin(), victims.end()};
+}
+
+size_t GtmRouter::BranchCount(TxnId txn) const {
+  const GlobalTxn* g = Get(txn);
+  return g == nullptr ? 0 : g->branches.size();
+}
+
+Result<TxnId> GtmRouter::BranchOf(TxnId txn, ShardId shard) const {
+  const GlobalTxn* g = Get(txn);
+  if (g != nullptr) {
+    auto it = g->branches.find(shard);
+    if (it != g->branches.end()) return it->second;
+  }
+  return Status::NotFound(StrFormat(
+      "global txn %llu has no branch on shard %zu",
+      static_cast<unsigned long long>(txn), shard));
+}
+
+}  // namespace preserial::cluster

@@ -1,0 +1,110 @@
+#ifndef PRESERIAL_CLUSTER_ROUTER_H_
+#define PRESERIAL_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/coordinator.h"
+#include "gtm/endpoint.h"
+
+namespace preserial::cluster {
+
+// Client-facing endpoint of a sharded cluster. A Begin() opens a *global*
+// transaction in the router's own id space; the first operation touching a
+// shard lazily opens a *branch* transaction there (same priority), and all
+// subsequent operations on objects of that shard ride the same branch.
+//
+// Commit of a single-branch global is the one-phase fast path (the shard's
+// own RequestCommit). A multi-branch global goes through the
+// ClusterCoordinator's two-phase commit, with the decision durable in the
+// coordinator WAL. Sleep/Awake/Abort are cluster-wide: every branch
+// transitions together, and a branch invalidated on one shard (awake
+// conflict, wait timeout) takes the whole global transaction down with it
+// on all other shards — the cluster equivalent of Algorithms 7-10.
+//
+// Sessions, runners and workloads speak GtmEndpoint, so they run
+// unmodified against one Gtm or against this router. Externally
+// synchronized, like Gtm.
+class GtmRouter : public gtm::GtmEndpoint {
+ public:
+  GtmRouter(GtmCluster* cluster, ClusterCoordinator* coordinator);
+
+  TxnId Begin(int priority = 0) override;
+  Status Invoke(TxnId txn, const gtm::ObjectId& object,
+                semantics::MemberId member,
+                const semantics::Operation& op) override;
+  Result<storage::Value> ReadLocal(TxnId txn, const gtm::ObjectId& object,
+                                   semantics::MemberId member) override;
+  Status RequestCommit(TxnId txn) override;
+  Status RequestAbort(TxnId txn) override;
+  Status Sleep(TxnId txn) override;
+  Status Awake(TxnId txn) override;
+
+  // Idempotent variants. Invoke forwards the client's seq to the owning
+  // shard's reply cache; the fan-out operations (commit/abort/sleep/awake)
+  // dedup at the router so a redelivery cannot re-run the fan-out.
+  Status InvokeOnce(TxnId txn, uint64_t seq, const gtm::ObjectId& object,
+                    semantics::MemberId member,
+                    const semantics::Operation& op) override;
+  Status CommitOnce(TxnId txn, uint64_t seq) override;
+  Status AbortOnce(TxnId txn, uint64_t seq) override;
+  Status SleepOnce(TxnId txn, uint64_t seq) override;
+  Status AwakeOnce(TxnId txn, uint64_t seq) override;
+
+  Result<gtm::TxnState> StateOf(TxnId txn) const override;
+  std::vector<gtm::GtmEvent> TakeEvents() override;
+  std::vector<TxnId> AbortExpiredWaits(Duration max_wait) override;
+
+  // --- introspection ---------------------------------------------------------
+
+  // Shards this global transaction has opened branches on.
+  size_t BranchCount(TxnId txn) const;
+  // Branch id of `txn` on `shard`; NotFound when it has none there.
+  Result<TxnId> BranchOf(TxnId txn, ShardId shard) const;
+  // Globals that committed / aborted through this router.
+  int64_t committed() const { return committed_; }
+  int64_t aborted() const { return aborted_; }
+
+ private:
+  struct GlobalTxn {
+    int priority = 0;
+    std::map<ShardId, TxnId> branches;
+    // Set once the router decides the outcome; branch states are
+    // authoritative until then.
+    std::optional<gtm::TxnState> terminal;
+    // Router-parked sleep before any branch exists.
+    bool sleeping_unbranched = false;
+    // Reply cache for the fan-out *Once operations.
+    std::map<uint64_t, Status> once_replies;
+  };
+
+  GlobalTxn* Get(TxnId txn);
+  const GlobalTxn* Get(TxnId txn) const;
+  // Branch on `shard`, lazily begun.
+  TxnId BranchFor(TxnId txn, GlobalTxn* g, ShardId shard);
+  // A branch aborted unilaterally on its shard (timeout sweep, admission
+  // failure): take the rest of the global transaction down too.
+  void CheckUnilateralAborts(TxnId txn, GlobalTxn* g);
+  // Aborts every still-live branch and fixes the terminal state.
+  void InvalidateAll(TxnId txn, GlobalTxn* g);
+  Status ExecuteOnceRouted(TxnId txn, uint64_t seq,
+                           const std::function<Status()>& call);
+
+  GtmCluster* cluster_;
+  ClusterCoordinator* coordinator_;
+  TxnId next_global_ = 1;
+  std::map<TxnId, GlobalTxn> globals_;
+  // Per shard: branch txn id -> global txn id (event translation).
+  std::vector<std::map<TxnId, TxnId>> branch_to_global_;
+  int64_t committed_ = 0;
+  int64_t aborted_ = 0;
+};
+
+}  // namespace preserial::cluster
+
+#endif  // PRESERIAL_CLUSTER_ROUTER_H_

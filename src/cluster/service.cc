@@ -1,0 +1,59 @@
+#include "cluster/service.h"
+
+namespace preserial::cluster {
+
+ClusterService::ClusterService(GtmCluster* cluster,
+                               storage::WalStorage* wal_storage)
+    : cluster_(cluster), coordinator_(this, wal_storage) {
+  shard_mu_.reserve(cluster_->num_shards());
+  for (size_t s = 0; s < cluster_->num_shards(); ++s) {
+    shard_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+Status ClusterService::Prepare(ShardId shard, TxnId branch) {
+  std::lock_guard<std::mutex> lock(*shard_mu_[shard]);
+  return cluster_->Prepare(shard, branch);
+}
+
+Status ClusterService::CommitPrepared(ShardId shard, TxnId branch) {
+  std::lock_guard<std::mutex> lock(*shard_mu_[shard]);
+  return cluster_->CommitPrepared(shard, branch);
+}
+
+Status ClusterService::AbortBranch(ShardId shard, TxnId branch) {
+  std::lock_guard<std::mutex> lock(*shard_mu_[shard]);
+  return cluster_->AbortBranch(shard, branch);
+}
+
+TxnId ClusterService::Begin(ShardId shard, int priority) {
+  std::lock_guard<std::mutex> lock(*shard_mu_[shard]);
+  return cluster_->shard(shard)->Begin(priority);
+}
+
+Status ClusterService::Invoke(ShardId shard, TxnId branch,
+                              const gtm::ObjectId& object,
+                              semantics::MemberId member,
+                              const semantics::Operation& op) {
+  std::lock_guard<std::mutex> lock(*shard_mu_[shard]);
+  return cluster_->shard(shard)->Invoke(branch, object, member, op);
+}
+
+Status ClusterService::RequestCommit(ShardId shard, TxnId branch) {
+  std::lock_guard<std::mutex> lock(*shard_mu_[shard]);
+  return cluster_->shard(shard)->RequestCommit(branch);
+}
+
+Status ClusterService::RequestAbort(ShardId shard, TxnId branch) {
+  std::lock_guard<std::mutex> lock(*shard_mu_[shard]);
+  return cluster_->shard(shard)->RequestAbort(branch);
+}
+
+Status ClusterService::CommitGlobal(
+    const std::vector<std::pair<ShardId, TxnId>>& branches) {
+  std::lock_guard<std::mutex> lock(coord_mu_);
+  const TxnId global = next_global_.fetch_add(1, std::memory_order_relaxed);
+  return coordinator_.CommitGlobal(global, branches);
+}
+
+}  // namespace preserial::cluster

@@ -1,0 +1,62 @@
+#ifndef PRESERIAL_CLUSTER_SERVICE_H_
+#define PRESERIAL_CLUSTER_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/coordinator.h"
+
+namespace preserial::cluster {
+
+// Thread-safe facade over a GtmCluster: one mutex per shard, so operations
+// on different shards genuinely run in parallel while each shard's Gtm
+// stays single-threaded inside its lock — the property the shard-scaling
+// bench measures. The embedded coordinator is serialized by its own mutex
+// and is constructed over *this*, so its phase-1/phase-2 drives take the
+// shard locks one at a time (coordinator lock > shard lock; no path ever
+// holds two shard locks, so the hierarchy is deadlock-free).
+class ClusterService : public ShardBackend {
+ public:
+  // `wal_storage` backs the coordinator's decision log.
+  ClusterService(GtmCluster* cluster, storage::WalStorage* wal_storage);
+
+  size_t num_shards() const override { return cluster_->num_shards(); }
+
+  // --- ShardBackend (each call locks only the named shard) -----------------
+  Status Prepare(ShardId shard, TxnId branch) override;
+  Status CommitPrepared(ShardId shard, TxnId branch) override;
+  Status AbortBranch(ShardId shard, TxnId branch) override;
+
+  // --- worker-thread entry points ------------------------------------------
+  ShardId ShardOf(const gtm::ObjectId& id) const {
+    return cluster_->ShardOf(id);
+  }
+  TxnId Begin(ShardId shard, int priority = 0);
+  Status Invoke(ShardId shard, TxnId branch, const gtm::ObjectId& object,
+                semantics::MemberId member, const semantics::Operation& op);
+  // One-phase commit of a single-shard transaction.
+  Status RequestCommit(ShardId shard, TxnId branch);
+  Status RequestAbort(ShardId shard, TxnId branch);
+  // Two-phase commit of a cross-shard transaction (branches as
+  // (shard, branch) pairs). Serialized on the coordinator mutex.
+  Status CommitGlobal(const std::vector<std::pair<ShardId, TxnId>>& branches);
+
+  const ClusterCoordinator& coordinator() const { return coordinator_; }
+
+ private:
+  GtmCluster* cluster_;
+  // unique_ptr: std::mutex is neither movable nor copyable.
+  std::vector<std::unique_ptr<std::mutex>> shard_mu_;
+  std::mutex coord_mu_;
+  std::atomic<TxnId> next_global_{1};
+  ClusterCoordinator coordinator_;
+};
+
+}  // namespace preserial::cluster
+
+#endif  // PRESERIAL_CLUSTER_SERVICE_H_

@@ -48,6 +48,13 @@ void Histogram::Add(double x) {
   sorted_valid_ = false;
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_valid_ = false;
+}
+
 double Histogram::mean() const {
   if (samples_.empty()) return 0.0;
   double sum = 0;

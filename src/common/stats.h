@@ -40,6 +40,9 @@ class RunningStat {
 class Histogram {
  public:
   void Add(double x);
+  // Folds every retained sample of `other` into this histogram (exact, since
+  // both sides keep their raw samples).
+  void MergeFrom(const Histogram& other);
 
   int64_t count() const { return static_cast<int64_t>(samples_.size()); }
   double mean() const;

@@ -1,0 +1,82 @@
+#ifndef PRESERIAL_GTM_ENDPOINT_H_
+#define PRESERIAL_GTM_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "gtm/txn_state.h"
+#include "semantics/operation.h"
+#include "storage/value.h"
+
+namespace preserial::gtm {
+
+// Identifier of a GTM-managed object (the paper's X). By convention
+// "<table>/<key>" for objects bound to database rows. Defined in
+// managed_txn.h for the single-instance Gtm; redeclared here so the
+// endpoint interface stands alone.
+using ObjectId = std::string;
+
+// Notification emitted when a queued invocation is admitted (the waiting
+// transaction becomes Active again and its buffered operation has been
+// applied to a fresh virtual copy).
+struct GtmEvent {
+  TxnId txn = kInvalidTxnId;
+  ObjectId object;
+};
+
+// The client-facing protocol of the middleware: everything a mobile
+// session needs to run a transaction. Implemented by the single-instance
+// Gtm and by cluster::GtmRouter, which fans the same calls out to the
+// owning shards — sessions, runners and workloads are written against this
+// interface and run unmodified on 1..N shards.
+class GtmEndpoint {
+ public:
+  virtual ~GtmEndpoint() = default;
+
+  // Algorithm 1: new Active transaction.
+  virtual TxnId Begin(int priority = 0) = 0;
+
+  // Algorithm 2: request + execute an operation (OK / kWaiting /
+  // kDeadlock / kConstraintViolation; see Gtm for the full contract).
+  virtual Status Invoke(TxnId txn, const ObjectId& object,
+                        semantics::MemberId member,
+                        const semantics::Operation& op) = 0;
+
+  // Reads the transaction's virtual copy (granting a read if necessary).
+  virtual Result<storage::Value> ReadLocal(TxnId txn, const ObjectId& object,
+                                           semantics::MemberId member) = 0;
+
+  virtual Status RequestCommit(TxnId txn) = 0;  // Algorithms 3 + 4.
+  virtual Status RequestAbort(TxnId txn) = 0;   // Algorithms 5 + 6.
+  virtual Status Sleep(TxnId txn) = 0;          // Algorithms 7 + 8.
+  virtual Status Awake(TxnId txn) = 0;          // Algorithms 9 + 10.
+
+  // Idempotent variants for at-least-once transports: `seq` is the
+  // client's per-transaction request number, reused verbatim on retries;
+  // redeliveries return the cached reply without re-executing.
+  virtual Status InvokeOnce(TxnId txn, uint64_t seq, const ObjectId& object,
+                            semantics::MemberId member,
+                            const semantics::Operation& op) = 0;
+  virtual Status CommitOnce(TxnId txn, uint64_t seq) = 0;
+  virtual Status AbortOnce(TxnId txn, uint64_t seq) = 0;
+  virtual Status SleepOnce(TxnId txn, uint64_t seq) = 0;
+  virtual Status AwakeOnce(TxnId txn, uint64_t seq) = 0;
+
+  virtual Result<TxnState> StateOf(TxnId txn) const = 0;
+
+  // Admission notifications since the last call (queued invocations that
+  // were granted). Transaction ids are in this endpoint's id space.
+  virtual std::vector<GtmEvent> TakeEvents() = 0;
+
+  // Aborts transactions that have been Waiting longer than `max_wait` and
+  // returns their ids (timeout-based deadlock/starvation resolution).
+  virtual std::vector<TxnId> AbortExpiredWaits(Duration max_wait) = 0;
+};
+
+}  // namespace preserial::gtm
+
+#endif  // PRESERIAL_GTM_ENDPOINT_H_

@@ -500,10 +500,95 @@ Status Gtm::RequestCommit(TxnId txn) {
     return Status::FailedPrecondition(
         "RequestCommit requires an Active transaction (constraint iii)");
   }
-  t->set_state(TxnState::kCommitting);
+  PRESERIAL_RETURN_IF_ERROR(PrepareInternal(t));
+  return CommitPrepared(txn);
+}
 
-  // Local commits (Alg 3): reconcile every touched member.
-  std::vector<SstExecutor::CellWrite> writes;
+Status Gtm::Prepare(TxnId txn) {
+  ManagedTxn* t = GetLiveTxn(txn);
+  if (t == nullptr || (t->state() != TxnState::kActive &&
+                       t->state() != TxnState::kSleeping)) {
+    return Status::FailedPrecondition(
+        "Prepare requires an Active or Sleeping transaction");
+  }
+  if (t->state() == TxnState::kSleeping) {
+    // A branch still parked when the coordinator asks for the vote: apply
+    // the Algorithm 9 staleness check (X_tc vs A_t_sleep) before letting
+    // it commit — an incompatible operation admitted or committed during
+    // the sleep dooms the whole global transaction.
+    const TimePoint slept_at = t->sleep_since();
+    for (const ObjectId& oid : t->involved()) {
+      const ObjectState* obj = GetObjectMutable(oid);
+      if (obj == nullptr) continue;
+      if (obj->IsWaiting(txn)) {
+        return Status::FailedPrecondition(StrFormat(
+            "Prepare of sleeping txn %llu refused: invocation still queued "
+            "on %s",
+            static_cast<unsigned long long>(txn), oid.c_str()));
+      }
+      if (auto blocker = AwakeConflict(*obj, txn, slept_at)) {
+        AbortInternal(t, &metrics_.counters().awake_aborts);
+        return Status::Aborted(StrFormat(
+            "prepare abort: txn %llu conflicted on %s with txn %llu while "
+            "sleeping",
+            static_cast<unsigned long long>(txn), oid.c_str(),
+            static_cast<unsigned long long>(*blocker)));
+      }
+    }
+    // Validation passed: the vote doubles as the awake (Alg 9, case 2).
+    for (const ObjectId& oid : t->involved()) {
+      ObjectState* obj = GetObjectMutable(oid);
+      if (obj != nullptr) obj->sleeping.erase(txn);
+    }
+    t->total_sleep_time += clock_->Now() - t->sleep_since();
+  }
+  PRESERIAL_RETURN_IF_ERROR(PrepareInternal(t));
+  // Unlike the one-phase path, where a constraint violation simply fails the
+  // SST, a yes-vote here is a promise to the coordinator that phase 2 can
+  // succeed — so the CHECK constraints are part of the vote.
+  PRESERIAL_RETURN_IF_ERROR(ValidatePrepared(t));
+  ++metrics_.counters().prepares;
+  if (trace_.enabled()) {
+    trace_.Record(clock_->Now(), TraceEventKind::kPrepare, txn);
+  }
+  return Status::Ok();
+}
+
+Status Gtm::ValidatePrepared(ManagedTxn* t) {
+  const TxnId txn = t->id();
+  for (const ObjectId& oid : t->involved()) {
+    ObjectState* obj = GetObjectMutable(oid);
+    if (obj == nullptr) continue;
+    auto cit = obj->committing.find(txn);
+    if (cit == obj->committing.end()) continue;
+    Result<storage::Table*> tab = db_->GetTable(obj->table);
+    if (!tab.ok()) continue;
+    for (const auto& [member, cls] : cit->second) {
+      const Value& reconciled = obj->new_values[txn][member];
+      for (const storage::CheckConstraint* c :
+           tab.value()->ConstraintsOn(obj->member_columns[member])) {
+        Result<bool> holds = c->Holds(reconciled);
+        if (holds.ok() && holds.value()) continue;
+        // Build the message before AbortInternal erases the per-txn state
+        // that `reconciled` points into.
+        Status no_vote = Status::Aborted(StrFormat(
+            "prepare validation failed: constraint '%s' on %s rejects "
+            "reconciled value %s",
+            c->name().c_str(), oid.c_str(), reconciled.ToString().c_str()));
+        prepared_.erase(txn);
+        AbortInternal(t, &metrics_.counters().constraint_aborts);
+        return no_vote;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// Phase 1 (Alg 3, local commit): reconcile + validate every touched member
+// and park the transaction in Committing. No LDBS effects.
+Status Gtm::PrepareInternal(ManagedTxn* t) {
+  const TxnId txn = t->id();
+  t->set_state(TxnState::kCommitting);
   for (const ObjectId& oid : t->involved()) {
     ObjectState* obj = GetObjectMutable(oid);
     PRESERIAL_CHECK(obj != nullptr);
@@ -522,6 +607,55 @@ Status Gtm::RequestCommit(TxnId txn) {
         return Status::Aborted("reconciliation failed: " +
                                reconciled.status().message());
       }
+      ++metrics_.counters().reconciliations;
+      obj->new_values[txn][member] = std::move(reconciled).value();
+    }
+    obj->committing[txn] = ops;
+    obj->pending.erase(txn);
+  }
+  prepared_.insert(txn);
+  return Status::Ok();
+}
+
+Status Gtm::CommitPrepared(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return Status::NotFound(StrFormat("unknown GTM txn %llu",
+                                      static_cast<unsigned long long>(txn)));
+  }
+  ManagedTxn* t = it->second.get();
+  if (t->state() == TxnState::kCommitted) {
+    return Status::Ok();  // Idempotent redrive by a recovering coordinator.
+  }
+  if (t->state() != TxnState::kCommitting || prepared_.count(txn) == 0) {
+    return Status::FailedPrecondition(StrFormat(
+        "CommitPrepared requires a Prepared transaction (txn %llu is %s)",
+        static_cast<unsigned long long>(txn), TxnStateName(t->state())));
+  }
+
+  // Re-reconcile against the *current* X_permanent: a compatible
+  // transaction may have committed on the same member since Prepare, and
+  // its delta must not be clobbered (the merge of eqs. 1-2 is re-run on
+  // the fresh base, exactly as the one-shot commit would).
+  std::vector<SstExecutor::CellWrite> writes;
+  for (const ObjectId& oid : t->involved()) {
+    ObjectState* obj = GetObjectMutable(oid);
+    PRESERIAL_CHECK(obj != nullptr);
+    auto cit = obj->committing.find(txn);
+    if (cit == obj->committing.end()) continue;
+    for (const auto& [member, cls] : cit->second) {
+      const Cell cell{oid, member};
+      const Value& read = obj->read.at(txn).at(member);
+      Result<Value> temp = t->GetTemp(cell);
+      PRESERIAL_CHECK(temp.ok());
+      Result<Value> reconciled = semantics::Reconcile(
+          cls, read, temp.value(), obj->permanent[member]);
+      if (!reconciled.ok()) {
+        prepared_.erase(txn);
+        AbortInternal(t, &metrics_.counters().constraint_aborts);
+        return Status::Aborted("reconciliation failed: " +
+                               reconciled.status().message());
+      }
       obj->new_values[txn][member] = reconciled.value();
       if (cls != OpClass::kRead) {
         writes.push_back(SstExecutor::CellWrite{
@@ -529,8 +663,6 @@ Status Gtm::RequestCommit(TxnId txn) {
             std::move(reconciled).value()});
       }
     }
-    obj->committing[txn] = ops;
-    obj->pending.erase(txn);
   }
 
   // The Secure System Transaction (assumed instantaneous, Sec. VI-A).
@@ -551,6 +683,7 @@ Status Gtm::RequestCommit(TxnId txn) {
     int64_t* cause = sst_status.code() == StatusCode::kConstraintViolation
                          ? &metrics_.counters().constraint_aborts
                          : &metrics_.counters().user_aborts;
+    prepared_.erase(txn);
     AbortInternal(t, cause);
     return Status::Aborted("SST failed: " + sst_status.message());
   }
@@ -573,9 +706,35 @@ Status Gtm::RequestCommit(TxnId txn) {
   }
   t->ClearAllTemp();
   t->set_state(TxnState::kCommitted);
+  prepared_.erase(txn);
   ++metrics_.counters().committed;
   metrics_.execution_time().Add(now - t->begin_time());
   trace_.Record(now, TraceEventKind::kCommit, txn);
+  return Status::Ok();
+}
+
+Status Gtm::AbortPrepared(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return Status::NotFound(StrFormat("unknown GTM txn %llu",
+                                      static_cast<unsigned long long>(txn)));
+  }
+  ManagedTxn* t = it->second.get();
+  if (t->state() == TxnState::kAborted) {
+    return Status::Ok();  // Idempotent redrive by a recovering coordinator.
+  }
+  if (t->state() == TxnState::kCommitted) {
+    return Status::FailedPrecondition(StrFormat(
+        "AbortPrepared: txn %llu already committed",
+        static_cast<unsigned long long>(txn)));
+  }
+  if (t->state() != TxnState::kCommitting || prepared_.count(txn) == 0) {
+    return Status::FailedPrecondition(StrFormat(
+        "AbortPrepared requires a Prepared transaction (txn %llu is %s)",
+        static_cast<unsigned long long>(txn), TxnStateName(t->state())));
+  }
+  prepared_.erase(txn);
+  AbortInternal(t, &metrics_.counters().prepared_aborts);
   return Status::Ok();
 }
 

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "common/ids.h"
 #include "common/status.h"
 #include "gtm/conflict.h"
+#include "gtm/endpoint.h"
 #include "gtm/managed_txn.h"
 #include "gtm/metrics.h"
 #include "gtm/object_state.h"
@@ -23,14 +25,6 @@
 #include "storage/database.h"
 
 namespace preserial::gtm {
-
-// Notification emitted when a queued invocation is admitted (the waiting
-// transaction becomes Active again and its buffered operation has been
-// applied to a fresh virtual copy).
-struct GtmEvent {
-  TxnId txn = kInvalidTxnId;
-  ObjectId object;
-};
 
 // The Global Transaction Manager — the paper's middleware and this
 // library's primary contribution.
@@ -67,8 +61,9 @@ struct GtmEvent {
 // fairness.)
 //
 // Externally synchronized; the discrete-event simulator drives it directly
-// and GtmService adds a thread-safe blocking facade.
-class Gtm {
+// and GtmService adds a thread-safe blocking facade. In a sharded cluster
+// each shard is one Gtm and cluster::GtmRouter speaks GtmEndpoint on top.
+class Gtm : public GtmEndpoint {
  public:
   Gtm(storage::Database* db, const Clock* clock, GtmOptions options = {});
 
@@ -108,9 +103,9 @@ class Gtm {
   // Starts a transaction. Higher-priority transactions queue ahead of
   // lower-priority ones on every wait queue (Sec. VII starvation remedy);
   // the default 0 gives plain FIFO.
-  TxnId Begin(int priority = 0);
+  TxnId Begin(int priority = 0) override;
   Status Invoke(TxnId txn, const ObjectId& object, semantics::MemberId member,
-                const semantics::Operation& op);
+                const semantics::Operation& op) override;
 
   // --- idempotent endpoints (at-least-once transport) ------------------------
   //
@@ -122,29 +117,50 @@ class Gtm {
   // arrives the queued operation may have been granted (or the transaction
   // killed), so the reply is re-derived from the current state.
   Status InvokeOnce(TxnId txn, uint64_t seq, const ObjectId& object,
-                    semantics::MemberId member, const semantics::Operation& op);
-  Status CommitOnce(TxnId txn, uint64_t seq);
-  Status AbortOnce(TxnId txn, uint64_t seq);
-  Status SleepOnce(TxnId txn, uint64_t seq);
-  Status AwakeOnce(TxnId txn, uint64_t seq);
+                    semantics::MemberId member,
+                    const semantics::Operation& op) override;
+  Status CommitOnce(TxnId txn, uint64_t seq) override;
+  Status AbortOnce(TxnId txn, uint64_t seq) override;
+  Status SleepOnce(TxnId txn, uint64_t seq) override;
+  Status AwakeOnce(TxnId txn, uint64_t seq) override;
 
   // Reads the transaction's virtual copy (granting a read if necessary).
   Result<storage::Value> ReadLocal(TxnId txn, const ObjectId& object,
-                                   semantics::MemberId member);
-  Status RequestCommit(TxnId txn);
-  Status RequestAbort(TxnId txn);
-  Status Sleep(TxnId txn);
-  Status Awake(TxnId txn);
+                                   semantics::MemberId member) override;
+  Status RequestCommit(TxnId txn) override;
+  Status RequestAbort(TxnId txn) override;
+  Status Sleep(TxnId txn) override;
+  Status Awake(TxnId txn) override;
+
+  // --- two-phase commit (cross-shard transactions) ---------------------------
+  //
+  // A cross-shard global commit splits Algorithms 3 + 4 at the SST boundary.
+  // Prepare runs the local-commit half (Alg 3): every touched member is
+  // reconciled and validated — including the Algorithm 9 staleness check
+  // (X_tc vs A_t_sleep) when the branch is still Sleeping — without touching
+  // the LDBS. The transaction parks in Committing until the coordinator
+  // decides. CommitPrepared re-runs reconciliation against the then-current
+  // X_permanent (compatible transactions may have committed in between and
+  // their deltas must not be clobbered), executes the SST and installs
+  // X_new (Alg 4); AbortPrepared discards the prepared state and aborts.
+  // Both are idempotent on a transaction that already reached the matching
+  // terminal state, so a recovering coordinator can safely re-drive an
+  // in-doubt shard.
+  // RequestCommit == Prepare + CommitPrepared (single-shard fast path).
+  Status Prepare(TxnId txn);
+  Status CommitPrepared(TxnId txn);
+  Status AbortPrepared(TxnId txn);
+  bool IsPrepared(TxnId txn) const { return prepared_.count(txn) > 0; }
 
   // --- wait management -------------------------------------------------------
 
   // Admission notifications since the last call (queued invocations that
   // were granted).
-  std::vector<GtmEvent> TakeEvents();
+  std::vector<GtmEvent> TakeEvents() override;
 
   // Aborts transactions that have been Waiting longer than `max_wait`
   // (timeout-based deadlock/starvation resolution). Returns their ids.
-  std::vector<TxnId> AbortExpiredWaits(Duration max_wait);
+  std::vector<TxnId> AbortExpiredWaits(Duration max_wait) override;
 
   // The inactivity oracle Ξ (paper Alg 8): puts every Active or Waiting
   // transaction whose last middleware interaction is older than
@@ -160,7 +176,7 @@ class Gtm {
 
   // --- introspection ---------------------------------------------------------
 
-  Result<TxnState> StateOf(TxnId txn) const;
+  Result<TxnState> StateOf(TxnId txn) const override;
   const ManagedTxn* GetTxn(TxnId txn) const;
   // Ids of transactions currently in `state` (ascending).
   std::vector<TxnId> TransactionsInState(TxnState state) const;
@@ -227,6 +243,15 @@ class Gtm {
   // Alg 11 generalization: admit the FIFO prefix of admissible waiters.
   void PumpWaiters(ObjectState* obj);
 
+  // Phase 1 of the 2PC split (Alg 3 local commit): reconcile + validate and
+  // park `t` in Committing. Shared by RequestCommit and Prepare.
+  Status PrepareInternal(ManagedTxn* t);
+
+  // Checks the reconciled values of a just-prepared `t` against the LDBS
+  // CHECK constraints, so a doomed branch votes no in phase 1 instead of
+  // surfacing as a phase-2 heuristic hazard. Aborts `t` on violation.
+  Status ValidatePrepared(ManagedTxn* t);
+
   // Shared abort path (Alg 5+6); `counter` points at the cause counter to
   // bump.
   void AbortInternal(ManagedTxn* t, int64_t* cause_counter);
@@ -239,6 +264,9 @@ class Gtm {
   SstExecutor sst_;
   std::map<ObjectId, std::unique_ptr<ObjectState>> objects_;
   std::map<TxnId, std::unique_ptr<ManagedTxn>> txns_;
+  // Transactions parked in Committing by Prepare, awaiting the
+  // coordinator's decision.
+  std::set<TxnId> prepared_;
   std::vector<GtmEvent> events_;
   GtmMetrics metrics_;
   TraceLog trace_;

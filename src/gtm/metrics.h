@@ -30,6 +30,11 @@ struct GtmCounters {
   int64_t disconnect_aborts = 0;  // Sleep() with sleeping disabled.
   int64_t user_aborts = 0;
 
+  // Two-phase commit (cross-shard transactions).
+  int64_t prepares = 0;         // Phase-1 votes that parked in Committing.
+  int64_t prepared_aborts = 0;  // Coordinator decided abort after a yes-vote.
+  int64_t reconciliations = 0;  // Successful per-member merges (eqs. 1-2).
+
   int64_t sst_executed = 0;
   int64_t sst_failed = 0;
   int64_t sst_retries = 0;  // Transient failures absorbed by the retry policy.
@@ -44,14 +49,32 @@ struct GtmCounters {
 
   int64_t starvation_denials = 0;
   int64_t admission_denials = 0;  // Constraint-aware admission refusals.
+
+  // Field-wise sum; the mirror counters (sst_*) add like the rest, which is
+  // correct when each source is a distinct Gtm (shard).
+  void MergeFrom(const GtmCounters& other);
 };
 
 // Counters plus latency distributions (virtual-time seconds under the
 // simulator).
 class GtmMetrics {
  public:
+  // Copyable point-in-time capture of one Gtm's metrics. Per-shard
+  // snapshots merge into a cluster-wide aggregate with MergeFrom.
+  struct Snapshot {
+    GtmCounters counters;
+    Histogram execution_time;
+    Histogram wait_time;
+
+    void MergeFrom(const Snapshot& other);
+    double AbortPercent() const;
+    std::string Summary() const;
+  };
+
   GtmCounters& counters() { return counters_; }
   const GtmCounters& counters() const { return counters_; }
+
+  Snapshot TakeSnapshot() const;
 
   Histogram& execution_time() { return execution_time_; }
   const Histogram& execution_time() const { return execution_time_; }

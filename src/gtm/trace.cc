@@ -12,6 +12,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "GRANT";
     case TraceEventKind::kWait:
       return "WAIT";
+    case TraceEventKind::kPrepare:
+      return "PREPARE";
     case TraceEventKind::kCommit:
       return "COMMIT";
     case TraceEventKind::kAbort:

@@ -16,6 +16,7 @@ enum class TraceEventKind {
   kBegin,
   kGrant,        // Invocation admitted (immediately or from the queue).
   kWait,         // Invocation queued.
+  kPrepare,      // Phase-1 vote of a cross-shard commit (parked Committing).
   kCommit,
   kAbort,
   kSleep,

@@ -8,7 +8,7 @@ namespace preserial::mobile {
 
 // --- MultiGtmSession ------------------------------------------------------------
 
-MultiGtmSession::MultiGtmSession(gtm::Gtm* gtm, sim::Simulator* simulator,
+MultiGtmSession::MultiGtmSession(gtm::GtmEndpoint* gtm, sim::Simulator* simulator,
                                  MultiTxnPlan plan, PumpFn pump, DoneFn done)
     : gtm_(gtm),
       sim_(simulator),
@@ -20,6 +20,7 @@ void MultiGtmSession::Start() {
   stats_.arrival = sim_->Now();
   stats_.disconnected = plan_.disconnect.disconnects;
   stats_.tag = plan_.tag;
+  stats_.shard = plan_.shard;
   txn_ = gtm_->Begin();
   stats_.txn = txn_;
   if (plan_.disconnect.disconnects) {
@@ -63,14 +64,17 @@ void MultiGtmSession::RunStep() {
       waiting_ = true;
       return;
     case StatusCode::kDeadlock:
+      stats_.shard = step.shard;
       (void)gtm_->RequestAbort(txn_);
       Finish(false, AbortCause::kDeadlock);
       return;
     case StatusCode::kConstraintViolation:
+      stats_.shard = step.shard;
       (void)gtm_->RequestAbort(txn_);
       Finish(false, AbortCause::kConstraint);
       return;
     default:
+      stats_.shard = step.shard;
       (void)gtm_->RequestAbort(txn_);
       Finish(false, AbortCause::kOther);
       return;

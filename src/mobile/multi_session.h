@@ -18,6 +18,9 @@ struct TourStep {
   Duration think_time = 0;
   // Wireless hop before this step's invocation reaches the middleware.
   Duration invoke_delay = 0;
+  // Owning shard of `object` (cluster runs); -1 otherwise. A step that
+  // fails stamps its shard into SessionStats.shard.
+  int shard = -1;
 };
 
 struct MultiTxnPlan {
@@ -28,6 +31,7 @@ struct MultiTxnPlan {
   // sleeps wherever it happens to be (thinking or queued).
   DisconnectPlan disconnect;
   int tag = 0;
+  int shard = -1;  // Default attribution when no single step failed.
 };
 
 // Simulated client running a multi-step GTM transaction. Steps execute in
@@ -39,7 +43,7 @@ class MultiGtmSession : public GtmWaiter {
   using DoneFn = std::function<void(const SessionStats&)>;
   using PumpFn = std::function<void()>;
 
-  MultiGtmSession(gtm::Gtm* gtm, sim::Simulator* simulator, MultiTxnPlan plan,
+  MultiGtmSession(gtm::GtmEndpoint* gtm, sim::Simulator* simulator, MultiTxnPlan plan,
                   PumpFn pump, DoneFn done);
 
   void Start();
@@ -59,7 +63,7 @@ class MultiGtmSession : public GtmWaiter {
   void DoCommit();
   void Finish(bool committed, AbortCause cause);
 
-  gtm::Gtm* gtm_;
+  gtm::GtmEndpoint* gtm_;
   sim::Simulator* sim_;
   MultiTxnPlan plan_;
   PumpFn pump_;

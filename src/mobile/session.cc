@@ -30,7 +30,7 @@ const char* AbortCauseName(AbortCause c) {
 
 // --- GtmSession ---------------------------------------------------------------
 
-GtmSession::GtmSession(gtm::Gtm* gtm, sim::Simulator* simulator, TxnPlan plan,
+GtmSession::GtmSession(gtm::GtmEndpoint* gtm, sim::Simulator* simulator, TxnPlan plan,
                        PumpFn pump, DoneFn done)
     : gtm_(gtm),
       sim_(simulator),
@@ -42,6 +42,7 @@ void GtmSession::Start() {
   stats_.arrival = sim_->Now();
   stats_.disconnected = plan_.disconnect.disconnects;
   stats_.tag = plan_.tag;
+  stats_.shard = plan_.shard;
   txn_ = gtm_->Begin();
   stats_.txn = txn_;
   if (plan_.invoke_delay > 0) {
@@ -149,7 +150,7 @@ void GtmSession::Finish(bool committed, AbortCause cause) {
 // --- FaultTolerantGtmSession ----------------------------------------------------
 
 FaultTolerantGtmSession::FaultTolerantGtmSession(
-    gtm::Gtm* gtm, sim::Simulator* simulator, const LossyChannel* channel,
+    gtm::GtmEndpoint* gtm, sim::Simulator* simulator, const LossyChannel* channel,
     Rng* rng, FtPlan plan, PumpFn pump, DoneFn done)
     : gtm_(gtm),
       sim_(simulator),
@@ -161,6 +162,7 @@ FaultTolerantGtmSession::FaultTolerantGtmSession(
 void FaultTolerantGtmSession::Start() {
   stats_.arrival = sim_->Now();
   stats_.tag = plan_.base.tag;
+  stats_.shard = plan_.base.shard;
   // Session establishment is reliable (see class comment); everything after
   // Begin crosses the lossy channel.
   txn_ = gtm_->Begin();

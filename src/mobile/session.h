@@ -37,6 +37,10 @@ struct SessionStats {
   bool disconnected = false;  // The plan included a disconnection.
   AbortCause cause = AbortCause::kNone;
   int tag = 0;  // Caller-defined class label (e.g. subtract vs assign).
+  // Shard that raised the decisive outcome (cluster runs); -1 for
+  // single-instance runs. For multi-step plans the failing step's shard
+  // wins over the plan-level default.
+  int shard = -1;
   // Fault-tolerant transport only: request attempts beyond the first, and
   // degrade-to-Sleep episodes after an exhausted retry budget.
   int64_t retries = 0;
@@ -60,7 +64,8 @@ struct TxnPlan {
   // the commit request does.
   Duration invoke_delay = 0;
   Duration commit_delay = 0;
-  int tag = 0;  // Copied into SessionStats.tag.
+  int tag = 0;    // Copied into SessionStats.tag.
+  int shard = -1;  // Owning shard of `object` (cluster runs); -1 otherwise.
 };
 
 // Interface the experiment runners use to resume parked GTM clients.
@@ -90,7 +95,7 @@ class GtmSession : public GtmWaiter {
   using DoneFn = std::function<void(const SessionStats&)>;
   using PumpFn = std::function<void()>;
 
-  GtmSession(gtm::Gtm* gtm, sim::Simulator* simulator, TxnPlan plan,
+  GtmSession(gtm::GtmEndpoint* gtm, sim::Simulator* simulator, TxnPlan plan,
              PumpFn pump, DoneFn done);
 
   // Schedules nothing; call at the arrival time.
@@ -110,7 +115,7 @@ class GtmSession : public GtmWaiter {
   void DoCommit();
   void Finish(bool committed, AbortCause cause);
 
-  gtm::Gtm* gtm_;
+  gtm::GtmEndpoint* gtm_;
   sim::Simulator* sim_;
   TxnPlan plan_;
   PumpFn pump_;
@@ -159,7 +164,7 @@ class FaultTolerantGtmSession : public GtmWaiter {
   using DoneFn = std::function<void(const SessionStats&)>;
   using PumpFn = std::function<void()>;
 
-  FaultTolerantGtmSession(gtm::Gtm* gtm, sim::Simulator* simulator,
+  FaultTolerantGtmSession(gtm::GtmEndpoint* gtm, sim::Simulator* simulator,
                           const LossyChannel* channel, Rng* rng, FtPlan plan,
                           PumpFn pump, DoneFn done);
 
@@ -187,7 +192,7 @@ class FaultTolerantGtmSession : public GtmWaiter {
   void GiveUp();
   void Finish(bool committed, AbortCause cause);
 
-  gtm::Gtm* gtm_;
+  gtm::GtmEndpoint* gtm_;
   sim::Simulator* sim_;
   FtPlan plan_;
   PumpFn pump_;

@@ -32,6 +32,13 @@ Result<RecoveryStats> ReplayWal(const std::vector<WalRecord>& records,
       case WalRecordType::kAbort:
       case WalRecordType::kCheckpoint:
         break;
+      // Cluster-coordinator records live in the coordinator's own log and
+      // carry no database effects; ignore them if they ever share a log.
+      case WalRecordType::kClusterPrepare:
+      case WalRecordType::kClusterCommit:
+      case WalRecordType::kClusterAbort:
+      case WalRecordType::kClusterEnd:
+        break;
       case WalRecordType::kCreateTable: {
         Result<Table*> t = catalog->CreateTable(r.table, r.schema);
         if (!t.ok()) return t.status();

@@ -137,6 +137,14 @@ const char* WalRecordTypeName(WalRecordType t) {
       return "CREATE_INDEX";
     case WalRecordType::kDropIndex:
       return "DROP_INDEX";
+    case WalRecordType::kClusterPrepare:
+      return "CLUSTER_PREPARE";
+    case WalRecordType::kClusterCommit:
+      return "CLUSTER_COMMIT";
+    case WalRecordType::kClusterAbort:
+      return "CLUSTER_ABORT";
+    case WalRecordType::kClusterEnd:
+      return "CLUSTER_END";
   }
   return "?";
 }
@@ -182,6 +190,17 @@ void WalRecord::EncodeTo(std::string* out) const {
     case WalRecordType::kDropIndex:
       PutString(out, table);
       PutString(out, index_name);
+      break;
+    case WalRecordType::kClusterPrepare:
+      PutU64(out, branches.size());
+      for (const auto& [shard, branch] : branches) {
+        PutU64(out, shard);
+        PutU64(out, branch);
+      }
+      break;
+    case WalRecordType::kClusterCommit:
+    case WalRecordType::kClusterAbort:
+    case WalRecordType::kClusterEnd:
       break;
   }
 }
@@ -246,6 +265,26 @@ Result<WalRecord> WalRecord::DecodeFrom(std::string_view payload) {
       PRESERIAL_ASSIGN_OR_RETURN(rec.index_name, GetString(payload, &offset));
       break;
     }
+    case WalRecordType::kClusterPrepare: {
+      uint64_t n = 0;
+      if (!GetU64(payload, &offset, &n)) {
+        return Status::Corruption("wal: truncated cluster branch count");
+      }
+      rec.branches.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t shard = 0, branch = 0;
+        if (!GetU64(payload, &offset, &shard) ||
+            !GetU64(payload, &offset, &branch)) {
+          return Status::Corruption("wal: truncated cluster branch");
+        }
+        rec.branches.emplace_back(shard, branch);
+      }
+      break;
+    }
+    case WalRecordType::kClusterCommit:
+    case WalRecordType::kClusterAbort:
+    case WalRecordType::kClusterEnd:
+      break;
     default:
       return Status::Corruption(StrFormat("wal: bad record type %d",
                                           static_cast<int>(rec.type)));
@@ -424,6 +463,39 @@ Status WalWriter::LogCheckpoint() {
   WalRecord r;
   r.type = WalRecordType::kCheckpoint;
   r.txn_id = kSystemTxnId;
+  return Append(r);
+}
+
+Status WalWriter::LogClusterPrepare(
+    TxnId global, std::vector<std::pair<uint64_t, uint64_t>> branches) {
+  WalRecord r;
+  r.type = WalRecordType::kClusterPrepare;
+  r.txn_id = global;
+  r.branches = std::move(branches);
+  PRESERIAL_RETURN_IF_ERROR(Append(r));
+  return Sync();
+}
+
+Status WalWriter::LogClusterCommit(TxnId global) {
+  WalRecord r;
+  r.type = WalRecordType::kClusterCommit;
+  r.txn_id = global;
+  PRESERIAL_RETURN_IF_ERROR(Append(r));
+  return Sync();
+}
+
+Status WalWriter::LogClusterAbort(TxnId global) {
+  WalRecord r;
+  r.type = WalRecordType::kClusterAbort;
+  r.txn_id = global;
+  PRESERIAL_RETURN_IF_ERROR(Append(r));
+  return Sync();
+}
+
+Status WalWriter::LogClusterEnd(TxnId global) {
+  WalRecord r;
+  r.type = WalRecordType::kClusterEnd;
+  r.txn_id = global;
   return Append(r);
 }
 

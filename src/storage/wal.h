@@ -1,9 +1,11 @@
 #ifndef PRESERIAL_STORAGE_WAL_H_
 #define PRESERIAL_STORAGE_WAL_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -30,6 +32,14 @@ enum class WalRecordType : uint8_t {
   kDropTable = 10,
   kCreateIndex = 11,
   kDropIndex = 12,
+  // Cluster-coordinator records (2PC over shards). `txn_id` is the global
+  // transaction id; they carry no table data — a recovering coordinator
+  // replays them to re-drive in-doubt shards (presumed abort: a prepare
+  // without a decision aborts).
+  kClusterPrepare = 13,  // Branch list voted yes; decision pending.
+  kClusterCommit = 14,   // Durable commit decision.
+  kClusterAbort = 15,    // Durable abort decision.
+  kClusterEnd = 16,      // All branches drove to the decision; forget txn.
 };
 
 const char* WalRecordTypeName(WalRecordType t);
@@ -46,6 +56,8 @@ struct WalRecord {
   CheckConstraint constraint;  // kAddConstraint
   std::string index_name;   // kCreateIndex/kDropIndex
   uint64_t index_column = 0;  // kCreateIndex
+  // kClusterPrepare: participating (shard id, branch txn id) pairs.
+  std::vector<std::pair<uint64_t, uint64_t>> branches;
 
   // Wire format: payload bytes (no framing).
   void EncodeTo(std::string* out) const;
@@ -114,6 +126,14 @@ class WalWriter {
                         uint64_t column);
   Status LogDropIndex(TxnId txn, std::string table, std::string index);
   Status LogCheckpoint();
+
+  // Cluster-coordinator records. Prepare and the decisions sync: they are
+  // the durability points 2PC leans on.
+  Status LogClusterPrepare(
+      TxnId global, std::vector<std::pair<uint64_t, uint64_t>> branches);
+  Status LogClusterCommit(TxnId global);
+  Status LogClusterAbort(TxnId global);
+  Status LogClusterEnd(TxnId global);
 
  private:
   WalStorage* storage_;

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
+#include "cluster/router.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/strings.h"
@@ -226,6 +228,132 @@ LossyExperimentResult RunLossyGtmExperiment(const GtmExperimentSpec& spec,
     result.quantity_consumed +=
         spec.initial_quantity - qty.value().as_int();
   }
+  return result;
+}
+
+ShardedExperimentResult RunShardedGtmExperiment(
+    const ShardedExperimentSpec& spec, const gtm::GtmOptions& options) {
+  const GtmExperimentSpec& base = spec.base;
+  Rng rng(base.seed);
+
+  sim::Simulator simulator;
+  cluster::GtmCluster gtm_cluster(spec.num_shards, simulator.clock(), options);
+
+  // Same schema as the single-instance run, created on every shard; each
+  // object's backing row lives only on its owning shard.
+  Result<Schema> schema = Schema::Create(
+      {
+          ColumnDef{"id", ValueType::kInt64, false},
+          ColumnDef{"qty", ValueType::kInt64, false},
+          ColumnDef{"price", ValueType::kDouble, false},
+      },
+      kColId);
+  PRESERIAL_CHECK(schema.ok());
+  Status created =
+      gtm_cluster.CreateTableAllShards(kTable, std::move(schema).value());
+  PRESERIAL_CHECK(created.ok()) << created.ToString();
+  std::vector<cluster::ShardId> owner(base.num_objects);
+  for (size_t i = 0; i < base.num_objects; ++i) {
+    const gtm::ObjectId oid = ObjectIdFor(i);
+    owner[i] = gtm_cluster.ShardOf(oid);
+    Status s = gtm_cluster.db(owner[i])->InsertRow(
+        kTable, Row({Value::Int(static_cast<int64_t>(i)),
+                     Value::Int(base.initial_quantity),
+                     Value::Double(base.price_value)}));
+    PRESERIAL_CHECK(s.ok()) << s.ToString();
+    semantics::LogicalDependencies deps;
+    deps.AddDependency(0, 1);
+    s = gtm_cluster.RegisterObject(oid, kTable,
+                                   Value::Int(static_cast<int64_t>(i)),
+                                   {kColQty, kColPrice}, std::move(deps));
+    PRESERIAL_CHECK(s.ok()) << s.ToString();
+  }
+  if (base.add_quantity_constraint) {
+    for (size_t sh = 0; sh < spec.num_shards; ++sh) {
+      Status s = gtm_cluster.db(sh)->AddConstraint(
+          kTable, storage::CheckConstraint("qty_nonneg", kColQty,
+                                           storage::CompareOp::kGe,
+                                           Value::Int(0)));
+      PRESERIAL_CHECK(s.ok()) << s.ToString();
+    }
+  }
+
+  storage::MemoryWalStorage coordinator_wal;
+  cluster::ClusterCoordinator coordinator(&gtm_cluster, &coordinator_wal);
+  cluster::GtmRouter router(&gtm_cluster, &coordinator);
+  GtmRunner runner(&router, &simulator, spec.wait_timeout);
+
+  // Whether any cross-shard pairing exists at all (e.g. one shard => no).
+  const bool can_cross = [&] {
+    for (size_t i = 1; i < base.num_objects; ++i) {
+      if (owner[i] != owner[0]) return true;
+    }
+    return false;
+  }();
+
+  ShardedExperimentResult result;
+  for (const PlannedTxn& p : BuildPlans(base, &rng)) {
+    const bool wants_cross = p.is_subtract && can_cross &&
+                             rng.NextBool(spec.cross_shard_ratio);
+    mobile::MultiTxnPlan plan;
+    mobile::TourStep first;
+    first.object = ObjectIdFor(p.object);
+    if (p.is_subtract) {
+      first.member = 0;  // qty
+      first.op = semantics::Operation::Sub(Value::Int(1));
+    } else {
+      first.member = 1;  // price
+      first.op = semantics::Operation::Assign(Value::Double(base.price_value));
+    }
+    first.invoke_delay = p.invoke_delay;
+    first.shard = static_cast<int>(owner[p.object]);
+    plan.shard = first.shard;
+    if (wants_cross) {
+      // Second booking on an object another shard owns: the tour spans two
+      // lock domains and must commit through the coordinator.
+      size_t other = rng.NextBounded(base.num_objects);
+      while (owner[other] == owner[p.object]) {
+        other = rng.NextBounded(base.num_objects);
+      }
+      first.think_time = base.work_time / 2;
+      mobile::TourStep second;
+      second.object = ObjectIdFor(other);
+      second.member = 0;  // qty
+      second.op = semantics::Operation::Sub(Value::Int(1));
+      second.shard = static_cast<int>(owner[other]);
+      plan.steps = {first, second};
+      plan.final_think = base.work_time / 2;
+      ++result.cross_shard_planned;
+    } else {
+      first.think_time = 0;
+      plan.steps = {first};
+      plan.final_think = base.work_time;
+    }
+    plan.commit_delay = p.commit_delay;
+    plan.disconnect = p.disconnect;
+    plan.tag = p.is_subtract ? kTagSubtract : kTagAssign;
+    runner.AddMultiSession(std::move(plan), p.arrival);
+  }
+
+  result.run = runner.Run();
+  result.shard_snapshots.reserve(spec.num_shards);
+  for (size_t sh = 0; sh < spec.num_shards; ++sh) {
+    result.shard_snapshots.push_back(gtm_cluster.ShardSnapshot(sh));
+  }
+  result.aggregate = gtm_cluster.AggregateSnapshot();
+  result.coordinator = coordinator.counters();
+  result.router_committed = router.committed();
+  result.router_aborted = router.aborted();
+  result.consumed_by_shard.assign(spec.num_shards, 0);
+  for (size_t i = 0; i < base.num_objects; ++i) {
+    Result<Value> qty =
+        gtm_cluster.db(owner[i])->GetTable(kTable).value()->GetColumnByKey(
+            Value::Int(static_cast<int64_t>(i)), kColQty);
+    PRESERIAL_CHECK(qty.ok());
+    result.consumed_by_shard[owner[i]] +=
+        base.initial_quantity - qty.value().as_int();
+  }
+  for (int64_t c : result.consumed_by_shard) result.quantity_consumed += c;
   return result;
 }
 

@@ -2,8 +2,11 @@
 #define PRESERIAL_WORKLOAD_GTM_EXPERIMENT_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "cluster/coordinator.h"
 #include "common/clock.h"
+#include "gtm/metrics.h"
 #include "gtm/policies.h"
 #include "mobile/network.h"
 #include "workload/runner.h"
@@ -103,6 +106,40 @@ struct LossyExperimentResult {
 LossyExperimentResult RunLossyGtmExperiment(
     const GtmExperimentSpec& spec, const ChannelSpec& channel,
     const gtm::GtmOptions& options = {});
+
+// Sharded-cluster variant of the Sec. VI-B experiment: the same arrival
+// sequence runs against `num_shards` independent GTM shards behind a
+// GtmRouter, objects placed by the cluster's hash partitioner. With
+// probability `cross_shard_ratio` a subtraction transaction books a second
+// object owned by a *different* shard, committing through the coordinator's
+// two-phase protocol; everything else stays single-shard (one-phase fast
+// path). Disconnections sleep/awake cluster-wide.
+struct ShardedExperimentSpec {
+  GtmExperimentSpec base;
+  size_t num_shards = 4;
+  double cross_shard_ratio = 0.0;  // P(second step on another shard).
+  // Waiting transactions older than this are aborted by the router sweep —
+  // the mechanism that also breaks cross-shard deadlock cycles, which the
+  // per-shard waits-for graphs cannot see. <= 0 disables the sweep.
+  Duration wait_timeout = 30.0;
+};
+
+struct ShardedExperimentResult {
+  RunStats run;
+  // Per-shard and merged GTM counters/histograms.
+  std::vector<gtm::GtmMetrics::Snapshot> shard_snapshots;
+  gtm::GtmMetrics::Snapshot aggregate;
+  cluster::ClusterCoordinator::Counters coordinator;
+  int64_t router_committed = 0;
+  int64_t router_aborted = 0;
+  int64_t cross_shard_planned = 0;  // Transactions planned with 2 shards.
+  // Ground truth per shard: quantity drained from that shard's rows.
+  std::vector<int64_t> consumed_by_shard;
+  int64_t quantity_consumed = 0;  // Sum over shards.
+};
+
+ShardedExperimentResult RunShardedGtmExperiment(
+    const ShardedExperimentSpec& spec, const gtm::GtmOptions& options = {});
 
 // Runs the same arrival sequence against the strict-2PL baseline.
 ExperimentResult RunTwoPlExperiment(const GtmExperimentSpec& spec,

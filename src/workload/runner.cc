@@ -21,6 +21,7 @@ void RunStats::Record(const SessionStats& s) {
     ++aborted;
     ++aborts_by_cause[s.cause];
     ++aborted_by_tag[s.tag];
+    ++aborted_by_tag_shard[{s.tag, s.shard}];
     if (s.disconnected) ++disconnected_aborted;
   }
   retries += s.retries;
@@ -29,7 +30,7 @@ void RunStats::Record(const SessionStats& s) {
 
 // --- GtmRunner ------------------------------------------------------------------
 
-GtmRunner::GtmRunner(gtm::Gtm* gtm, sim::Simulator* simulator,
+GtmRunner::GtmRunner(gtm::GtmEndpoint* gtm, sim::Simulator* simulator,
                      Duration wait_timeout)
     : gtm_(gtm), sim_(simulator), wait_timeout_(wait_timeout) {}
 

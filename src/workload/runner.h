@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -26,6 +27,9 @@ struct RunStats {
   // Per-class breakdown, keyed by the caller-defined plan tag.
   std::map<int, Histogram> latency_by_tag;  // Committed only.
   std::map<int, int64_t> aborted_by_tag;
+  // Aborts keyed by (tag, shard that raised the abort); shard is -1 for
+  // single-instance runs, so this degenerates to aborted_by_tag there.
+  std::map<std::pair<int, int>, int64_t> aborted_by_tag_shard;
   int64_t disconnected = 0;          // Sessions whose plan disconnected.
   int64_t disconnected_aborted = 0;  // ... and ended aborted.
   // Fault-tolerant transport only (zero otherwise).
@@ -66,7 +70,7 @@ struct RunStats {
 class GtmRunner {
  public:
   // `wait_timeout` <= 0 disables the timeout sweep.
-  GtmRunner(gtm::Gtm* gtm, sim::Simulator* simulator,
+  GtmRunner(gtm::GtmEndpoint* gtm, sim::Simulator* simulator,
             Duration wait_timeout = 0);
 
   GtmRunner(const GtmRunner&) = delete;
@@ -103,7 +107,7 @@ class GtmRunner {
   void Pump();
   void SweepTimeouts();
 
-  gtm::Gtm* gtm_;
+  gtm::GtmEndpoint* gtm_;
   sim::Simulator* sim_;
   Duration wait_timeout_;
   std::vector<std::unique_ptr<mobile::GtmSession>> sessions_;

@@ -1,5 +1,8 @@
 #include "workload/travel_agency.h"
 
+#include <memory>
+
+#include "cluster/router.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "semantics/operation.h"
@@ -49,7 +52,51 @@ Status RegisterCounters(gtm::Gtm* gtm, const std::string& table,
   return Status::Ok();
 }
 
+Status BuildCounterTableCluster(cluster::GtmCluster* cluster,
+                                const std::string& table,
+                                const std::string& counter_name, size_t rows,
+                                int64_t initial) {
+  PRESERIAL_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Create(
+          {
+              ColumnDef{"id", ValueType::kInt64, false},
+              ColumnDef{counter_name, ValueType::kInt64, false},
+          },
+          /*primary_key=*/0));
+  PRESERIAL_RETURN_IF_ERROR(cluster->CreateTableAllShards(table, schema));
+  for (size_t s = 0; s < cluster->num_shards(); ++s) {
+    PRESERIAL_RETURN_IF_ERROR(cluster->db(s)->AddConstraint(
+        table, CheckConstraint(table + "_nonneg", kAvailabilityColumn,
+                               CompareOp::kGe, Value::Int(0))));
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    const gtm::ObjectId oid = StrFormat("%s/%zu", table.c_str(), i);
+    const Value key = Value::Int(static_cast<int64_t>(i));
+    PRESERIAL_RETURN_IF_ERROR(cluster->db(cluster->ShardOf(oid))->InsertRow(
+        table, Row({key, Value::Int(initial)})));
+    PRESERIAL_RETURN_IF_ERROR(
+        cluster->RegisterObject(oid, table, key, {kAvailabilityColumn}));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+Status BuildTravelAgencyCluster(cluster::GtmCluster* cluster,
+                                const TravelAgencyConfig& config) {
+  PRESERIAL_RETURN_IF_ERROR(BuildCounterTableCluster(
+      cluster, kFlightsTable, "free_tickets", config.num_flights,
+      config.seats_per_flight));
+  PRESERIAL_RETURN_IF_ERROR(BuildCounterTableCluster(
+      cluster, kHotelsTable, "free_rooms", config.num_hotels,
+      config.rooms_per_hotel));
+  PRESERIAL_RETURN_IF_ERROR(BuildCounterTableCluster(
+      cluster, kMuseumsTable, "free_tickets", config.num_museums,
+      config.tickets_per_museum));
+  return BuildCounterTableCluster(cluster, kCarsTable, "free_cars",
+                                  config.num_cars, config.cars_per_depot);
+}
 
 Status BuildTravelAgencyDatabase(storage::Database* db,
                                  const TravelAgencyConfig& config) {
@@ -145,14 +192,35 @@ std::vector<std::pair<std::string, int64_t>> Stops(const TourPlan& tour) {
 TourResult RunGtmTourExperiment(const TourWorkloadSpec& spec,
                                 const gtm::GtmOptions& options) {
   Rng rng(spec.seed);
-  storage::Database db;
-  PRESERIAL_CHECK(db.Open().ok());
-  PRESERIAL_CHECK(BuildTravelAgencyDatabase(&db, spec.agency).ok());
-
   sim::Simulator simulator;
-  gtm::Gtm gtm(&db, simulator.clock(), options);
-  PRESERIAL_CHECK(RegisterTravelObjects(&gtm, spec.agency).ok());
-  GtmRunner runner(&gtm, &simulator);
+
+  // Single-instance GTM or sharded cluster behind a router; the sessions
+  // speak GtmEndpoint either way.
+  storage::Database db;
+  std::unique_ptr<gtm::Gtm> single;
+  std::unique_ptr<cluster::GtmCluster> shards;
+  std::unique_ptr<storage::MemoryWalStorage> coordinator_wal;
+  std::unique_ptr<cluster::ClusterCoordinator> coordinator;
+  std::unique_ptr<cluster::GtmRouter> router;
+  gtm::GtmEndpoint* endpoint = nullptr;
+  if (spec.num_shards > 1) {
+    shards = std::make_unique<cluster::GtmCluster>(
+        spec.num_shards, simulator.clock(), options);
+    PRESERIAL_CHECK(BuildTravelAgencyCluster(shards.get(), spec.agency).ok());
+    coordinator_wal = std::make_unique<storage::MemoryWalStorage>();
+    coordinator = std::make_unique<cluster::ClusterCoordinator>(
+        shards.get(), coordinator_wal.get());
+    router =
+        std::make_unique<cluster::GtmRouter>(shards.get(), coordinator.get());
+    endpoint = router.get();
+  } else {
+    PRESERIAL_CHECK(db.Open().ok());
+    PRESERIAL_CHECK(BuildTravelAgencyDatabase(&db, spec.agency).ok());
+    single = std::make_unique<gtm::Gtm>(&db, simulator.clock(), options);
+    PRESERIAL_CHECK(RegisterTravelObjects(single.get(), spec.agency).ok());
+    endpoint = single.get();
+  }
+  GtmRunner runner(endpoint, &simulator);
 
   for (const PlannedTour& p : BuildTours(spec, &rng)) {
     mobile::MultiTxnPlan plan;
@@ -163,8 +231,12 @@ TourResult RunGtmTourExperiment(const TourWorkloadSpec& spec,
       step.member = 0;
       step.op = semantics::Operation::Sub(storage::Value::Int(1));
       step.think_time = spec.think_time;
+      if (shards != nullptr) {
+        step.shard = static_cast<int>(shards->ShardOf(step.object));
+      }
       plan.steps.push_back(std::move(step));
     }
+    if (!plan.steps.empty()) plan.shard = plan.steps.front().shard;
     plan.final_think = spec.final_think;
     plan.disconnect = p.disconnect;
     runner.AddMultiSession(std::move(plan), p.arrival);
@@ -172,11 +244,17 @@ TourResult RunGtmTourExperiment(const TourWorkloadSpec& spec,
 
   TourResult result;
   result.run = runner.Run();
-  const gtm::GtmCounters& c = gtm.metrics().counters();
+  const gtm::GtmCounters c = shards != nullptr
+                                 ? shards->AggregateSnapshot().counters
+                                 : single->metrics().counters();
   result.waits = c.waits;
   result.shared_grants = c.shared_grants;
   result.awake_aborts = c.awake_aborts;
   result.deadlocks = c.deadlock_refusals;
+  if (coordinator != nullptr) {
+    result.coordinator_commits = coordinator->counters().commits;
+    result.coordinator_aborts = coordinator->counters().aborts;
+  }
   return result;
 }
 

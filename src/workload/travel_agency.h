@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cluster/cluster.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "gtm/gtm.h"
@@ -43,6 +44,13 @@ Status BuildTravelAgencyDatabase(storage::Database* db,
 // ("flights/3", "hotels/0", ...).
 Status RegisterTravelObjects(gtm::Gtm* gtm, const TravelAgencyConfig& config);
 
+// Sharded variant: creates every counter table on every shard, inserts each
+// row only into its owning shard's database and registers the counter
+// object there. After this a package tour's four stops typically span
+// several shards, so its commit exercises the coordinator's 2PC.
+Status BuildTravelAgencyCluster(cluster::GtmCluster* cluster,
+                                const TravelAgencyConfig& config);
+
 gtm::ObjectId FlightObject(size_t i);
 gtm::ObjectId HotelObject(size_t i);
 gtm::ObjectId MuseumObject(size_t i);
@@ -78,6 +86,9 @@ struct TourWorkloadSpec {
   Duration final_think = 1.0;   // Before the commit.
   double beta = 0.1;            // P(disconnection) per tour.
   Duration disconnect_mean = 10.0;
+  // > 1 runs the same tours against a sharded cluster behind a GtmRouter
+  // (objects hash-partitioned, cross-shard tours commit via 2PC).
+  size_t num_shards = 1;
   uint64_t seed = 42;
 };
 
@@ -87,6 +98,9 @@ struct TourResult {
   int64_t shared_grants = 0;  // GTM only.
   int64_t awake_aborts = 0;   // GTM only.
   int64_t deadlocks = 0;
+  // Sharded runs only: outcomes of cross-shard (multi-branch) commits.
+  int64_t coordinator_commits = 0;
+  int64_t coordinator_aborts = 0;
 };
 
 TourResult RunGtmTourExperiment(const TourWorkloadSpec& spec,

@@ -1,0 +1,302 @@
+// GtmRouter: global transactions fanned out over shard branches — lazy
+// branch creation, the single-branch fast path vs. two-phase commit,
+// cluster-wide Sleep/Awake with sibling invalidation, idempotent *Once
+// dedup, and branch-to-global translation of events and timeout victims.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/coordinator.h"
+#include "cluster/router.h"
+#include "common/clock.h"
+#include "common/strings.h"
+#include "gtm/txn_state.h"
+#include "semantics/operation.h"
+#include "storage/wal.h"
+
+namespace preserial::cluster {
+namespace {
+
+using gtm::TxnState;
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+constexpr char kTable[] = "resources";
+constexpr size_t kNumObjects = 24;
+
+gtm::ObjectId ObjectIdFor(size_t i) { return StrFormat("%s/%zu", kTable, i); }
+
+class ClusterRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Build(3); }
+
+  void Build(size_t num_shards) {
+    cluster_ = std::make_unique<GtmCluster>(num_shards, &clock_);
+    Result<Schema> schema = Schema::Create(
+        {
+            ColumnDef{"id", ValueType::kInt64, false},
+            ColumnDef{"qty", ValueType::kInt64, false},
+        },
+        /*primary_key=*/0);
+    ASSERT_TRUE(schema.ok());
+    ASSERT_TRUE(
+        cluster_->CreateTableAllShards(kTable, std::move(schema).value()).ok());
+    for (size_t i = 0; i < kNumObjects; ++i) {
+      const gtm::ObjectId oid = ObjectIdFor(i);
+      const Value key = Value::Int(static_cast<int64_t>(i));
+      ASSERT_TRUE(cluster_->db(cluster_->ShardOf(oid))
+                      ->InsertRow(kTable, Row({key, Value::Int(1000)}))
+                      .ok());
+      ASSERT_TRUE(cluster_->RegisterObject(oid, kTable, key, {1}).ok());
+    }
+    wal_ = std::make_unique<storage::MemoryWalStorage>();
+    coordinator_ =
+        std::make_unique<ClusterCoordinator>(cluster_.get(), wal_.get());
+    router_ = std::make_unique<GtmRouter>(cluster_.get(), coordinator_.get());
+  }
+
+  gtm::ObjectId ObjectOnShard(ShardId shard, size_t skip = 0) const {
+    for (size_t i = 0; i < kNumObjects; ++i) {
+      if (cluster_->ShardOf(ObjectIdFor(i)) == shard) {
+        if (skip == 0) return ObjectIdFor(i);
+        --skip;
+      }
+    }
+    ADD_FAILURE() << "no object on shard " << shard;
+    return "";
+  }
+
+  int64_t QtyOf(const gtm::ObjectId& oid) const {
+    Result<Value> v = cluster_->PermanentValue(oid, 0);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return v.ok() ? v.value().as_int() : -1;
+  }
+
+  TxnState BranchState(TxnId global, ShardId shard) const {
+    Result<TxnId> branch = router_->BranchOf(global, shard);
+    EXPECT_TRUE(branch.ok());
+    return cluster_->shard(shard)->StateOf(branch.value()).value();
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<GtmCluster> cluster_;
+  std::unique_ptr<storage::MemoryWalStorage> wal_;
+  std::unique_ptr<ClusterCoordinator> coordinator_;
+  std::unique_ptr<GtmRouter> router_;
+};
+
+TEST_F(ClusterRouterTest, BranchesOpenLazilyPerShard) {
+  const TxnId t = router_->Begin();
+  EXPECT_EQ(router_->BranchCount(t), 0u);
+  EXPECT_EQ(router_->StateOf(t).value(), TxnState::kActive);
+
+  const gtm::ObjectId a0 = ObjectOnShard(0), a1 = ObjectOnShard(0, 1);
+  const gtm::ObjectId b0 = ObjectOnShard(1);
+  ASSERT_TRUE(router_->Invoke(t, a0, 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(router_->BranchCount(t), 1u);
+  // A second object on the same shard rides the existing branch.
+  ASSERT_TRUE(router_->Invoke(t, a1, 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(router_->BranchCount(t), 1u);
+  ASSERT_TRUE(router_->Invoke(t, b0, 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(router_->BranchCount(t), 2u);
+
+  EXPECT_TRUE(router_->BranchOf(t, 0).ok());
+  EXPECT_TRUE(router_->BranchOf(t, 1).ok());
+  EXPECT_EQ(router_->BranchOf(t, 2).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ClusterRouterTest, SingleBranchCommitSkipsTwoPhase) {
+  const TxnId t = router_->Begin();
+  const gtm::ObjectId a = ObjectOnShard(0);
+  ASSERT_TRUE(router_->Invoke(t, a, 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(router_->RequestCommit(t).ok());
+
+  EXPECT_EQ(QtyOf(a), 999);
+  EXPECT_EQ(router_->StateOf(t).value(), TxnState::kCommitted);
+  EXPECT_EQ(router_->committed(), 1);
+  // The fast path never touched the coordinator.
+  EXPECT_EQ(coordinator_->counters().commits, 0);
+}
+
+TEST_F(ClusterRouterTest, MultiBranchCommitRunsTwoPhase) {
+  const TxnId t = router_->Begin();
+  const gtm::ObjectId a = ObjectOnShard(0), b = ObjectOnShard(1);
+  ASSERT_TRUE(router_->Invoke(t, a, 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(router_->Invoke(t, b, 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(router_->RequestCommit(t).ok());
+
+  EXPECT_EQ(QtyOf(a), 999);
+  EXPECT_EQ(QtyOf(b), 999);
+  EXPECT_EQ(router_->StateOf(t).value(), TxnState::kCommitted);
+  EXPECT_EQ(coordinator_->counters().commits, 1);
+  EXPECT_EQ(BranchState(t, 0), TxnState::kCommitted);
+  EXPECT_EQ(BranchState(t, 1), TxnState::kCommitted);
+}
+
+TEST_F(ClusterRouterTest, CommitRequiresALiveTransaction) {
+  const TxnId t = router_->Begin();
+  ASSERT_TRUE(router_->RequestCommit(t).ok());  // Zero branches: trivial.
+  EXPECT_EQ(router_->RequestCommit(t).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(router_->RequestCommit(9999).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ClusterRouterTest, AbortFansOutToEveryBranch) {
+  const TxnId t = router_->Begin();
+  const gtm::ObjectId a = ObjectOnShard(0), b = ObjectOnShard(1);
+  ASSERT_TRUE(router_->Invoke(t, a, 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(router_->Invoke(t, b, 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(router_->RequestAbort(t).ok());
+
+  EXPECT_EQ(router_->StateOf(t).value(), TxnState::kAborted);
+  EXPECT_EQ(BranchState(t, 0), TxnState::kAborted);
+  EXPECT_EQ(BranchState(t, 1), TxnState::kAborted);
+  EXPECT_EQ(QtyOf(a), 1000);
+  EXPECT_EQ(QtyOf(b), 1000);
+  EXPECT_EQ(router_->aborted(), 1);
+}
+
+TEST_F(ClusterRouterTest, SleepAndAwakeAreClusterWide) {
+  const TxnId t = router_->Begin();
+  const gtm::ObjectId a = ObjectOnShard(0), b = ObjectOnShard(1);
+  ASSERT_TRUE(router_->Invoke(t, a, 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(router_->Invoke(t, b, 0, Operation::Sub(Value::Int(1))).ok());
+
+  ASSERT_TRUE(router_->Sleep(t).ok());
+  EXPECT_EQ(router_->StateOf(t).value(), TxnState::kSleeping);
+  EXPECT_EQ(BranchState(t, 0), TxnState::kSleeping);
+  EXPECT_EQ(BranchState(t, 1), TxnState::kSleeping);
+
+  clock_.Advance(100.0);
+  ASSERT_TRUE(router_->Awake(t).ok());
+  EXPECT_EQ(router_->StateOf(t).value(), TxnState::kActive);
+  ASSERT_TRUE(router_->RequestCommit(t).ok());
+  EXPECT_EQ(QtyOf(a), 999);
+  EXPECT_EQ(QtyOf(b), 999);
+}
+
+TEST_F(ClusterRouterTest, AwakeAbortOnOneShardInvalidatesSiblings) {
+  const TxnId sleeper = router_->Begin();
+  const gtm::ObjectId a = ObjectOnShard(0), b = ObjectOnShard(1);
+  ASSERT_TRUE(
+      router_->Invoke(sleeper, a, 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(
+      router_->Invoke(sleeper, b, 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(router_->Sleep(sleeper).ok());
+
+  // While the sleeper is disconnected, an incompatible Assign commits on
+  // shard 0 — Algorithm 9's staleness check must abort the sleeper there.
+  clock_.Advance(1.0);
+  const TxnId admin = router_->Begin();
+  ASSERT_TRUE(
+      router_->Invoke(admin, a, 0, Operation::Assign(Value::Int(5))).ok());
+  ASSERT_TRUE(router_->RequestCommit(admin).ok());
+
+  EXPECT_EQ(router_->Awake(sleeper).code(), StatusCode::kAborted);
+  EXPECT_EQ(router_->StateOf(sleeper).value(), TxnState::kAborted);
+  // The healthy shard's branch was taken down with it.
+  EXPECT_EQ(BranchState(sleeper, 1), TxnState::kAborted);
+  EXPECT_EQ(QtyOf(b), 1000);
+  EXPECT_EQ(router_->aborted(), 1);
+}
+
+TEST_F(ClusterRouterTest, SleepBeforeAnyBranchParksAtTheRouter) {
+  const TxnId t = router_->Begin();
+  ASSERT_TRUE(router_->Sleep(t).ok());
+  EXPECT_EQ(router_->StateOf(t).value(), TxnState::kSleeping);
+  // Operations are refused while asleep, as on a single Gtm.
+  EXPECT_FALSE(
+      router_->Invoke(t, ObjectOnShard(0), 0, Operation::Sub(Value::Int(1)))
+          .ok());
+  ASSERT_TRUE(router_->Awake(t).ok());
+  EXPECT_EQ(router_->StateOf(t).value(), TxnState::kActive);
+  const gtm::ObjectId a = ObjectOnShard(0);
+  ASSERT_TRUE(router_->Invoke(t, a, 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(router_->RequestCommit(t).ok());
+  EXPECT_EQ(QtyOf(a), 999);
+}
+
+TEST_F(ClusterRouterTest, CommitOnceDedupsTheFanOut) {
+  const TxnId t = router_->Begin();
+  const gtm::ObjectId a = ObjectOnShard(0), b = ObjectOnShard(1);
+  ASSERT_TRUE(router_->Invoke(t, a, 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(router_->Invoke(t, b, 0, Operation::Sub(Value::Int(1))).ok());
+
+  const Status first = router_->CommitOnce(t, 7);
+  ASSERT_TRUE(first.ok());
+  // Redelivery: cached reply, no second two-phase commit, no double effect.
+  const Status again = router_->CommitOnce(t, 7);
+  EXPECT_EQ(again.code(), first.code());
+  EXPECT_EQ(coordinator_->counters().commits, 1);
+  EXPECT_EQ(router_->committed(), 1);
+  EXPECT_EQ(QtyOf(a), 999);
+  EXPECT_EQ(QtyOf(b), 999);
+}
+
+TEST_F(ClusterRouterTest, InvokeOnceForwardsSeqToTheOwningShard) {
+  const TxnId t = router_->Begin();
+  const gtm::ObjectId a = ObjectOnShard(0);
+  ASSERT_TRUE(
+      router_->InvokeOnce(t, 1, a, 0, Operation::Sub(Value::Int(1))).ok());
+  // Same seq redelivered: suppressed by the shard's reply cache.
+  ASSERT_TRUE(
+      router_->InvokeOnce(t, 1, a, 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(router_->RequestCommit(t).ok());
+  EXPECT_EQ(QtyOf(a), 999);  // One unit, not two.
+}
+
+TEST_F(ClusterRouterTest, TakeEventsTranslatesBranchIdsToGlobals) {
+  const gtm::ObjectId a = ObjectOnShard(0);
+  const TxnId holder = router_->Begin();
+  ASSERT_TRUE(
+      router_->Invoke(holder, a, 0, Operation::Assign(Value::Int(500))).ok());
+
+  const TxnId waiter = router_->Begin();
+  EXPECT_EQ(router_->Invoke(waiter, a, 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+  EXPECT_EQ(router_->StateOf(waiter).value(), TxnState::kWaiting);
+
+  ASSERT_TRUE(router_->RequestCommit(holder).ok());
+  std::vector<gtm::GtmEvent> events = router_->TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  // The admission event names the *global* transaction, not the branch.
+  EXPECT_EQ(events[0].txn, waiter);
+  EXPECT_EQ(events[0].object, a);
+  EXPECT_EQ(router_->StateOf(waiter).value(), TxnState::kActive);
+}
+
+TEST_F(ClusterRouterTest, ExpiredWaitTakesDownSiblingBranches) {
+  const gtm::ObjectId a = ObjectOnShard(0), b = ObjectOnShard(1);
+  const TxnId holder = router_->Begin();
+  ASSERT_TRUE(
+      router_->Invoke(holder, a, 0, Operation::Assign(Value::Int(500))).ok());
+
+  // The waiter first does useful work on shard 1, then blocks on shard 0.
+  const TxnId waiter = router_->Begin();
+  ASSERT_TRUE(
+      router_->Invoke(waiter, b, 0, Operation::Sub(Value::Int(1))).ok());
+  EXPECT_EQ(router_->Invoke(waiter, a, 0, Operation::Sub(Value::Int(1))).code(),
+            StatusCode::kWaiting);
+
+  clock_.Advance(60.0);
+  std::vector<TxnId> victims = router_->AbortExpiredWaits(30.0);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], waiter);  // Global id, not the shard-0 branch id.
+  EXPECT_EQ(router_->StateOf(waiter).value(), TxnState::kAborted);
+  EXPECT_EQ(BranchState(waiter, 1), TxnState::kAborted);
+  EXPECT_EQ(QtyOf(b), 1000);
+  // The holder is untouched and can still commit.
+  ASSERT_TRUE(router_->RequestCommit(holder).ok());
+}
+
+}  // namespace
+}  // namespace preserial::cluster

@@ -1,0 +1,181 @@
+// ClusterService under real threads: workers hammer their home shards with
+// single-shard commits and occasionally book cross-shard pairs through the
+// embedded coordinator. Per-shard locking must keep every shard's Gtm
+// single-threaded inside its lock (TSan verifies this leg in CI), and the
+// per-shard conservation equation must come out exact after the join.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/service.h"
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "semantics/operation.h"
+#include "storage/wal.h"
+
+namespace preserial::cluster {
+namespace {
+
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+constexpr char kTable[] = "resources";
+constexpr size_t kShards = 3;
+constexpr size_t kObjects = 24;
+constexpr int64_t kInitialQty = 1000000;
+
+gtm::ObjectId ObjectIdFor(size_t i) { return StrFormat("%s/%zu", kTable, i); }
+
+class ClusterServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<GtmCluster>(kShards, &clock_);
+    Result<Schema> schema = Schema::Create(
+        {
+            ColumnDef{"id", ValueType::kInt64, false},
+            ColumnDef{"qty", ValueType::kInt64, false},
+        },
+        /*primary_key=*/0);
+    ASSERT_TRUE(schema.ok());
+    ASSERT_TRUE(
+        cluster_->CreateTableAllShards(kTable, std::move(schema).value()).ok());
+    for (size_t i = 0; i < kObjects; ++i) {
+      const gtm::ObjectId oid = ObjectIdFor(i);
+      const Value key = Value::Int(static_cast<int64_t>(i));
+      ASSERT_TRUE(
+          cluster_->db(cluster_->ShardOf(oid))
+              ->InsertRow(kTable, Row({key, Value::Int(kInitialQty)}))
+              .ok());
+      ASSERT_TRUE(cluster_->RegisterObject(oid, kTable, key, {1}).ok());
+      objects_by_shard_[cluster_->ShardOf(oid)].push_back(oid);
+    }
+    for (size_t s = 0; s < kShards; ++s) {
+      ASSERT_FALSE(objects_by_shard_[s].empty()) << "shard " << s;
+    }
+    service_ = std::make_unique<ClusterService>(cluster_.get(), &wal_);
+  }
+
+  int64_t ConsumedOnShard(ShardId shard) const {
+    int64_t consumed = 0;
+    for (size_t i = 0; i < kObjects; ++i) {
+      const gtm::ObjectId oid = ObjectIdFor(i);
+      if (cluster_->ShardOf(oid) != shard) continue;
+      Result<Value> qty =
+          cluster_->db(shard)->GetTable(kTable).value()->GetColumnByKey(
+              Value::Int(static_cast<int64_t>(i)), 1);
+      EXPECT_TRUE(qty.ok());
+      consumed += kInitialQty - qty.value().as_int();
+    }
+    return consumed;
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<GtmCluster> cluster_;
+  storage::MemoryWalStorage wal_;
+  std::unique_ptr<ClusterService> service_;
+  std::vector<gtm::ObjectId> objects_by_shard_[kShards];
+};
+
+TEST_F(ClusterServiceTest, ConcurrentWorkersConserveQuantityPerShard) {
+  constexpr int kWorkers = 4;
+  constexpr int kItersPerWorker = 400;
+  constexpr double kCrossRatio = 0.15;
+
+  // booked[w][s]: units worker w committed on shard s (thread-private
+  // until the join, so no synchronization needed).
+  std::vector<std::vector<int64_t>> booked(kWorkers,
+                                           std::vector<int64_t>(kShards, 0));
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([this, w, &booked] {
+      Rng rng(1000 + w);
+      const ShardId home = static_cast<ShardId>(w) % kShards;
+      for (int iter = 0; iter < kItersPerWorker; ++iter) {
+        const gtm::ObjectId& oid = objects_by_shard_[home][rng.NextBounded(
+            objects_by_shard_[home].size())];
+        const TxnId branch = service_->Begin(home);
+        Status s = service_->Invoke(home, branch, oid, 0,
+                                    Operation::Sub(Value::Int(1)));
+        PRESERIAL_CHECK(s.ok()) << s.ToString();
+        if (rng.NextBool(kCrossRatio)) {
+          // Book a matching unit on the next shard and commit both
+          // atomically through the coordinator.
+          const ShardId other = (home + 1) % kShards;
+          const gtm::ObjectId& oid2 = objects_by_shard_[other][rng.NextBounded(
+              objects_by_shard_[other].size())];
+          const TxnId branch2 = service_->Begin(other);
+          s = service_->Invoke(other, branch2, oid2, 0,
+                               Operation::Sub(Value::Int(1)));
+          PRESERIAL_CHECK(s.ok()) << s.ToString();
+          s = service_->CommitGlobal({{home, branch}, {other, branch2}});
+          PRESERIAL_CHECK(s.ok()) << s.ToString();
+          ++booked[w][home];
+          ++booked[w][other];
+        } else {
+          s = service_->RequestCommit(home, branch);
+          PRESERIAL_CHECK(s.ok()) << s.ToString();
+          ++booked[w][home];
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  int64_t total_booked = 0;
+  for (ShardId s = 0; s < kShards; ++s) {
+    int64_t booked_here = 0;
+    for (int w = 0; w < kWorkers; ++w) booked_here += booked[w][s];
+    EXPECT_EQ(ConsumedOnShard(s), booked_here) << "shard " << s;
+    total_booked += booked_here;
+  }
+
+  // Cross-checks against the shard metrics and the coordinator's tally.
+  const gtm::GtmMetrics::Snapshot agg = cluster_->AggregateSnapshot();
+  EXPECT_EQ(agg.counters.committed, total_booked);
+  EXPECT_GT(service_->coordinator().counters().commits, 0);
+  EXPECT_EQ(service_->coordinator().counters().aborts, 0);
+}
+
+TEST_F(ClusterServiceTest, ThreadedAbortsLeaveNoResidue) {
+  constexpr int kWorkers = 3;
+  constexpr int kItersPerWorker = 200;
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([this, w] {
+      Rng rng(77 + w);
+      const ShardId home = static_cast<ShardId>(w) % kShards;
+      for (int iter = 0; iter < kItersPerWorker; ++iter) {
+        const gtm::ObjectId& oid = objects_by_shard_[home][rng.NextBounded(
+            objects_by_shard_[home].size())];
+        const TxnId branch = service_->Begin(home);
+        PRESERIAL_CHECK(service_
+                            ->Invoke(home, branch, oid, 0,
+                                     Operation::Sub(Value::Int(1)))
+                            .ok());
+        PRESERIAL_CHECK(service_->RequestAbort(home, branch).ok());
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  for (ShardId s = 0; s < kShards; ++s) {
+    EXPECT_EQ(ConsumedOnShard(s), 0) << "shard " << s;
+  }
+  EXPECT_EQ(cluster_->AggregateSnapshot().counters.committed, 0);
+}
+
+}  // namespace
+}  // namespace preserial::cluster

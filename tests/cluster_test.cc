@@ -1,0 +1,282 @@
+// GtmCluster + ClusterCoordinator: shard-routed registration, cross-shard
+// two-phase commit over per-shard SSTs, no-vote aborts, injected
+// coordinator crashes with WAL-driven recovery, and per-shard metrics
+// merging.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/coordinator.h"
+#include "common/clock.h"
+#include "common/strings.h"
+#include "gtm/txn_state.h"
+#include "semantics/operation.h"
+#include "storage/wal.h"
+
+namespace preserial::cluster {
+namespace {
+
+using gtm::TxnState;
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+constexpr char kTable[] = "resources";
+constexpr size_t kNumObjects = 16;
+
+gtm::ObjectId ObjectIdFor(size_t i) { return StrFormat("%s/%zu", kTable, i); }
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void Build(size_t num_shards, int64_t initial_qty = 1000,
+             bool with_constraint = false) {
+    cluster_ = std::make_unique<GtmCluster>(num_shards, &clock_);
+    Result<Schema> schema = Schema::Create(
+        {
+            ColumnDef{"id", ValueType::kInt64, false},
+            ColumnDef{"qty", ValueType::kInt64, false},
+        },
+        /*primary_key=*/0);
+    ASSERT_TRUE(schema.ok());
+    ASSERT_TRUE(
+        cluster_->CreateTableAllShards(kTable, std::move(schema).value()).ok());
+    if (with_constraint) {
+      for (size_t s = 0; s < num_shards; ++s) {
+        ASSERT_TRUE(cluster_->db(s)
+                        ->AddConstraint(
+                            kTable, storage::CheckConstraint(
+                                        "qty_nonneg", 1, storage::CompareOp::kGe,
+                                        Value::Int(0)))
+                        .ok());
+      }
+    }
+    for (size_t i = 0; i < kNumObjects; ++i) {
+      const gtm::ObjectId oid = ObjectIdFor(i);
+      const Value key = Value::Int(static_cast<int64_t>(i));
+      ASSERT_TRUE(cluster_->db(cluster_->ShardOf(oid))
+                      ->InsertRow(kTable, Row({key, Value::Int(initial_qty)}))
+                      .ok());
+      ASSERT_TRUE(cluster_->RegisterObject(oid, kTable, key, {1}).ok());
+    }
+  }
+
+  // Some object owned by `shard` (the fixture has enough objects that every
+  // small shard count owns at least one).
+  gtm::ObjectId ObjectOnShard(ShardId shard) const {
+    for (size_t i = 0; i < kNumObjects; ++i) {
+      if (cluster_->ShardOf(ObjectIdFor(i)) == shard) return ObjectIdFor(i);
+    }
+    ADD_FAILURE() << "no object on shard " << shard;
+    return "";
+  }
+
+  int64_t QtyOf(const gtm::ObjectId& oid) const {
+    Result<Value> v = cluster_->PermanentValue(oid, 0);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return v.ok() ? v.value().as_int() : -1;
+  }
+
+  // Opens a branch on the object's owner and books one unit.
+  std::pair<ShardId, TxnId> BookOne(const gtm::ObjectId& oid) {
+    const ShardId shard = cluster_->ShardOf(oid);
+    const TxnId branch = cluster_->shard(shard)->Begin();
+    Status s = cluster_->shard(shard)->Invoke(branch, oid, 0,
+                                              Operation::Sub(Value::Int(1)));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return {shard, branch};
+  }
+
+  TxnState StateOf(ShardId shard, TxnId branch) const {
+    Result<TxnState> st = cluster_->shard(shard)->StateOf(branch);
+    EXPECT_TRUE(st.ok());
+    return st.value();
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<GtmCluster> cluster_;
+};
+
+TEST_F(ClusterTest, RegistrationRoutesToOwningShard) {
+  Build(3);
+  for (size_t i = 0; i < kNumObjects; ++i) {
+    const gtm::ObjectId oid = ObjectIdFor(i);
+    const ShardId owner = cluster_->ShardOf(oid);
+    // The row exists only in the owner's database.
+    for (size_t s = 0; s < 3; ++s) {
+      Result<Value> v = cluster_->db(s)->GetTable(kTable).value()->GetColumnByKey(
+          Value::Int(static_cast<int64_t>(i)), 1);
+      EXPECT_EQ(v.ok(), s == owner) << "object " << oid << " shard " << s;
+    }
+    EXPECT_EQ(QtyOf(oid), 1000);
+  }
+}
+
+TEST_F(ClusterTest, TwoPhaseCommitAcrossShards) {
+  Build(2);
+  storage::MemoryWalStorage wal;
+  ClusterCoordinator coordinator(cluster_.get(), &wal);
+
+  const gtm::ObjectId a = ObjectOnShard(0), b = ObjectOnShard(1);
+  const auto [sa, ba] = BookOne(a);
+  const auto [sb, bb] = BookOne(b);
+
+  Status s = coordinator.CommitGlobal(1, {{sa, ba}, {sb, bb}});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(QtyOf(a), 999);
+  EXPECT_EQ(QtyOf(b), 999);
+  EXPECT_EQ(StateOf(sa, ba), TxnState::kCommitted);
+  EXPECT_EQ(StateOf(sb, bb), TxnState::kCommitted);
+  EXPECT_EQ(coordinator.counters().commits, 1);
+  EXPECT_EQ(coordinator.counters().aborts, 0);
+}
+
+TEST_F(ClusterTest, NoVoteAbortsEveryBranch) {
+  // qty starts at 1 with a >= 0 constraint; a single-shard commit drains
+  // the object first, so the global transaction's reconciliation on that
+  // shard must fail validation and vote no.
+  Build(2, /*initial_qty=*/1, /*with_constraint=*/true);
+  storage::MemoryWalStorage wal;
+  ClusterCoordinator coordinator(cluster_.get(), &wal);
+
+  const gtm::ObjectId a = ObjectOnShard(0), b = ObjectOnShard(1);
+  const auto [sa, ba] = BookOne(a);
+  const auto [sb, bb] = BookOne(b);
+
+  // A competing transaction takes the last unit of `a` and commits.
+  const auto [sc, bc] = BookOne(a);
+  ASSERT_TRUE(cluster_->shard(sc)->RequestCommit(bc).ok());
+  ASSERT_EQ(QtyOf(a), 0);
+
+  Status s = coordinator.CommitGlobal(7, {{sa, ba}, {sb, bb}});
+  EXPECT_EQ(s.code(), StatusCode::kAborted) << s.ToString();
+  EXPECT_EQ(StateOf(sa, ba), TxnState::kAborted);
+  EXPECT_EQ(StateOf(sb, bb), TxnState::kAborted);
+  // Atomicity: the healthy shard's object kept its unit.
+  EXPECT_EQ(QtyOf(b), 1);
+  EXPECT_EQ(coordinator.counters().prepare_failures, 1);
+  EXPECT_EQ(coordinator.counters().aborts, 1);
+}
+
+TEST_F(ClusterTest, CrashAfterPrepareIsPresumedAbortOnRecovery) {
+  Build(2);
+  storage::MemoryWalStorage wal;
+  auto coordinator = std::make_unique<ClusterCoordinator>(cluster_.get(), &wal);
+
+  const gtm::ObjectId a = ObjectOnShard(0), b = ObjectOnShard(1);
+  const auto [sa, ba] = BookOne(a);
+  const auto [sb, bb] = BookOne(b);
+
+  coordinator->set_crash_point(CrashPoint::kAfterPrepare);
+  Status s = coordinator->CommitGlobal(1, {{sa, ba}, {sb, bb}});
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  // In doubt: both branches parked mid-commit, nothing installed.
+  EXPECT_EQ(StateOf(sa, ba), TxnState::kCommitting);
+  EXPECT_EQ(StateOf(sb, bb), TxnState::kCommitting);
+  EXPECT_EQ(QtyOf(a), 1000);
+
+  // The coordinator process dies; a successor over the same WAL takes over.
+  coordinator = std::make_unique<ClusterCoordinator>(cluster_.get(), &wal);
+  Result<ClusterCoordinator::RecoveryOutcome> out = coordinator->Recover();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().presumed_aborts, 1);
+  EXPECT_EQ(out.value().committed_forward, 0);
+  EXPECT_EQ(StateOf(sa, ba), TxnState::kAborted);
+  EXPECT_EQ(StateOf(sb, bb), TxnState::kAborted);
+  EXPECT_EQ(QtyOf(a), 1000);
+  EXPECT_EQ(QtyOf(b), 1000);
+}
+
+TEST_F(ClusterTest, CrashAfterDecisionIsDrivenForwardOnRecovery) {
+  Build(2);
+  storage::MemoryWalStorage wal;
+  auto coordinator = std::make_unique<ClusterCoordinator>(cluster_.get(), &wal);
+
+  const gtm::ObjectId a = ObjectOnShard(0), b = ObjectOnShard(1);
+  const auto [sa, ba] = BookOne(a);
+  const auto [sb, bb] = BookOne(b);
+
+  coordinator->set_crash_point(CrashPoint::kAfterDecision);
+  Status s = coordinator->CommitGlobal(1, {{sa, ba}, {sb, bb}});
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  // Decision was durable but no shard was driven.
+  EXPECT_EQ(StateOf(sa, ba), TxnState::kCommitting);
+  EXPECT_EQ(QtyOf(a), 1000);
+
+  coordinator = std::make_unique<ClusterCoordinator>(cluster_.get(), &wal);
+  Result<ClusterCoordinator::RecoveryOutcome> out = coordinator->Recover();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().committed_forward, 1);
+  EXPECT_EQ(out.value().presumed_aborts, 0);
+  EXPECT_EQ(StateOf(sa, ba), TxnState::kCommitted);
+  EXPECT_EQ(StateOf(sb, bb), TxnState::kCommitted);
+  EXPECT_EQ(QtyOf(a), 999);
+  EXPECT_EQ(QtyOf(b), 999);
+}
+
+TEST_F(ClusterTest, RecoverOnSettledLogIsANoOp) {
+  Build(2);
+  storage::MemoryWalStorage wal;
+  ClusterCoordinator coordinator(cluster_.get(), &wal);
+  const auto [sa, ba] = BookOne(ObjectOnShard(0));
+  const auto [sb, bb] = BookOne(ObjectOnShard(1));
+  ASSERT_TRUE(coordinator.CommitGlobal(1, {{sa, ba}, {sb, bb}}).ok());
+
+  ClusterCoordinator successor(cluster_.get(), &wal);
+  Result<ClusterCoordinator::RecoveryOutcome> out = successor.Recover();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().committed_forward, 0);
+  EXPECT_EQ(out.value().presumed_aborts, 0);
+}
+
+TEST_F(ClusterTest, AbortBranchHandlesEveryState) {
+  Build(1);
+  const gtm::ObjectId a = ObjectOnShard(0);
+
+  // Live branch: aborted outright.
+  const auto [s1, b1] = BookOne(a);
+  EXPECT_TRUE(cluster_->AbortBranch(s1, b1).ok());
+  EXPECT_EQ(StateOf(s1, b1), TxnState::kAborted);
+  // Aborting again is idempotent.
+  EXPECT_TRUE(cluster_->AbortBranch(s1, b1).ok());
+
+  // Prepared branch: rolled back from its parked state.
+  const auto [s2, b2] = BookOne(a);
+  ASSERT_TRUE(cluster_->Prepare(s2, b2).ok());
+  EXPECT_TRUE(cluster_->AbortBranch(s2, b2).ok());
+  EXPECT_EQ(StateOf(s2, b2), TxnState::kAborted);
+
+  // Committed branch: refused — the outcome is already installed.
+  const auto [s3, b3] = BookOne(a);
+  ASSERT_TRUE(cluster_->shard(s3)->RequestCommit(b3).ok());
+  EXPECT_EQ(cluster_->AbortBranch(s3, b3).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ClusterTest, SnapshotsMergeAcrossShards) {
+  Build(2);
+  const auto [sa, ba] = BookOne(ObjectOnShard(0));
+  const auto [sb, bb] = BookOne(ObjectOnShard(1));
+  ASSERT_TRUE(cluster_->shard(sa)->RequestCommit(ba).ok());
+  ASSERT_TRUE(cluster_->shard(sb)->RequestCommit(bb).ok());
+
+  EXPECT_EQ(cluster_->ShardSnapshot(0).counters.committed, 1);
+  EXPECT_EQ(cluster_->ShardSnapshot(1).counters.committed, 1);
+
+  const gtm::GtmMetrics::Snapshot agg = cluster_->AggregateSnapshot();
+  EXPECT_EQ(agg.counters.committed, 2);
+  EXPECT_EQ(agg.counters.begun, 2);
+  // Histograms merge sample-by-sample.
+  EXPECT_EQ(agg.execution_time.count(), 2);
+  // The merged summary renders without tripping any internal checks.
+  EXPECT_FALSE(agg.Summary().empty());
+}
+
+}  // namespace
+}  // namespace preserial::cluster

@@ -89,6 +89,26 @@ TEST(HistogramTest, SummaryMentionsCount) {
   EXPECT_NE(h.Summary().find("n=2"), std::string::npos);
 }
 
+TEST(HistogramTest, MergeFromCombinesSampleSets) {
+  Histogram a, b;
+  a.Add(1);
+  a.Add(3);
+  b.Add(2);
+  b.Add(100);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_DOUBLE_EQ(a.mean(), (1 + 3 + 2 + 100) / 4.0);
+  EXPECT_DOUBLE_EQ(a.p50(), 2.5);  // Percentiles see the merged samples.
+  EXPECT_EQ(b.count(), 2);         // The source is untouched.
+
+  // Merging an empty histogram is a no-op, either way around.
+  Histogram empty;
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.count(), 4);
+  empty.MergeFrom(a);
+  EXPECT_EQ(empty.count(), 4);
+}
+
 TEST(RateCounterTest, Basics) {
   RateCounter r;
   EXPECT_EQ(r.rate(), 0.0);
