@@ -36,19 +36,12 @@ int main() {
 
   const double loss_rates[] = {0.0, 0.1, 0.2, 0.3, 0.4};
 
-  bench::Banner(
-      "Ablation: channel loss rate — degrade-to-Sleep vs abort-on-loss");
-  bench::TablePrinter table({"loss", "sleep commit%", "abort commit%",
-                             "retries", "degrades", "dedup hits"},
-                            14);
-  table.PrintHeader();
-
-  struct RowOut {
-    double loss;
-    LossyExperimentResult degrade;
-    LossyExperimentResult naive;
-  };
-  std::vector<RowOut> rows;
+  bench::Report report("ablation_message_loss");
+  report.Section(
+      "Ablation: channel loss rate — degrade-to-Sleep vs abort-on-loss",
+      {"loss", "sleep commit%", "abort commit%", "retries", "degrades",
+       "dedup hits"},
+      14);
   for (double loss : loss_rates) {
     ChannelSpec c = channel;
     c.loss = loss;
@@ -57,40 +50,33 @@ int main() {
     c.degrade_to_sleep = false;
     const LossyExperimentResult naive = RunLossyGtmExperiment(base, c);
     const double n = static_cast<double>(base.num_txns);
-    table.PrintRow({bench::Num(loss, 2),
-                    bench::Num(100.0 * degrade.run.committed / n, 2),
-                    bench::Num(100.0 * naive.run.committed / n, 2),
-                    bench::Num(degrade.run.retries, 0),
-                    bench::Num(degrade.run.degraded_to_sleep, 0),
-                    bench::Num(degrade.duplicates_suppressed, 0)});
-    rows.push_back({loss, degrade, naive});
+    report.BeginRow();
+    report.Num("loss", loss, 2);
+    report.TableOnly(bench::Num(100.0 * degrade.run.committed / n, 2));
+    report.TableOnly(bench::Num(100.0 * naive.run.committed / n, 2));
+    report.TableOnly(bench::Num(degrade.run.retries, 0));
+    report.TableOnly(bench::Num(degrade.run.degraded_to_sleep, 0));
+    report.TableOnly(bench::Num(degrade.duplicates_suppressed, 0));
+    report.BeginObject("degrade_to_sleep");
+    report.JsonInt("committed", degrade.run.committed);
+    report.JsonInt("aborted", degrade.run.aborted);
+    report.JsonInt("retries", degrade.run.retries);
+    report.JsonInt("degrades", degrade.run.degraded_to_sleep);
+    report.JsonInt("duplicates_suppressed", degrade.duplicates_suppressed);
+    report.JsonInt("channel_dropped", degrade.channel.dropped);
+    report.EndObject();
+    report.BeginObject("abort_on_loss");
+    report.JsonInt("committed", naive.run.committed);
+    report.JsonInt("aborted", naive.run.aborted);
+    report.JsonInt("retries", naive.run.retries);
+    report.EndObject();
+    report.EndRow();
   }
 
-  std::puts(
-      "\nshape check: loss leaves the degrade-to-Sleep commit rate nearly "
+  report.Note(
+      "shape check: loss leaves the degrade-to-Sleep commit rate nearly "
       "flat (silent requests park and resume) while abort-on-loss decays "
       "with the chance that some request exhausts its budget.");
-
-  // Machine-readable mirror of the table.
-  bench::JsonRows json("ablation_message_loss");
-  for (const RowOut& r : rows) {
-    json.BeginRow();
-    json.Num("loss", r.loss, 2);
-    json.BeginObject("degrade_to_sleep");
-    json.Int("committed", r.degrade.run.committed);
-    json.Int("aborted", r.degrade.run.aborted);
-    json.Int("retries", r.degrade.run.retries);
-    json.Int("degrades", r.degrade.run.degraded_to_sleep);
-    json.Int("duplicates_suppressed", r.degrade.duplicates_suppressed);
-    json.Int("channel_dropped", r.degrade.channel.dropped);
-    json.EndObject();
-    json.BeginObject("abort_on_loss");
-    json.Int("committed", r.naive.run.committed);
-    json.Int("aborted", r.naive.run.aborted);
-    json.Int("retries", r.naive.run.retries);
-    json.EndObject();
-    json.EndRow();
-  }
-  json.Finish();
+  report.Finish();
   return 0;
 }

@@ -194,18 +194,22 @@ int main(int argc, char** argv) {
   }
   PRESERIAL_CHECK(!shard_counts.empty() && !ratios.empty());
 
+  // One writer for both tables and the JSON mirror; the two parts share the
+  // JSON stream, discriminated by the "mode" field. Simulated rows carry
+  // per-shard breakdowns: each shard's commit counter and the aborts
+  // attributed to the shard that raised them (aborted_by_tag_shard).
+  bench::Report report("ablation_shards");
+
   // --- part 1: wall-clock scaling over the threaded ClusterService ---------
   size_t num_workers = 1;
   for (size_t s : shard_counts) num_workers = std::max(num_workers, s);
-  bench::Banner(StrFormat(
-      "Ablation: shard count — wall-clock throughput (%zu worker threads)",
-      num_workers));
-  bench::TablePrinter wall_table(
+  report.Section(
+      StrFormat(
+          "Ablation: shard count — wall-clock throughput (%zu worker threads)",
+          num_workers),
       {"shards", "xshard ratio", "committed", "xshard txns", "txn/s",
        "speedup"},
       14);
-  wall_table.PrintHeader();
-  std::vector<WallResult> wall_rows;
   std::vector<double> base_rate(ratios.size(), 0.0);
   for (size_t s_idx = 0; s_idx < shard_counts.size(); ++s_idx) {
     for (size_t r_idx = 0; r_idx < ratios.size(); ++r_idx) {
@@ -216,32 +220,30 @@ int main(int argc, char** argv) {
       }
       const double speedup =
           base_rate[r_idx] > 0 ? r.Throughput() / base_rate[r_idx] : 0.0;
-      wall_table.PrintRow({bench::Num(r.shards, 0), bench::Num(r.ratio, 2),
-                           bench::Num(r.committed, 0),
-                           bench::Num(r.cross_committed, 0),
-                           bench::Num(r.Throughput(), 0),
-                           bench::Num(speedup, 2)});
-      wall_rows.push_back(r);
+      report.BeginRow();
+      report.JsonStr("mode", "wallclock");
+      report.TableOnly(bench::Num(r.shards, 0));
+      report.JsonInt("shards", static_cast<int64_t>(r.shards));
+      report.Num("cross_shard_ratio", r.ratio, 2);
+      report.Int("committed", r.committed);
+      report.Int("cross_shard_committed", r.cross_committed);
+      report.JsonNum("elapsed_s", r.elapsed, 4);
+      report.TableOnly(bench::Num(r.Throughput(), 0));
+      report.JsonNum("throughput", r.Throughput(), 1);
+      report.TableOnly(bench::Num(speedup, 2));
+      report.EndRow();
     }
   }
-  std::puts(
-      "\nshape check: at ratio 0 the shards share nothing and throughput "
+  report.Note(
+      "shape check: at ratio 0 the shards share nothing and throughput "
       "grows with the shard count; cross-shard transactions pay two "
       "prepares plus the serialized coordinator, flattening the curve.");
 
   // --- part 2: simulated Sec. VI-B workload over the router ----------------
-  bench::Banner("Ablation: cross-shard ratio — simulated workload (2PC)");
-  bench::TablePrinter sim_table(
-      {"shards", "xshard ratio", "commit%", "xshard planned", "2pc commits",
-       "2pc aborts", "consumed"},
-      15);
-  sim_table.PrintHeader();
-  struct SimRow {
-    size_t shards;
-    double ratio;
-    workload::ShardedExperimentResult result;
-  };
-  std::vector<SimRow> sim_rows;
+  report.Section("Ablation: cross-shard ratio — simulated workload (2PC)",
+                 {"shards", "xshard ratio", "commit%", "xshard planned",
+                  "2pc commits", "2pc aborts", "consumed"},
+                 15);
   for (size_t num_shards : shard_counts) {
     for (double ratio : ratios) {
       workload::ShardedExperimentSpec spec;
@@ -255,63 +257,41 @@ int main(int argc, char** argv) {
       const workload::ShardedExperimentResult r =
           RunShardedGtmExperiment(spec);
       const double n = static_cast<double>(spec.base.num_txns);
-      sim_table.PrintRow(
-          {bench::Num(num_shards, 0), bench::Num(ratio, 2),
-           bench::Num(100.0 * r.run.committed / n, 2),
-           bench::Num(r.cross_shard_planned, 0),
-           bench::Num(r.coordinator.commits, 0),
-           bench::Num(r.coordinator.aborts, 0),
-           bench::Num(r.quantity_consumed, 0)});
-      sim_rows.push_back({num_shards, ratio, r});
-    }
-  }
-
-  // Machine-readable mirror of both tables. Simulated rows carry per-shard
-  // breakdowns: each shard's commit counter and the aborts attributed to
-  // the shard that raised them (RunStats::aborted_by_tag_shard).
-  bench::JsonRows json("ablation_shards");
-  for (const WallResult& r : wall_rows) {
-    json.BeginRow();
-    json.Str("mode", "wallclock");
-    json.Int("shards", static_cast<int64_t>(r.shards));
-    json.Num("cross_shard_ratio", r.ratio, 2);
-    json.Int("committed", r.committed);
-    json.Int("cross_shard_committed", r.cross_committed);
-    json.Num("elapsed_s", r.elapsed, 4);
-    json.Num("throughput", r.Throughput(), 1);
-    json.EndRow();
-  }
-  for (const SimRow& row : sim_rows) {
-    const workload::ShardedExperimentResult& r = row.result;
-    json.BeginRow();
-    json.Str("mode", "simulated");
-    json.Int("shards", static_cast<int64_t>(row.shards));
-    json.Num("cross_shard_ratio", row.ratio, 2);
-    json.Int("committed", r.run.committed);
-    json.Int("aborted", r.run.aborted);
-    json.Int("cross_shard_planned", r.cross_shard_planned);
-    json.Int("quantity_consumed", r.quantity_consumed);
-    json.BeginObject("coordinator");
-    json.Int("commits", r.coordinator.commits);
-    json.Int("aborts", r.coordinator.aborts);
-    json.Int("prepare_failures", r.coordinator.prepare_failures);
-    json.EndObject();
-    json.BeginObject("committed_by_shard");
-    for (size_t s = 0; s < r.shard_snapshots.size(); ++s) {
-      json.Int(StrFormat("%zu", s), r.shard_snapshots[s].counters.committed);
-    }
-    json.EndObject();
-    json.BeginObject("aborted_by_shard");
-    for (size_t s = 0; s < r.shard_snapshots.size(); ++s) {
-      int64_t aborts = 0;
-      for (const auto& [tag_shard, count] : r.run.aborted_by_tag_shard) {
-        if (tag_shard.second == static_cast<int>(s)) aborts += count;
+      report.BeginRow();
+      report.JsonStr("mode", "simulated");
+      report.TableOnly(bench::Num(num_shards, 0));
+      report.JsonInt("shards", static_cast<int64_t>(num_shards));
+      report.Num("cross_shard_ratio", ratio, 2);
+      report.TableOnly(bench::Num(100.0 * r.run.committed / n, 2));
+      report.JsonInt("committed", r.run.committed);
+      report.JsonInt("aborted", r.run.aborted);
+      report.Int("cross_shard_planned", r.cross_shard_planned);
+      report.TableOnly(bench::Num(r.coordinator.commits, 0));
+      report.TableOnly(bench::Num(r.coordinator.aborts, 0));
+      report.Int("quantity_consumed", r.quantity_consumed);
+      report.BeginObject("coordinator");
+      report.JsonInt("commits", r.coordinator.commits);
+      report.JsonInt("aborts", r.coordinator.aborts);
+      report.JsonInt("prepare_failures", r.coordinator.prepare_failures);
+      report.EndObject();
+      report.BeginObject("committed_by_shard");
+      for (size_t s = 0; s < r.shard_snapshots.size(); ++s) {
+        report.JsonInt(StrFormat("%zu", s),
+                       r.shard_snapshots[s].counters.committed);
       }
-      json.Int(StrFormat("%zu", s), aborts);
+      report.EndObject();
+      report.BeginObject("aborted_by_shard");
+      for (size_t s = 0; s < r.shard_snapshots.size(); ++s) {
+        int64_t aborts = 0;
+        for (const auto& [tag_shard, count] : r.run.aborted_by_tag_shard) {
+          if (tag_shard.second == static_cast<int>(s)) aborts += count;
+        }
+        report.JsonInt(StrFormat("%zu", s), aborts);
+      }
+      report.EndObject();
+      report.EndRow();
     }
-    json.EndObject();
-    json.EndRow();
   }
-  json.Finish();
+  report.Finish();
   return 0;
 }

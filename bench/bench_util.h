@@ -1,8 +1,10 @@
 #ifndef PRESERIAL_BENCH_BENCH_UTIL_H_
 #define PRESERIAL_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/strings.h"
@@ -42,9 +44,11 @@ inline void Banner(const std::string& title) {
   std::puts(("== " + title + " ==").c_str());
 }
 
-// Streaming emitter for the machine-readable mirror a bench prints after
-// its table: one `JSON: {"bench":"<name>", ...,"rows":[{...},...]}` line.
+// Buffering emitter for the machine-readable mirror a bench prints after
+// its tables: one `JSON: {"bench":"<name>", ...,"rows":[{...},...]}` line.
 // Commas are managed automatically; nesting via BeginObject/EndObject.
+// Rows accumulate in memory and Finish() prints the line, so JSON building
+// can interleave with table printing (see Report below).
 //
 //   JsonRows json("ablation_foo");
 //   for (...) {
@@ -59,53 +63,139 @@ inline void Banner(const std::string& title) {
 class JsonRows {
  public:
   explicit JsonRows(const std::string& bench_name) {
-    std::printf("\nJSON: {\"bench\":\"%s\",\"rows\":[", bench_name.c_str());
+    out_ = StrFormat("\nJSON: {\"bench\":\"%s\",\"rows\":[",
+                     bench_name.c_str());
   }
 
   void BeginRow() {
-    if (row_count_++ > 0) std::printf(",");
-    std::printf("{");
+    if (row_count_++ > 0) out_ += ",";
+    out_ += "{";
     first_.assign(1, true);
   }
   void EndRow() {
-    std::printf("}");
+    out_ += "}";
     first_.clear();
   }
 
   void BeginObject(const std::string& key) {
     Key(key);
-    std::printf("{");
+    out_ += "{";
     first_.push_back(true);
   }
   void EndObject() {
-    std::printf("}");
+    out_ += "}";
     first_.pop_back();
   }
 
   void Int(const std::string& key, int64_t v) {
     Key(key);
-    std::printf("%lld", static_cast<long long>(v));
+    out_ += StrFormat("%lld", static_cast<long long>(v));
   }
   void Num(const std::string& key, double v, int precision = 4) {
     Key(key);
-    std::printf("%.*f", precision, v);
+    out_ += StrFormat("%.*f", precision, v);
   }
   void Str(const std::string& key, const std::string& v) {
     Key(key);
-    std::printf("\"%s\"", v.c_str());
+    out_ += StrFormat("\"%s\"", v.c_str());
   }
 
-  void Finish() { std::printf("]}\n"); }
+  void Finish() {
+    out_ += "]}";
+    std::puts(out_.c_str());
+    out_.clear();
+  }
 
  private:
   void Key(const std::string& key) {
-    if (!first_.back()) std::printf(",");
+    if (!first_.back()) out_ += ",";
     first_.back() = false;
-    std::printf("\"%s\":", key.c_str());
+    out_ += StrFormat("\"%s\":", key.c_str());
   }
 
+  std::string out_;
   size_t row_count_ = 0;
   std::vector<bool> first_;
+};
+
+// The one writer behind every ablation bench: each row is built once and
+// lands in both the human table and the JSON mirror — no per-bench
+// buffer-structs or second emit loop. Table columns and JSON fields can
+// still diverge where they should (derived percentages in the table,
+// nested raw counters in the JSON) via the TableOnly / Json* escapes.
+//
+//   Report report("ablation_foo");
+//   report.Section("Ablation: foo", {"x", "commit%"}, 14);
+//   for (...) {
+//     report.BeginRow();
+//     report.Num("x", x, 2);                      // table cell + JSON field
+//     report.TableOnly(Num(pct, 2));              // table cell only
+//     report.JsonInt("committed", n);             // JSON field only
+//     report.EndRow();                            // prints the table row
+//   }
+//   report.Note("shape check: ...");
+//   report.Finish();                              // prints the JSON line
+class Report {
+ public:
+  explicit Report(const std::string& bench_name) : json_(bench_name) {}
+
+  // Starts a table: banner + header. Multiple sections share one JSON
+  // stream (tag rows with a discriminating field, e.g. Str("mode", ...)).
+  void Section(const std::string& title, std::vector<std::string> headers,
+               size_t width = 14) {
+    Banner(title);
+    table_ = TablePrinter(std::move(headers), width);
+    table_.PrintHeader();
+  }
+
+  void BeginRow() {
+    cells_.clear();
+    json_.BeginRow();
+  }
+  void EndRow() {
+    json_.EndRow();
+    table_.PrintRow(cells_);
+  }
+
+  // Both table and JSON.
+  void Int(const std::string& key, int64_t v) {
+    cells_.push_back(StrFormat("%lld", static_cast<long long>(v)));
+    json_.Int(key, v);
+  }
+  void Num(const std::string& key, double v, int precision = 4) {
+    cells_.push_back(bench::Num(v, precision));
+    json_.Num(key, v, precision);
+  }
+  void Str(const std::string& key, const std::string& v) {
+    cells_.push_back(v);
+    json_.Str(key, v);
+  }
+
+  // Table only (derived display values).
+  void TableOnly(const std::string& cell) { cells_.push_back(cell); }
+
+  // JSON only (raw counters, nested breakdowns).
+  void JsonInt(const std::string& key, int64_t v) { json_.Int(key, v); }
+  void JsonNum(const std::string& key, double v, int precision = 4) {
+    json_.Num(key, v, precision);
+  }
+  void JsonStr(const std::string& key, const std::string& v) {
+    json_.Str(key, v);
+  }
+  void BeginObject(const std::string& key) { json_.BeginObject(key); }
+  void EndObject() { json_.EndObject(); }
+
+  void Note(const std::string& text) {
+    std::puts("");
+    std::puts(text.c_str());
+  }
+
+  void Finish() { json_.Finish(); }
+
+ private:
+  JsonRows json_;
+  TablePrinter table_{{}};
+  std::vector<std::string> cells_;
 };
 
 }  // namespace preserial::bench

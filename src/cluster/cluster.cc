@@ -20,23 +20,91 @@ GtmCluster::GtmCluster(size_t num_shards, const Clock* clock,
   }
 }
 
+GtmCluster::GtmCluster(size_t num_shards, const Clock* clock,
+                       GtmClusterOptions options,
+                       std::unique_ptr<Partitioner> partitioner)
+    : map_(num_shards, std::move(partitioner)) {
+  if (options.replicas_per_shard == 0) {
+    dbs_.reserve(num_shards);
+    shards_.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      dbs_.push_back(std::make_unique<storage::Database>());
+      shards_.push_back(
+          std::make_unique<gtm::Gtm>(dbs_.back().get(), clock, options.gtm));
+    }
+    return;
+  }
+  ship_rng_ = std::make_unique<Rng>(options.ship_seed);
+  replica::ReplicaOptions ropts;
+  ropts.num_backups = options.replicas_per_shard;
+  ropts.ship = options.ship;
+  ropts.durable_node_logs = options.durable_node_logs;
+  groups_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    groups_.push_back(std::make_unique<replica::ReplicatedGtm>(
+        clock, options.gtm, ropts, ship_rng_.get()));
+  }
+}
+
+gtm::GtmEndpoint* GtmCluster::endpoint(ShardId s) {
+  if (replicated()) return groups_[s].get();
+  return shards_[s].get();
+}
+
+gtm::Gtm* GtmCluster::shard(ShardId s) {
+  if (replicated()) return groups_[s]->primary_gtm();
+  return shards_[s].get();
+}
+
+const gtm::Gtm* GtmCluster::shard(ShardId s) const {
+  if (replicated()) return groups_[s]->primary_gtm();
+  return shards_[s].get();
+}
+
+storage::Database* GtmCluster::db(ShardId s) {
+  if (replicated()) return groups_[s]->primary_db();
+  return dbs_[s].get();
+}
+
 Status GtmCluster::RegisterObject(const gtm::ObjectId& id,
                                   const std::string& table,
                                   const storage::Value& key,
                                   std::vector<size_t> member_columns,
                                   semantics::LogicalDependencies deps) {
-  return shards_[ShardOf(id)]->RegisterObject(
-      id, table, key, std::move(member_columns), std::move(deps));
+  const ShardId s = ShardOf(id);
+  if (replicated()) {
+    return groups_[s]->RegisterObject(id, table, key,
+                                      std::move(member_columns),
+                                      std::move(deps));
+  }
+  return shards_[s]->RegisterObject(id, table, key, std::move(member_columns),
+                                    std::move(deps));
 }
 
 Status GtmCluster::RegisterRowObject(const gtm::ObjectId& id,
                                      const std::string& table,
                                      const storage::Value& key) {
-  return shards_[ShardOf(id)]->RegisterRowObject(id, table, key);
+  const ShardId s = ShardOf(id);
+  if (!replicated()) return shards_[s]->RegisterRowObject(id, table, key);
+  // Same member layout as Gtm::RegisterRowObject, routed through the
+  // replicated registration so every node binds identically.
+  PRESERIAL_ASSIGN_OR_RETURN(storage::Table * tab,
+                             groups_[s]->primary_db()->GetTable(table));
+  std::vector<size_t> columns;
+  for (size_t c = 0; c < tab->schema().num_columns(); ++c) {
+    if (c != tab->schema().primary_key()) columns.push_back(c);
+  }
+  return groups_[s]->RegisterObject(id, table, key, std::move(columns));
 }
 
 Status GtmCluster::CreateTableAllShards(const std::string& table,
                                         const storage::Schema& schema) {
+  if (replicated()) {
+    for (auto& group : groups_) {
+      PRESERIAL_RETURN_IF_ERROR(group->CreateTable(table, schema));
+    }
+    return Status::Ok();
+  }
   for (auto& db : dbs_) {
     Result<storage::Table*> t = db->CreateTable(table, schema);
     if (!t.ok()) return t.status();
@@ -44,28 +112,62 @@ Status GtmCluster::CreateTableAllShards(const std::string& table,
   return Status::Ok();
 }
 
+Status GtmCluster::InsertRow(ShardId s, const std::string& table,
+                             storage::Row row) {
+  if (replicated()) return groups_[s]->InsertRow(table, std::move(row));
+  return dbs_[s]->InsertRow(table, std::move(row));
+}
+
 Result<storage::Value> GtmCluster::PermanentValue(
     const gtm::ObjectId& id, semantics::MemberId member) const {
-  return shards_[ShardOf(id)]->PermanentValue(id, member);
+  return shard(ShardOf(id))->PermanentValue(id, member);
 }
 
 gtm::GtmMetrics::Snapshot GtmCluster::AggregateSnapshot() const {
   gtm::GtmMetrics::Snapshot agg;
-  for (const auto& shard : shards_) {
-    agg.MergeFrom(shard->metrics().TakeSnapshot());
+  for (size_t s = 0; s < num_shards(); ++s) {
+    agg.MergeFrom(ShardSnapshot(s));
   }
   return agg;
 }
 
+Status GtmCluster::PumpReplication() {
+  for (auto& group : groups_) {
+    PRESERIAL_RETURN_IF_ERROR(group->Pump());
+  }
+  return Status::Ok();
+}
+
 Status GtmCluster::Prepare(ShardId shard, TxnId branch) {
+  if (replicated()) return groups_[shard]->Prepare(branch);
   return shards_[shard]->Prepare(branch);
 }
 
 Status GtmCluster::CommitPrepared(ShardId shard, TxnId branch) {
+  if (replicated()) return groups_[shard]->CommitPrepared(branch);
   return shards_[shard]->CommitPrepared(branch);
 }
 
 Status GtmCluster::AbortBranch(ShardId shard, TxnId branch) {
+  if (replicated()) {
+    replica::ReplicatedGtm* g = groups_[shard].get();
+    if (!g->primary_alive()) {
+      return Status::Unavailable("AbortBranch: shard primary is down");
+    }
+    if (g->primary_gtm()->IsPrepared(branch)) return g->AbortPrepared(branch);
+    Result<gtm::TxnState> st = g->StateOf(branch);
+    if (!st.ok()) return st.status();
+    switch (st.value()) {
+      case gtm::TxnState::kAborted:
+        return Status::Ok();  // Idempotent.
+      case gtm::TxnState::kCommitted:
+        return Status::FailedPrecondition(StrFormat(
+            "AbortBranch: shard %zu txn %llu already committed", shard,
+            static_cast<unsigned long long>(branch)));
+      default:
+        return g->RequestAbort(branch);
+    }
+  }
   gtm::Gtm* g = shards_[shard].get();
   if (g->IsPrepared(branch)) return g->AbortPrepared(branch);
   Result<gtm::TxnState> st = g->StateOf(branch);

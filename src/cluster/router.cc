@@ -36,7 +36,7 @@ TxnId GtmRouter::Begin(int priority) {
 TxnId GtmRouter::BranchFor(TxnId txn, GlobalTxn* g, ShardId shard) {
   auto it = g->branches.find(shard);
   if (it != g->branches.end()) return it->second;
-  const TxnId branch = cluster_->shard(shard)->Begin(g->priority);
+  const TxnId branch = cluster_->endpoint(shard)->Begin(g->priority);
   g->branches.emplace(shard, branch);
   branch_to_global_[shard].emplace(branch, txn);
   return branch;
@@ -45,13 +45,13 @@ TxnId GtmRouter::BranchFor(TxnId txn, GlobalTxn* g, ShardId shard) {
 void GtmRouter::InvalidateAll(TxnId txn, GlobalTxn* g) {
   (void)txn;
   for (const auto& [shard, branch] : g->branches) {
-    Result<TxnState> st = cluster_->shard(shard)->StateOf(branch);
+    Result<TxnState> st = cluster_->endpoint(shard)->StateOf(branch);
     if (!st.ok()) continue;
     switch (st.value()) {
       case TxnState::kActive:
       case TxnState::kWaiting:
       case TxnState::kSleeping:
-        (void)cluster_->shard(shard)->RequestAbort(branch);
+        (void)cluster_->endpoint(shard)->RequestAbort(branch);
         break;
       default:
         break;  // Terminal or mid-commit branches are left alone.
@@ -63,7 +63,7 @@ void GtmRouter::InvalidateAll(TxnId txn, GlobalTxn* g) {
 
 void GtmRouter::CheckUnilateralAborts(TxnId txn, GlobalTxn* g) {
   for (const auto& [shard, branch] : g->branches) {
-    Result<TxnState> st = cluster_->shard(shard)->StateOf(branch);
+    Result<TxnState> st = cluster_->endpoint(shard)->StateOf(branch);
     if (st.ok() && st.value() == TxnState::kAborted) {
       // One shard took the branch down on its own (timeout sweep, admission
       // failure): atomicity says the whole global transaction dies.
@@ -90,7 +90,7 @@ Status GtmRouter::Invoke(TxnId txn, const gtm::ObjectId& object,
   }
   const ShardId shard = cluster_->ShardOf(object);
   const TxnId branch = BranchFor(txn, g, shard);
-  return cluster_->shard(shard)->Invoke(branch, object, member, op);
+  return cluster_->endpoint(shard)->Invoke(branch, object, member, op);
 }
 
 Result<storage::Value> GtmRouter::ReadLocal(TxnId txn,
@@ -102,7 +102,7 @@ Result<storage::Value> GtmRouter::ReadLocal(TxnId txn,
   }
   const ShardId shard = cluster_->ShardOf(object);
   const TxnId branch = BranchFor(txn, g, shard);
-  return cluster_->shard(shard)->ReadLocal(branch, object, member);
+  return cluster_->endpoint(shard)->ReadLocal(branch, object, member);
 }
 
 Status GtmRouter::RequestCommit(TxnId txn) {
@@ -127,7 +127,7 @@ Status GtmRouter::RequestCommit(TxnId txn) {
   if (g->branches.size() == 1) {
     // One-phase fast path: the owning shard's local commit decides alone.
     const auto& [shard, branch] = *g->branches.begin();
-    Status s = cluster_->shard(shard)->RequestCommit(branch);
+    Status s = cluster_->endpoint(shard)->RequestCommit(branch);
     if (s.ok()) {
       g->terminal = TxnState::kCommitted;
       ++committed_;
@@ -161,7 +161,7 @@ Status GtmRouter::RequestAbort(TxnId txn) {
         "RequestAbort requires a live, non-committing transaction");
   }
   for (const auto& [shard, branch] : g->branches) {
-    Result<TxnState> st = cluster_->shard(shard)->StateOf(branch);
+    Result<TxnState> st = cluster_->endpoint(shard)->StateOf(branch);
     if (st.ok() && st.value() == TxnState::kCommitting) {
       return Status::FailedPrecondition(
           "RequestAbort requires a live, non-committing transaction");
@@ -186,7 +186,7 @@ Status GtmRouter::Sleep(TxnId txn) {
     return Status::Ok();
   }
   for (const auto& [shard, branch] : g->branches) {
-    Status s = cluster_->shard(shard)->Sleep(branch);
+    Status s = cluster_->endpoint(shard)->Sleep(branch);
     if (s.code() == StatusCode::kAborted) {
       // sleep_enabled=false ablation: the shard aborted the branch; the
       // whole global transaction follows.
@@ -212,7 +212,7 @@ Status GtmRouter::Awake(TxnId txn) {
     return Status::Ok();
   }
   for (const auto& [shard, branch] : g->branches) {
-    Status s = cluster_->shard(shard)->Awake(branch);
+    Status s = cluster_->endpoint(shard)->Awake(branch);
     if (s.code() == StatusCode::kAborted) {
       // Algorithm 9 staleness on one shard kills the whole transaction:
       // already-awoken sibling branches are invalidated too.
@@ -261,7 +261,7 @@ Status GtmRouter::InvokeOnce(TxnId txn, uint64_t seq,
   // unique per global transaction, so they are unique per branch too.
   const ShardId shard = cluster_->ShardOf(object);
   const TxnId branch = BranchFor(txn, g, shard);
-  return cluster_->shard(shard)->InvokeOnce(branch, seq, object, member, op);
+  return cluster_->endpoint(shard)->InvokeOnce(branch, seq, object, member, op);
 }
 
 Status GtmRouter::CommitOnce(TxnId txn, uint64_t seq) {
@@ -298,7 +298,7 @@ Result<TxnState> GtmRouter::StateOf(TxnId txn) const {
   bool any_committing = false;
   bool any_waiting = false;
   for (const auto& [shard, branch] : g->branches) {
-    Result<TxnState> st = cluster_->shard(shard)->StateOf(branch);
+    Result<TxnState> st = cluster_->endpoint(shard)->StateOf(branch);
     if (!st.ok()) return st.status();
     switch (st.value()) {
       case TxnState::kAborted:
@@ -333,7 +333,7 @@ Result<TxnState> GtmRouter::StateOf(TxnId txn) const {
 std::vector<GtmEvent> GtmRouter::TakeEvents() {
   std::vector<GtmEvent> out;
   for (ShardId s = 0; s < cluster_->num_shards(); ++s) {
-    for (GtmEvent e : cluster_->shard(s)->TakeEvents()) {
+    for (GtmEvent e : cluster_->endpoint(s)->TakeEvents()) {
       auto it = branch_to_global_[s].find(e.txn);
       if (it != branch_to_global_[s].end()) e.txn = it->second;
       out.push_back(e);
@@ -345,7 +345,7 @@ std::vector<GtmEvent> GtmRouter::TakeEvents() {
 std::vector<TxnId> GtmRouter::AbortExpiredWaits(Duration max_wait) {
   std::set<TxnId> victims;
   for (ShardId s = 0; s < cluster_->num_shards(); ++s) {
-    for (TxnId branch : cluster_->shard(s)->AbortExpiredWaits(max_wait)) {
+    for (TxnId branch : cluster_->endpoint(s)->AbortExpiredWaits(max_wait)) {
       auto it = branch_to_global_[s].find(branch);
       if (it == branch_to_global_[s].end()) continue;
       victims.insert(it->second);

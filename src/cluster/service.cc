@@ -28,7 +28,7 @@ Status ClusterService::AbortBranch(ShardId shard, TxnId branch) {
 
 TxnId ClusterService::Begin(ShardId shard, int priority) {
   std::lock_guard<std::mutex> lock(*shard_mu_[shard]);
-  return cluster_->shard(shard)->Begin(priority);
+  return cluster_->endpoint(shard)->Begin(priority);
 }
 
 Status ClusterService::Invoke(ShardId shard, TxnId branch,
@@ -36,17 +36,17 @@ Status ClusterService::Invoke(ShardId shard, TxnId branch,
                               semantics::MemberId member,
                               const semantics::Operation& op) {
   std::lock_guard<std::mutex> lock(*shard_mu_[shard]);
-  return cluster_->shard(shard)->Invoke(branch, object, member, op);
+  return cluster_->endpoint(shard)->Invoke(branch, object, member, op);
 }
 
 Status ClusterService::RequestCommit(ShardId shard, TxnId branch) {
   std::lock_guard<std::mutex> lock(*shard_mu_[shard]);
-  return cluster_->shard(shard)->RequestCommit(branch);
+  return cluster_->endpoint(shard)->RequestCommit(branch);
 }
 
 Status ClusterService::RequestAbort(ShardId shard, TxnId branch) {
   std::lock_guard<std::mutex> lock(*shard_mu_[shard]);
-  return cluster_->shard(shard)->RequestAbort(branch);
+  return cluster_->endpoint(shard)->RequestAbort(branch);
 }
 
 Status ClusterService::CommitGlobal(

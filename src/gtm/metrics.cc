@@ -50,6 +50,9 @@ std::string FormatSummary(const GtmCounters& c, const Histogram& exec,
                    static_cast<long long>(c.sst_injected_failures));
   out += StrFormat("dedup: duplicates_suppressed=%lld\n",
                    static_cast<long long>(c.duplicates_suppressed));
+  out += StrFormat("replication: lag_records=%lld failovers=%lld\n",
+                   static_cast<long long>(c.replication_lag_records),
+                   static_cast<long long>(c.failovers_total));
   out += "exec_time: " + exec.Summary() + "\n";
   out += "wait_time: " + wait.Summary() + "\n";
   return out;
@@ -85,6 +88,8 @@ void GtmCounters::MergeFrom(const GtmCounters& other) {
   duplicates_suppressed += other.duplicates_suppressed;
   starvation_denials += other.starvation_denials;
   admission_denials += other.admission_denials;
+  replication_lag_records += other.replication_lag_records;
+  failovers_total += other.failovers_total;
 }
 
 void GtmMetrics::Snapshot::MergeFrom(const Snapshot& other) {

@@ -50,6 +50,14 @@ struct GtmCounters {
   int64_t starvation_denials = 0;
   int64_t admission_denials = 0;  // Constraint-aware admission refusals.
 
+  // Replication (src/replica/). `replication_lag_records` is a gauge — the
+  // primary overwrites it with (last log LSN − slowest live backup's acked
+  // LSN) after every ship round — and merging snapshots across replica
+  // groups sums the per-group lags. `failovers_total` counts promotions
+  // this Gtm won (stamped on the new primary).
+  int64_t replication_lag_records = 0;
+  int64_t failovers_total = 0;
+
   // Field-wise sum; the mirror counters (sst_*) add like the rest, which is
   // correct when each source is a distinct Gtm (shard).
   void MergeFrom(const GtmCounters& other);

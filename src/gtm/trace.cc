@@ -30,6 +30,12 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "ADMISSION_DENIAL";
     case TraceEventKind::kDuplicateSuppressed:
       return "DUPLICATE_SUPPRESSED";
+    case TraceEventKind::kShip:
+      return "SHIP";
+    case TraceEventKind::kShipAck:
+      return "SHIP_ACK";
+    case TraceEventKind::kPromote:
+      return "PROMOTE";
   }
   return "?";
 }

@@ -25,6 +25,10 @@ enum class TraceEventKind {
   kDeadlockRefusal,
   kAdmissionDenial,  // Constraint-aware admission refused an operation.
   kDuplicateSuppressed,  // Retried request answered from the reply cache.
+  // Replication (src/replica/). Recorded against the primary's trace.
+  kShip,     // A log record left the primary for a backup.
+  kShipAck,  // A backup's cumulative ack advanced.
+  kPromote,  // A backup was promoted to primary (recorded on the winner).
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

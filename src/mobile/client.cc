@@ -33,6 +33,10 @@ void RequestStub::Attempt() {
   for (Duration d : channel_->SampleDeliveries(*rng_)) {
     sim_->After(d, [this, epoch, execute = execute_] {
       const Status reply = execute();
+      // A dead endpoint (replica primary down, failover in progress) is a
+      // request that fell into the void, not a reply: stay silent and let
+      // the timeout/backoff path retry until the promoted primary answers.
+      if (reply.code() == StatusCode::kUnavailable) return;
       for (Duration r : channel_->SampleDeliveries(*rng_)) {
         sim_->After(r, [this, epoch, reply] {
           if (epoch != epoch_ || replied_) return;

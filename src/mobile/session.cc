@@ -160,12 +160,23 @@ FaultTolerantGtmSession::FaultTolerantGtmSession(
       stub_(simulator, channel, rng, plan_.retry) {}
 
 void FaultTolerantGtmSession::Start() {
-  stats_.arrival = sim_->Now();
-  stats_.tag = plan_.base.tag;
-  stats_.shard = plan_.base.shard;
+  if (!started_) {
+    started_ = true;
+    stats_.arrival = sim_->Now();
+    stats_.tag = plan_.base.tag;
+    stats_.shard = plan_.base.shard;
+  }
   // Session establishment is reliable (see class comment); everything after
-  // Begin crosses the lossy channel.
+  // Begin crosses the lossy channel. A replica group whose primary just
+  // died refuses new sessions (kInvalidTxnId): retry after the per-attempt
+  // deadline until a promoted primary accepts us.
   txn_ = gtm_->Begin();
+  if (txn_ == kInvalidTxnId) {
+    sim_->After(plan_.retry.request_timeout, [this] {
+      if (!finished_) Start();
+    });
+    return;
+  }
   stats_.txn = txn_;
   SendInvoke();
 }

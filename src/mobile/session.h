@@ -201,6 +201,7 @@ class FaultTolerantGtmSession : public GtmWaiter {
   TxnId txn_ = kInvalidTxnId;
   SessionStats stats_;
   Phase phase_ = Phase::kInvoke;
+  bool started_ = false;  // Guards stats on Begin retries (dead primary).
   bool finished_ = false;
   bool granted_ = false;
   uint64_t next_seq_ = 1;

@@ -1,0 +1,115 @@
+#ifndef PRESERIAL_REPLICA_LOG_H_
+#define PRESERIAL_REPLICA_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "gtm/endpoint.h"
+#include "semantics/operation.h"
+#include "storage/value.h"
+
+namespace preserial::replica {
+
+// Command kinds in the replicated op log. One entry per externally issued,
+// state-changing GTM decision; internal transitions (queue grants from
+// PumpWaiters, reconciliation results) are derived deterministically by
+// replaying these, so they are never logged.
+enum class ReplicaOpKind : uint8_t {
+  kBegin = 1,
+  kInvoke = 2,
+  kReadLocal = 3,  // Logged: a read grants a lock and materializes A_temp.
+  kCommit = 4,     // RequestCommit (single-shard reconcile + commit).
+  kAbort = 5,
+  kSleep = 6,
+  kAwake = 7,
+  kPrepare = 8,  // 2PC phase 1: vote + park in Committing.
+  kCommitPrepared = 9,
+  kAbortPrepared = 10,
+  kAbortExpiredWaits = 11,  // Maintenance sweeps are decisions too: their
+  kSleepIdle = 12,          // victims must match on every replica.
+  kRegisterObject = 13,
+  // DDL / bulk load shipped as an embedded storage::WalRecord payload
+  // (kCreateTable, kAddConstraint or kInsert), so the backup databases are
+  // built through the same log that replays transactions against them.
+  kBootstrap = 14,
+};
+
+const char* ReplicaOpKindName(ReplicaOpKind kind);
+
+// One replicated command. `lsn` is 1-based and dense; `epoch` fences stale
+// primaries; `time` is the primary's clock at decision time — replicas pin
+// their replay clock to it before dispatching, so time-derived state
+// (A_t_sleep, X_tc, last_activity) is bit-identical on every node and the
+// paper's Algorithm 9 awake-check gives the same answer after a failover.
+struct ReplicaRecord {
+  uint64_t lsn = 0;
+  uint64_t epoch = 0;
+  TimePoint time = 0;
+  ReplicaOpKind kind = ReplicaOpKind::kBegin;
+
+  // kTrue for the idempotent *Once variants; `seq` is the client's
+  // per-transaction request number. Replaying the command replays the
+  // reply-cache update too, so dedup state survives failover.
+  bool once = false;
+  uint64_t seq = 0;
+
+  // kBegin logs the id the primary allotted; replicas assert they derive
+  // the same one (cheap divergence tripwire).
+  TxnId txn = kInvalidTxnId;
+  int priority = 0;
+
+  gtm::ObjectId object;             // kInvoke / kReadLocal / kRegisterObject
+  semantics::MemberId member = 0;   // kInvoke / kReadLocal
+  semantics::Operation op;          // kInvoke
+  Duration duration = 0;            // kAbortExpiredWaits / kSleepIdle
+
+  // kRegisterObject.
+  std::string table;
+  storage::Value key;
+  std::vector<uint64_t> member_columns;
+  // LogicalDependencies::CanonicalPairs() wire form.
+  std::vector<std::pair<uint64_t, uint64_t>> dep_pairs;
+
+  // kBootstrap: an encoded storage::WalRecord.
+  std::string bootstrap;
+
+  // Payload bytes (no framing; storage::FramePayload adds the CRC frame).
+  void EncodeTo(std::string* out) const;
+  static Result<ReplicaRecord> DecodeFrom(std::string_view payload);
+};
+
+// The primary's in-memory op log: the replication source of truth. LSNs
+// are 1-based (lsn == index + 1). Failover truncates the suffix the
+// promoted backup never applied — those commands were acknowledged by a
+// primary that is now fenced, and sync shipping guarantees the suffix is
+// empty.
+class ReplicaLog {
+ public:
+  uint64_t next_lsn() const { return records_.size() + 1; }
+  uint64_t last_lsn() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  // `rec.lsn` must equal next_lsn().
+  Status Append(ReplicaRecord rec);
+
+  // 1-based access; lsn must be in [1, last_lsn()].
+  const ReplicaRecord& At(uint64_t lsn) const { return records_[lsn - 1]; }
+
+  // Drops every record after `new_last`; returns how many were dropped.
+  uint64_t TruncateTo(uint64_t new_last);
+
+  const std::vector<ReplicaRecord>& records() const { return records_; }
+
+ private:
+  std::vector<ReplicaRecord> records_;
+};
+
+}  // namespace preserial::replica
+
+#endif  // PRESERIAL_REPLICA_LOG_H_

@@ -63,6 +63,16 @@ bool LogicalDependencies::Dependent(MemberId a, MemberId b) const {
   return Find(a) == Find(b);
 }
 
+std::vector<std::pair<MemberId, MemberId>> LogicalDependencies::CanonicalPairs()
+    const {
+  std::vector<std::pair<MemberId, MemberId>> pairs;
+  for (MemberId m = 0; m < parent_.size(); ++m) {
+    const MemberId root = Find(m);
+    if (root != m) pairs.emplace_back(m, root);
+  }
+  return pairs;
+}
+
 bool CompatibleOnMembers(MemberId member_a, OpClass a, MemberId member_b,
                          OpClass b, const LogicalDependencies& deps) {
   if (!deps.Dependent(member_a, member_b)) return true;

@@ -2,6 +2,7 @@
 #define PRESERIAL_SEMANTICS_COMPATIBILITY_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "semantics/op_class.h"
@@ -37,6 +38,12 @@ class LogicalDependencies {
 
   // Reflexive, symmetric, transitive.
   bool Dependent(MemberId a, MemberId b) const;
+
+  // (member, group-root) pairs for every member that is not its own
+  // singleton group. Feeding each pair back through AddDependency on an
+  // empty instance reconstructs the same relation — this is the wire form
+  // the replica log ships RegisterObject dependencies in.
+  std::vector<std::pair<MemberId, MemberId>> CanonicalPairs() const;
 
  private:
   MemberId Find(MemberId m) const;

@@ -345,12 +345,16 @@ Status FileWalStorage::Reset(std::string_view bytes) {
   return Status::Ok();
 }
 
-void FrameRecord(const WalRecord& record, std::string* out) {
-  std::string payload;
-  record.EncodeTo(&payload);
+void FramePayload(std::string_view payload, std::string* out) {
   PutU32(out, static_cast<uint32_t>(payload.size()));
   PutU32(out, Crc32(payload));
   out->append(payload);
+}
+
+void FrameRecord(const WalRecord& record, std::string* out) {
+  std::string payload;
+  record.EncodeTo(&payload);
+  FramePayload(payload, out);
 }
 
 Status WalWriter::Append(const WalRecord& record) {
@@ -499,8 +503,8 @@ Status WalWriter::LogClusterEnd(TxnId global) {
   return Append(r);
 }
 
-WalScanResult ScanWal(std::string_view log) {
-  WalScanResult out;
+FrameScanResult ScanFrames(std::string_view log) {
+  FrameScanResult out;
   out.status = Status::Ok();
   size_t offset = 0;
   while (offset < log.size()) {
@@ -520,14 +524,26 @@ WalScanResult ScanWal(std::string_view log) {
           StrFormat("wal: bad crc at offset %zu", offset));
       return out;
     }
+    out.payloads.emplace_back(payload);
+    offset += 8 + len;
+    out.bytes_consumed = offset;
+  }
+  return out;
+}
+
+WalScanResult ScanWal(std::string_view log) {
+  FrameScanResult frames = ScanFrames(log);
+  WalScanResult out;
+  out.status = frames.status;
+  out.bytes_consumed = frames.bytes_consumed;
+  if (!out.status.ok()) return out;
+  for (const std::string& payload : frames.payloads) {
     Result<WalRecord> rec = WalRecord::DecodeFrom(payload);
     if (!rec.ok()) {
       out.status = rec.status();
       return out;
     }
     out.records.push_back(std::move(rec).value());
-    offset += 8 + len;
-    out.bytes_consumed = offset;
   }
   return out;
 }

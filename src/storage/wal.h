@@ -154,6 +154,23 @@ WalScanResult ScanWal(std::string_view log);
 // Frame a single record (exposed for tests).
 void FrameRecord(const WalRecord& record, std::string* out);
 
+// The framing layer on its own: [u32 payload_len][u32 crc32(payload)][payload]
+// around an opaque payload. The replica op log reuses this format for its own
+// record type; FrameRecord/ScanWal are implemented on top of these.
+void FramePayload(std::string_view payload, std::string* out);
+
+struct FrameScanResult {
+  std::vector<std::string> payloads;
+  // Ok when the whole log parsed, or when only a torn tail was dropped.
+  Status status;
+  size_t bytes_consumed = 0;
+};
+
+// Same tail semantics as ScanWal: a torn final frame (short header or short
+// payload) ends the scan cleanly; a CRC mismatch before the tail is
+// kCorruption.
+FrameScanResult ScanFrames(std::string_view log);
+
 }  // namespace preserial::storage
 
 #endif  // PRESERIAL_STORAGE_WAL_H_

@@ -357,6 +357,162 @@ ShardedExperimentResult RunShardedGtmExperiment(
   return result;
 }
 
+FailoverExperimentResult RunFailoverExperiment(
+    const FailoverExperimentSpec& spec, const gtm::GtmOptions& options) {
+  const GtmExperimentSpec& base = spec.base;
+  const ChannelSpec& channel = spec.channel;
+  Rng rng(base.seed);
+  // Three independent streams: workload, client<->GTM channel faults, and
+  // primary->backup ship-link faults — so the planned arrivals stay fixed
+  // across ship modes (paired comparisons).
+  Rng channel_rng(base.seed ^ 0x9e3779b97f4a7c15ull);
+  Rng ship_rng(base.seed ^ 0xbf58476d1ce4e5b9ull);
+
+  sim::Simulator simulator;
+  replica::ReplicaOptions ropts;
+  ropts.num_backups = spec.num_backups;
+  ropts.ship = spec.ship;
+  replica::ReplicatedGtm group(simulator.clock(), options, ropts, &ship_rng);
+
+  // Replicated bootstrap: schema, rows, constraint and registrations go
+  // through the op log so every backup starts from the same state.
+  Result<Schema> schema = Schema::Create(
+      {
+          ColumnDef{"id", ValueType::kInt64, false},
+          ColumnDef{"qty", ValueType::kInt64, false},
+          ColumnDef{"price", ValueType::kDouble, false},
+      },
+      kColId);
+  PRESERIAL_CHECK(schema.ok());
+  Status s = group.CreateTable(kTable, std::move(schema).value());
+  PRESERIAL_CHECK(s.ok()) << s.ToString();
+  for (size_t i = 0; i < base.num_objects; ++i) {
+    s = group.InsertRow(kTable, Row({Value::Int(static_cast<int64_t>(i)),
+                                     Value::Int(base.initial_quantity),
+                                     Value::Double(base.price_value)}));
+    PRESERIAL_CHECK(s.ok()) << s.ToString();
+  }
+  if (base.add_quantity_constraint) {
+    s = group.AddConstraint(
+        kTable, storage::CheckConstraint("qty_nonneg", kColQty,
+                                         storage::CompareOp::kGe,
+                                         Value::Int(0)));
+    PRESERIAL_CHECK(s.ok()) << s.ToString();
+  }
+  for (size_t i = 0; i < base.num_objects; ++i) {
+    semantics::LogicalDependencies deps;
+    deps.AddDependency(0, 1);
+    s = group.RegisterObject(ObjectIdFor(i),
+                             kTable, Value::Int(static_cast<int64_t>(i)),
+                             {kColQty, kColPrice}, std::move(deps));
+    PRESERIAL_CHECK(s.ok()) << s.ToString();
+  }
+
+  GtmRunner runner(&group, &simulator, spec.wait_timeout);
+
+  mobile::ChannelFaults faults;
+  faults.loss = channel.loss;
+  faults.duplicate = channel.duplicate;
+  faults.reorder = channel.reorder;
+  mobile::LossyChannel lossy(
+      channel.delay_mean > 0
+          ? mobile::NetworkModel(
+                std::make_unique<sim::ExponentialDist>(channel.delay_mean))
+          : mobile::NetworkModel(),
+      faults);
+
+  // Track sessions to cross-check the client's view of commit against the
+  // promoted primary's after the run.
+  std::vector<std::pair<mobile::FaultTolerantGtmSession*, bool>> tracked;
+  tracked.reserve(base.num_txns);
+  for (const PlannedTxn& p : BuildPlans(base, &rng)) {
+    mobile::FtPlan plan;
+    plan.base.object = ObjectIdFor(p.object);
+    if (p.is_subtract) {
+      plan.base.member = 0;  // qty
+      plan.base.op = semantics::Operation::Sub(Value::Int(1));
+    } else {
+      plan.base.member = 1;  // price
+      plan.base.op =
+          semantics::Operation::Assign(Value::Double(base.price_value));
+    }
+    plan.base.work_time = base.work_time;
+    plan.base.tag = p.is_subtract ? kTagSubtract : kTagAssign;
+    plan.retry.request_timeout = channel.request_timeout;
+    plan.retry.max_attempts = channel.max_attempts;
+    plan.mode = channel.degrade_to_sleep ? mobile::FtMode::kDegradeToSleep
+                                         : mobile::FtMode::kAbortOnLoss;
+    plan.reconnect_delay = channel.reconnect_delay;
+    plan.max_degrades = channel.max_degrades;
+    tracked.emplace_back(runner.AddFaultTolerantSession(
+                             std::move(plan), p.arrival, &lossy, &channel_rng),
+                         p.is_subtract);
+  }
+
+  // Async shipping cadence: pre-scheduled rounds out to a horizon past the
+  // last plausible completion (a self-rescheduling pump would keep the
+  // event queue alive forever and the simulation would never drain).
+  if (spec.ship.mode == replica::ShipMode::kAsync && spec.pump_interval > 0) {
+    const TimePoint horizon =
+        static_cast<double>(base.num_txns) * base.interarrival + 300.0;
+    for (TimePoint t = spec.pump_interval; t < horizon;
+         t += spec.pump_interval) {
+      simulator.At(t, [&group] { (void)group.Pump(); });
+    }
+  }
+
+  FailoverExperimentResult result;
+  const TimePoint kill_time = spec.fail_at;
+  if (kill_time > 0) {
+    simulator.At(kill_time, [&group, &result] {
+      result.sleeping_at_kill = static_cast<int64_t>(
+          group.primary_gtm()
+              ->TransactionsInState(gtm::TxnState::kSleeping)
+              .size());
+      result.replication_lag_at_kill =
+          static_cast<int64_t>(group.shipper()->Lag());
+      group.KillPrimary();
+    });
+    simulator.At(kill_time + spec.detect_delay,
+                 [&group, &runner, &result, &simulator, kill_time] {
+      Result<replica::PromotionReport> rep = group.Promote();
+      PRESERIAL_CHECK(rep.ok()) << rep.status().ToString();
+      result.failover_ran = true;
+      result.sleeping_preserved = rep.value().sleeping_preserved;
+      result.sleeping_lost = rep.value().sleeping_lost;
+      result.truncated_records = rep.value().truncated_records;
+      result.failover_latency = simulator.Now() - kill_time;
+      // Deliver the synthesized grant events to any parked sessions.
+      runner.DispatchEvents();
+    });
+  }
+
+  result.run = runner.Run();
+  result.final_epoch = group.epoch();
+  result.ship = group.shipper()->counters();
+  result.duplicates_suppressed =
+      group.primary_gtm()->metrics().counters().duplicates_suppressed;
+
+  for (const auto& [session, is_subtract] : tracked) {
+    if (!is_subtract) continue;
+    if (session->stats().committed) ++result.committed_subtracts;
+    if (session->txn() != kInvalidTxnId) {
+      Result<gtm::TxnState> st = group.primary_gtm()->StateOf(session->txn());
+      if (st.ok() && st.value() == gtm::TxnState::kCommitted) {
+        ++result.server_committed_subtracts;
+      }
+    }
+  }
+  for (size_t i = 0; i < base.num_objects; ++i) {
+    Result<Value> qty =
+        group.primary_db()->GetTable(kTable).value()->GetColumnByKey(
+            Value::Int(static_cast<int64_t>(i)), kColQty);
+    PRESERIAL_CHECK(qty.ok());
+    result.quantity_consumed += base.initial_quantity - qty.value().as_int();
+  }
+  return result;
+}
+
 ExperimentResult RunTwoPlExperiment(const GtmExperimentSpec& spec,
                                     const TwoPlPolicy& policy) {
   Rng rng(spec.seed);

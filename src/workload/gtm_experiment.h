@@ -9,6 +9,7 @@
 #include "gtm/metrics.h"
 #include "gtm/policies.h"
 #include "mobile/network.h"
+#include "replica/replica.h"
 #include "workload/runner.h"
 
 namespace preserial::workload {
@@ -140,6 +141,55 @@ struct ShardedExperimentResult {
 
 ShardedExperimentResult RunShardedGtmExperiment(
     const ShardedExperimentSpec& spec, const gtm::GtmOptions& options = {});
+
+// Replicated-GTM failover variant: the lossy-channel arrival sequence runs
+// against a replica::ReplicatedGtm (one primary + `num_backups` backups,
+// log shipping per `ship`). At virtual time `fail_at` the primary is
+// killed; `detect_delay` later a FailoverController promotes the best
+// backup. Clients notice nothing but silence — the PR-1 retry/backoff
+// machinery resends into the void until the promoted primary answers, and
+// *Once sequence numbers keep redelivered requests exactly-once across the
+// epoch change.
+struct FailoverExperimentSpec {
+  GtmExperimentSpec base;
+  ChannelSpec channel;
+  size_t num_backups = 1;
+  replica::ShipOptions ship;      // Sync vs async, ship-link fault rates.
+  Duration pump_interval = 0.1;   // Async shipping cadence (sync: unused).
+  TimePoint fail_at = 0;          // Kill the primary here; <= 0 = never.
+  Duration detect_delay = 1.0;    // Failure detection lag before promotion.
+  // Waiters older than this are aborted by the runner sweep. Needed here
+  // because a client that gives up during the dead-primary window cannot
+  // deliver its abort — the orphaned Active transaction would otherwise
+  // block its waiters forever. <= 0 disables the sweep.
+  Duration wait_timeout = 30.0;
+};
+
+struct FailoverExperimentResult {
+  RunStats run;
+  bool failover_ran = false;
+  // Sleeping transactions at the kill: known to the dead primary, and how
+  // the promotion report split them (preserved + lost == at_kill).
+  int64_t sleeping_at_kill = 0;
+  int64_t sleeping_preserved = 0;
+  int64_t sleeping_lost = 0;
+  uint64_t truncated_records = 0;      // Unreplicated log suffix fenced off.
+  int64_t replication_lag_at_kill = 0;
+  uint64_t final_epoch = 1;
+  Duration failover_latency = 0;       // Kill -> promoted (virtual time).
+  // Conservation cross-check (subtract class only): what clients believe
+  // they committed vs the promoted primary's word vs the quantity actually
+  // drained from its database. Under sync shipping all three agree; async
+  // may lose acknowledged commits (the bench's point).
+  int64_t committed_subtracts = 0;
+  int64_t server_committed_subtracts = 0;
+  int64_t quantity_consumed = 0;
+  int64_t duplicates_suppressed = 0;
+  replica::ShipCounters ship;
+};
+
+FailoverExperimentResult RunFailoverExperiment(
+    const FailoverExperimentSpec& spec, const gtm::GtmOptions& options = {});
 
 // Runs the same arrival sequence against the strict-2PL baseline.
 ExperimentResult RunTwoPlExperiment(const GtmExperimentSpec& spec,

@@ -93,6 +93,36 @@ mobile::FaultTolerantGtmSession* GtmRunner::AddFaultTolerantSession(
   return raw;
 }
 
+mobile::GtmWaiter* GtmRunner::Resolve(TxnId txn) {
+  if (txn == kInvalidTxnId) return nullptr;
+  auto it = by_txn_.find(txn);
+  if (it != by_txn_.end()) return it->second;
+  // A session whose Begin was refused at arrival (dead primary) registered
+  // under kInvalidTxnId; bind it now that its retry succeeded.
+  for (const auto& s : ft_sessions_) {
+    if (s->txn() == txn && !s->finished()) {
+      by_txn_[txn] = s.get();
+      return s.get();
+    }
+  }
+  return nullptr;
+}
+
+// True if some live session is parked in a server-side wait — the one
+// stuck state only the timeout sweep can finish (a client whose abort was
+// swallowed by a dead-primary window leaves its waiters eventless). Other
+// unfinished sessions either have their own pending events or are beyond
+// the sweep's reach (e.g. their transaction died in an async failover),
+// so looping on them would never terminate.
+bool GtmRunner::AnySweepableFtSession() const {
+  for (const auto& s : ft_sessions_) {
+    if (s->finished() || s->txn() == kInvalidTxnId) continue;
+    Result<gtm::TxnState> st = gtm_->StateOf(s->txn());
+    if (st.ok() && st.value() == gtm::TxnState::kWaiting) return true;
+  }
+  return false;
+}
+
 void GtmRunner::Pump() {
   if (pumping_) return;
   pumping_ = true;
@@ -100,8 +130,8 @@ void GtmRunner::Pump() {
     std::vector<gtm::GtmEvent> events = gtm_->TakeEvents();
     if (events.empty()) break;
     for (const gtm::GtmEvent& e : events) {
-      auto it = by_txn_.find(e.txn);
-      if (it != by_txn_.end()) it->second->OnGranted();
+      mobile::GtmWaiter* w = Resolve(e.txn);
+      if (w != nullptr) w->OnGranted();
     }
   }
   pumping_ = false;
@@ -109,13 +139,16 @@ void GtmRunner::Pump() {
 
 void GtmRunner::SweepTimeouts() {
   for (TxnId victim : gtm_->AbortExpiredWaits(wait_timeout_)) {
-    auto it = by_txn_.find(victim);
-    if (it != by_txn_.end()) {
-      it->second->OnSystemAbort(AbortCause::kLockWaitTimeout);
-    }
+    mobile::GtmWaiter* w = Resolve(victim);
+    if (w != nullptr) w->OnSystemAbort(AbortCause::kLockWaitTimeout);
   }
   Pump();
-  if (!sim_->Idle()) {
+  // Keep sweeping while anything can still expire: an idle event queue is
+  // not proof of quiescence, because a waiter parked behind an orphaned
+  // transaction (its client gave up while the primary was dead, so the
+  // abort never landed) has no event of its own — only this sweep can
+  // finish it.
+  if (!sim_->Idle() || AnySweepableFtSession()) {
     sim_->After(wait_timeout_ / 2, [this] { SweepTimeouts(); });
   } else {
     sweep_scheduled_ = false;

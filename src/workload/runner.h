@@ -106,6 +106,11 @@ class GtmRunner {
  private:
   void Pump();
   void SweepTimeouts();
+  // by_txn_ lookup that tolerates late Begins: a fault-tolerant session
+  // that arrives while a replica group's primary is dead only gets its
+  // TxnId on a retry, after its arrival-time registration already ran.
+  mobile::GtmWaiter* Resolve(TxnId txn);
+  bool AnySweepableFtSession() const;
 
   gtm::GtmEndpoint* gtm_;
   sim::Simulator* sim_;

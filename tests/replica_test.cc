@@ -1,0 +1,244 @@
+// Primary/backup replication of the GTM: backups replay the primary's op
+// log into bit-identical state machines, sync vs async shipping, lossy
+// ship links, replicated *Once dedup, and the metrics/trace surfaces the
+// replication layer feeds.
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "gtm/metrics.h"
+#include "gtm/trace.h"
+#include "replica/replica.h"
+
+namespace preserial::replica {
+namespace {
+
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class ReplicaTest : public ::testing::Test {
+ protected:
+  void Build(ReplicaOptions opts) {
+    clock_.Set(0.0);
+    group_ = std::make_unique<ReplicatedGtm>(&clock_, gtm::GtmOptions{}, opts,
+                                             &ship_rng_);
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"qty", ValueType::kInt64, false},
+                            ColumnDef{"price", ValueType::kDouble, false},
+                        },
+                        0)
+                        .value();
+    ASSERT_TRUE(group_->CreateTable("obj", std::move(schema)).ok());
+    ASSERT_TRUE(group_
+                    ->InsertRow("obj", Row({Value::Int(0), Value::Int(100),
+                                            Value::Double(10.0)}))
+                    .ok());
+    semantics::LogicalDependencies deps;
+    deps.AddDependency(0, 1);
+    ASSERT_TRUE(
+        group_->RegisterObject("X", "obj", Value::Int(0), {1, 2}, deps).ok());
+  }
+
+  // A mixed workload touching every replicated decision kind: shared
+  // subtractions, an Algorithm-9 awake-abort, a queued waiter granted by a
+  // commit, and a voluntary abort.
+  void RunMixedWorkload() {
+    const TxnId a = group_->Begin();
+    const TxnId b = group_->Begin();
+    ASSERT_TRUE(group_->Invoke(a, "X", 0, Operation::Sub(Value::Int(1))).ok());
+    ASSERT_TRUE(group_->Invoke(b, "X", 0, Operation::Sub(Value::Int(2))).ok());
+    ASSERT_TRUE(group_->RequestCommit(a).ok());
+    ASSERT_TRUE(group_->RequestCommit(b).ok());
+    // A sleeper loses to an incompatible commit during its sleep (Alg 9).
+    const TxnId sleeper = group_->Begin();
+    ASSERT_TRUE(
+        group_->Invoke(sleeper, "X", 0, Operation::Sub(Value::Int(1))).ok());
+    clock_.Set(1.0);
+    ASSERT_TRUE(group_->Sleep(sleeper).ok());
+    clock_.Set(1.5);  // The incompatible commit must be after A_t_sleep.
+    const TxnId admin = group_->Begin();
+    ASSERT_TRUE(
+        group_->Invoke(admin, "X", 0, Operation::Assign(Value::Int(50))).ok());
+    ASSERT_TRUE(group_->RequestCommit(admin).ok());
+    clock_.Set(2.0);
+    EXPECT_EQ(group_->Awake(sleeper).code(), StatusCode::kAborted);
+    // A waiter queues behind an active assignment and is granted by its
+    // commit.
+    const TxnId holder = group_->Begin();
+    ASSERT_TRUE(
+        group_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(80)))
+            .ok());
+    const TxnId waiter = group_->Begin();
+    EXPECT_EQ(
+        group_->Invoke(waiter, "X", 0, Operation::Sub(Value::Int(1))).code(),
+        StatusCode::kWaiting);
+    ASSERT_TRUE(group_->RequestCommit(holder).ok());
+    EXPECT_EQ(group_->TakeEvents().size(), 1u);
+    ASSERT_TRUE(group_->RequestCommit(waiter).ok());
+    const TxnId d = group_->Begin();
+    ASSERT_TRUE(group_->Invoke(d, "X", 0, Operation::Sub(Value::Int(5))).ok());
+    ASSERT_TRUE(group_->RequestAbort(d).ok());
+  }
+
+  Value NodeCell(size_t node, size_t column) {
+    return group_->node(node)
+        ->db()
+        ->GetTable("obj")
+        .value()
+        ->GetColumnByKey(Value::Int(0), column)
+        .value();
+  }
+
+  void ExpectParity() {
+    for (size_t i = 0; i < group_->num_nodes(); ++i) {
+      SCOPED_TRACE(group_->node(i)->name());
+      EXPECT_EQ(group_->node(i)->last_applied(), group_->log().last_lsn());
+      EXPECT_EQ(NodeCell(i, 1), NodeCell(0, 1));
+      EXPECT_EQ(NodeCell(i, 2), NodeCell(0, 2));
+      const gtm::GtmCounters& c0 =
+          group_->node(0)->gtm()->metrics().counters();
+      const gtm::GtmCounters& ci =
+          group_->node(i)->gtm()->metrics().counters();
+      EXPECT_EQ(ci.committed, c0.committed);
+      EXPECT_EQ(ci.aborted, c0.aborted);
+      EXPECT_EQ(ci.sleeps, c0.sleeps);
+      EXPECT_EQ(ci.awakes, c0.awakes);
+      EXPECT_EQ(ci.waits, c0.waits);
+      EXPECT_EQ(ci.duplicates_suppressed, c0.duplicates_suppressed);
+      EXPECT_TRUE(group_->node(i)->gtm()->CheckInvariants().ok());
+    }
+  }
+
+  ManualClock clock_;
+  Rng ship_rng_{0x5eedULL};
+  std::unique_ptr<ReplicatedGtm> group_;
+};
+
+TEST_F(ReplicaTest, SyncBackupsMirrorPrimaryExactly) {
+  ReplicaOptions opts;
+  opts.num_backups = 2;
+  Build(opts);
+  RunMixedWorkload();
+  // -1 -2 shared, then Assign 50, Assign 80, -1 from the granted waiter.
+  EXPECT_EQ(NodeCell(0, 1), Value::Int(79));
+  EXPECT_EQ(group_->shipper()->Lag(), 0u);
+  ExpectParity();
+}
+
+TEST_F(ReplicaTest, AsyncShippingLagsUntilPumped) {
+  ReplicaOptions opts;
+  opts.num_backups = 1;
+  opts.ship.mode = ShipMode::kAsync;
+  opts.ship.window = 4;  // Small window: several rounds to drain.
+  Build(opts);
+  // Async ships only on Pump(), so even the bootstrap is still pending.
+  EXPECT_GT(group_->shipper()->Lag(), 0u);
+  RunMixedWorkload();
+  const uint64_t lag = group_->shipper()->Lag();
+  EXPECT_GT(lag, 0u);
+  EXPECT_EQ(group_->node(1)->last_applied(), 0u);
+  int rounds = 0;
+  while (group_->shipper()->Lag() > 0 && rounds < 100) {
+    ASSERT_TRUE(group_->Pump().ok());
+    ++rounds;
+  }
+  EXPECT_EQ(group_->shipper()->Lag(), 0u);
+  EXPECT_GT(rounds, 1);  // The window actually bounded each round.
+  ExpectParity();
+}
+
+TEST_F(ReplicaTest, LossyShipLinkStillConverges) {
+  ReplicaOptions opts;
+  opts.num_backups = 2;
+  opts.ship.loss = 0.3;
+  opts.ship.duplicate = 0.2;
+  Build(opts);
+  RunMixedWorkload();
+  ExpectParity();
+  const ShipCounters& c = group_->shipper()->counters();
+  EXPECT_GT(c.record_losses + c.ack_losses, 0);
+  EXPECT_GT(c.resends, 0);
+  // Lost acks make the shipper resend records the backup already applied;
+  // the backup absorbs them idempotently.
+  int64_t absorbed = 0;
+  for (size_t i = 1; i < group_->num_nodes(); ++i) {
+    absorbed += group_->node(i)->duplicates_applied();
+  }
+  EXPECT_GT(absorbed, 0);
+}
+
+TEST_F(ReplicaTest, OnceDedupStateReplicates) {
+  ReplicaOptions opts;
+  opts.num_backups = 1;
+  Build(opts);
+  const TxnId t = group_->Begin();
+  ASSERT_TRUE(
+      group_->InvokeOnce(t, 1, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  // The client retries the same request: a fresh log record whose dispatch
+  // hits the reply cache — on the primary AND on the backup.
+  ASSERT_TRUE(
+      group_->InvokeOnce(t, 1, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(group_->CommitOnce(t, 2).ok());
+  ASSERT_TRUE(group_->CommitOnce(t, 2).ok());
+  EXPECT_EQ(NodeCell(0, 1), Value::Int(99));
+  EXPECT_EQ(NodeCell(1, 1), Value::Int(99));
+  EXPECT_EQ(group_->node(0)->gtm()->metrics().counters().duplicates_suppressed,
+            2);
+  EXPECT_EQ(group_->node(1)->gtm()->metrics().counters().duplicates_suppressed,
+            2);
+}
+
+TEST_F(ReplicaTest, ShipAndAckAreTraced) {
+  ReplicaOptions opts;
+  opts.num_backups = 1;
+  Build(opts);
+  group_->primary_gtm()->trace()->Enable(128);
+  const TxnId t = group_->Begin();
+  ASSERT_TRUE(group_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(group_->RequestCommit(t).ok());
+  bool saw_ship = false, saw_ack = false;
+  for (const gtm::TraceEvent& e : group_->primary_gtm()->trace()->Snapshot()) {
+    if (e.kind == gtm::TraceEventKind::kShip) saw_ship = true;
+    if (e.kind == gtm::TraceEventKind::kShipAck) saw_ack = true;
+  }
+  EXPECT_TRUE(saw_ship);
+  EXPECT_TRUE(saw_ack);
+  EXPECT_STREQ(gtm::TraceEventKindName(gtm::TraceEventKind::kPromote),
+               "PROMOTE");
+}
+
+TEST_F(ReplicaTest, LagGaugeAndSnapshotMerge) {
+  ReplicaOptions opts;
+  opts.num_backups = 1;
+  opts.ship.mode = ShipMode::kAsync;
+  Build(opts);
+  const TxnId t = group_->Begin();
+  ASSERT_TRUE(group_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  const gtm::GtmCounters& c = group_->primary_gtm()->metrics().counters();
+  EXPECT_GT(c.replication_lag_records, 0);
+  while (group_->shipper()->Lag() > 0) ASSERT_TRUE(group_->Pump().ok());
+  EXPECT_EQ(c.replication_lag_records, 0);
+
+  // Satellite: MergeFrom surfaces per-replica lag and failover counters.
+  gtm::GtmMetrics::Snapshot a, b;
+  a.counters.replication_lag_records = 3;
+  a.counters.failovers_total = 1;
+  b.counters.replication_lag_records = 4;
+  b.counters.failovers_total = 2;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counters.replication_lag_records, 7);
+  EXPECT_EQ(a.counters.failovers_total, 3);
+  EXPECT_NE(a.Summary().find("replication:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace preserial::replica
