@@ -9,11 +9,12 @@
 #include "bench_util.h"
 #include "workload/gtm_experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace preserial;
   using workload::ExperimentResult;
   using workload::GtmExperimentSpec;
 
+  const bench::ObsFlags obs = bench::ParseObsFlags(argc, argv);
   bench::Banner(
       "Ablation: constraint-aware admission under scarce inventory");
   bench::TablePrinter table({"inventory", "policy", "committed",
@@ -54,5 +55,23 @@ int main() {
       "\nshape check: both policies sell exactly the inventory; with the "
       "policy on, the failures move from SST-time aborts (after the user "
       "did all the work) to up-front admission denials.");
+
+  if (obs.enabled()) {
+    GtmExperimentSpec spec;
+    spec.num_txns = 500;
+    spec.num_objects = 1;
+    spec.alpha = 1.0;
+    spec.beta = 0.0;
+    spec.interarrival = 0.5;
+    spec.work_time = 3.0;
+    spec.initial_quantity = 100;
+    spec.add_quantity_constraint = true;
+    spec.seed = 42;
+    spec.trace_capacity = obs.trace_capacity;
+    gtm::GtmOptions on;
+    on.constraint_aware_admission = true;
+    const ExperimentResult traced = RunGtmExperiment(spec, on);
+    bench::WriteObsOutputs(obs, traced.trace_events, traced.snapshot);
+  }
   return 0;
 }

@@ -42,15 +42,19 @@ int main(int argc, char** argv) {
       modes = {replica::ShipMode::kAsync};
     } else if (std::strcmp(argv[i], "--ship-mode=both") == 0) {
       modes = {replica::ShipMode::kSync, replica::ShipMode::kAsync};
+    } else if (std::strncmp(argv[i], "--trace", 7) == 0 ||
+               std::strncmp(argv[i], "--obs-out=", 10) == 0) {
+      // Handled by ParseObsFlags below.
     } else {
       std::fprintf(
           stderr,
           "usage: %s [--replicas=N] [--ship-mode=sync|async|both] "
-          "[--fail-at=T]\n",
+          "[--fail-at=T] [--trace[=N]] [--obs-out=PREFIX]\n",
           argv[0]);
       return 2;
     }
   }
+  const bench::ObsFlags obs = bench::ParseObsFlags(argc, argv);
   PRESERIAL_CHECK(replicas >= 1) << "need at least one backup to promote";
 
   FailoverExperimentSpec spec;
@@ -134,5 +138,13 @@ int main(int argc, char** argv) {
       "suffix at promotion, so lag at the kill turns into truncated "
       "records and potentially lost sleepers.");
   report.Finish();
+
+  if (obs.enabled()) {
+    FailoverExperimentSpec s = spec;
+    s.ship.mode = replica::ShipMode::kAsync;
+    s.base.trace_capacity = obs.trace_capacity;
+    const FailoverExperimentResult traced = RunFailoverExperiment(s);
+    bench::WriteObsOutputs(obs, traced.trace_events, traced.snapshot);
+  }
   return 0;
 }

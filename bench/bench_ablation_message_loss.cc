@@ -11,12 +11,13 @@
 #include "bench_util.h"
 #include "workload/gtm_experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace preserial;
   using workload::ChannelSpec;
   using workload::GtmExperimentSpec;
   using workload::LossyExperimentResult;
 
+  const bench::ObsFlags obs = bench::ParseObsFlags(argc, argv);
   GtmExperimentSpec base;
   base.num_txns = 800;
   base.num_objects = 5;
@@ -78,5 +79,15 @@ int main() {
       "flat (silent requests park and resume) while abort-on-loss decays "
       "with the chance that some request exhausts its budget.");
   report.Finish();
+
+  if (obs.enabled()) {
+    GtmExperimentSpec spec = base;
+    spec.trace_capacity = obs.trace_capacity;
+    ChannelSpec c = channel;
+    c.loss = 0.3;
+    c.degrade_to_sleep = true;
+    const LossyExperimentResult traced = RunLossyGtmExperiment(spec, c);
+    bench::WriteObsOutputs(obs, traced.trace_events, traced.snapshot);
+  }
   return 0;
 }

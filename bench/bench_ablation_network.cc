@@ -9,12 +9,13 @@
 #include "bench_util.h"
 #include "workload/gtm_experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace preserial;
   using workload::ExperimentResult;
   using workload::GtmExperimentSpec;
   using workload::TwoPlPolicy;
 
+  const bench::ObsFlags obs = bench::ParseObsFlags(argc, argv);
   GtmExperimentSpec base;
   base.num_txns = 800;
   base.num_objects = 5;
@@ -50,5 +51,13 @@ int main() {
       "\nshape check: latency stretches every transaction's lock-holding "
       "window; 2PL contention compounds while the GTM's compatible shares "
       "absorb it.");
+
+  if (obs.enabled()) {
+    GtmExperimentSpec spec = base;
+    spec.network_delay_mean = 0.5;
+    spec.trace_capacity = obs.trace_capacity;
+    const ExperimentResult traced = RunGtmExperiment(spec);
+    bench::WriteObsOutputs(obs, traced.trace_events, traced.snapshot);
+  }
   return 0;
 }

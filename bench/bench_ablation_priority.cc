@@ -13,6 +13,7 @@
 #include "common/stats.h"
 #include "gtm/gtm.h"
 #include "storage/database.h"
+#include "workload/gtm_experiment.h"
 #include "workload/runner.h"
 
 namespace {
@@ -107,8 +108,9 @@ RunOutcome RunWith(int admin_priority, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace preserial;
+  const bench::ObsFlags obs = bench::ParseObsFlags(argc, argv);
   bench::Banner(
       "Ablation: admin priority on a hot object (5 urgent assignments vs "
       "150 serialized updates)");
@@ -127,5 +129,22 @@ int main() {
   std::puts(
       "\nshape check: priority moves the admins to the head of every wait "
       "queue, cutting their latency at modest cost to the booking tail.");
+
+  if (obs.enabled()) {
+    // This bench drives the Gtm by hand, so the traced run reuses the
+    // stock experiment on a comparable hot-object contention profile.
+    workload::GtmExperimentSpec spec;
+    spec.num_txns = 400;
+    spec.num_objects = 1;
+    spec.alpha = 0.3;  // Mostly serialized assignments — deep wait queues.
+    spec.beta = 0.0;
+    spec.interarrival = 0.5;
+    spec.work_time = 2.0;
+    spec.seed = 42;
+    spec.trace_capacity = obs.trace_capacity;
+    const workload::ExperimentResult traced =
+        workload::RunGtmExperiment(spec);
+    bench::WriteObsOutputs(obs, traced.trace_events, traced.snapshot);
+  }
   return 0;
 }

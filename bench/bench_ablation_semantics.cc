@@ -8,7 +8,7 @@
 #include "bench_util.h"
 #include "workload/gtm_experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace preserial;
   using workload::ExperimentResult;
   using workload::GtmExperimentSpec;
@@ -48,5 +48,13 @@ int main() {
   std::puts(
       "\nshape check: the speedup from semantic sharing grows with alpha "
       "(more mutually-compatible subtractions).");
+
+  const bench::ObsFlags obs = bench::ParseObsFlags(argc, argv);
+  if (obs.enabled()) {
+    GtmExperimentSpec spec = base;
+    spec.trace_capacity = obs.trace_capacity;
+    const ExperimentResult traced = RunGtmExperiment(spec, with_sharing);
+    bench::WriteObsOutputs(obs, traced.trace_events, traced.snapshot);
+  }
   return 0;
 }

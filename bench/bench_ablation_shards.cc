@@ -175,6 +175,7 @@ WallResult RunWallClock(size_t num_shards, double ratio, size_t num_workers) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::ObsFlags obs = bench::ParseObsFlags(argc, argv);
   std::vector<size_t> shard_counts = {1, 2, 4};
   std::vector<double> ratios = {0.0, 0.2};
   for (int i = 1; i < argc; ++i) {
@@ -185,9 +186,13 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--cross-shard-ratio=", 20) == 0) {
       ratios = ParseDoubles(argv[i] + 20);
+    } else if (std::strncmp(argv[i], "--trace", 7) == 0 ||
+               std::strncmp(argv[i], "--obs-out=", 10) == 0) {
+      // Handled by ParseObsFlags above.
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--shards=1,2,4] [--cross-shard-ratio=0,0.2]\n",
+                   "usage: %s [--shards=1,2,4] [--cross-shard-ratio=0,0.2] "
+                   "[--trace[=N]] [--obs-out=PREFIX]\n",
                    argv[0]);
       return 2;
     }
@@ -293,5 +298,20 @@ int main(int argc, char** argv) {
     }
   }
   report.Finish();
+
+  if (obs.enabled()) {
+    workload::ShardedExperimentSpec spec;
+    spec.base.num_txns = 600;
+    spec.base.num_objects = 32;
+    spec.base.alpha = 0.8;
+    spec.base.beta = 0.05;
+    spec.base.seed = 42;
+    spec.base.trace_capacity = obs.trace_capacity;
+    spec.num_shards = 4;
+    spec.cross_shard_ratio = 0.2;
+    const workload::ShardedExperimentResult traced =
+        RunShardedGtmExperiment(spec);
+    bench::WriteObsOutputs(obs, traced.trace_events, traced.aggregate);
+  }
   return 0;
 }

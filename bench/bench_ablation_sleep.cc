@@ -7,11 +7,12 @@
 #include "bench_util.h"
 #include "workload/gtm_experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace preserial;
   using workload::ExperimentResult;
   using workload::GtmExperimentSpec;
 
+  const bench::ObsFlags obs = bench::ParseObsFlags(argc, argv);
   GtmExperimentSpec base;
   base.num_txns = 1000;
   base.num_objects = 5;
@@ -46,5 +47,13 @@ int main() {
       "\nshape check: without sleeping, every disconnection is an abort "
       "(abort%% tracks beta * alpha); with sleeping only the sleepers hit "
       "by an incompatible commit die.");
+
+  if (obs.enabled()) {
+    GtmExperimentSpec spec = base;
+    spec.beta = 0.2;
+    spec.trace_capacity = obs.trace_capacity;
+    const ExperimentResult traced = RunGtmExperiment(spec, with_sleep);
+    bench::WriteObsOutputs(obs, traced.trace_events, traced.snapshot);
+  }
   return 0;
 }

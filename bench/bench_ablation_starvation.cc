@@ -9,11 +9,12 @@
 #include "bench_util.h"
 #include "workload/gtm_experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace preserial;
   using workload::ExperimentResult;
   using workload::GtmExperimentSpec;
 
+  const bench::ObsFlags obs = bench::ParseObsFlags(argc, argv);
   GtmExperimentSpec spec;
   spec.num_txns = 1000;
   spec.num_objects = 2;       // Hot objects: heavy contention.
@@ -44,5 +45,14 @@ int main() {
       "\nshape check: threshold 0 (guard off) lets compatible newcomers "
       "stream past queued assignments, inflating tail latency; small "
       "thresholds cap the tail at some cost in mean latency.");
+
+  if (obs.enabled()) {
+    GtmExperimentSpec traced_spec = spec;
+    traced_spec.trace_capacity = obs.trace_capacity;
+    gtm::GtmOptions options;
+    options.starvation_waiter_threshold = 2;
+    const ExperimentResult traced = RunGtmExperiment(traced_spec, options);
+    bench::WriteObsOutputs(obs, traced.trace_events, traced.snapshot);
+  }
   return 0;
 }

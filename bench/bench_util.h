@@ -3,11 +3,15 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/strings.h"
+#include "gtm/metrics.h"
+#include "gtm/trace.h"
+#include "obs/export.h"
 
 namespace preserial::bench {
 
@@ -197,6 +201,60 @@ class Report {
   TablePrinter table_{{}};
   std::vector<std::string> cells_;
 };
+
+// Observability flags shared by every bench binary:
+//   --trace[=N]       enable trace logs with capacity N (default 4096)
+//   --obs-out=PREFIX  write PREFIX.trace.json (Chrome trace_event),
+//                     PREFIX.metrics.prom (Prometheus text) and
+//                     PREFIX.events.jsonl after the run; implies --trace
+struct ObsFlags {
+  size_t trace_capacity = 0;  // 0 = tracing off.
+  std::string out_prefix;     // Empty = no files written.
+
+  bool enabled() const { return trace_capacity > 0; }
+};
+
+inline ObsFlags ParseObsFlags(int argc, char** argv) {
+  ObsFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      flags.trace_capacity = 4096;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      flags.trace_capacity =
+          static_cast<size_t>(std::strtoull(arg.c_str() + 8, nullptr, 10));
+    } else if (arg.rfind("--obs-out=", 0) == 0) {
+      flags.out_prefix = arg.substr(10);
+      if (flags.trace_capacity == 0) flags.trace_capacity = 4096;
+    }
+  }
+  return flags;
+}
+
+inline bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+// Writes the three exporter outputs for one traced run. No-op without
+// --obs-out.
+inline void WriteObsOutputs(const ObsFlags& flags,
+                            const std::vector<gtm::TraceEvent>& events,
+                            const gtm::GtmMetrics::Snapshot& snapshot) {
+  if (flags.out_prefix.empty()) return;
+  WriteTextFile(flags.out_prefix + ".trace.json", obs::ToChromeTrace(events));
+  WriteTextFile(flags.out_prefix + ".metrics.prom",
+                obs::ToPrometheus(snapshot));
+  WriteTextFile(flags.out_prefix + ".events.jsonl", obs::ToJsonl(events));
+  std::fprintf(stderr, "obs: wrote %s.{trace.json,metrics.prom,events.jsonl} (%zu events)\n",
+               flags.out_prefix.c_str(), events.size());
+}
 
 }  // namespace preserial::bench
 

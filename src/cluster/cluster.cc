@@ -17,6 +17,7 @@ GtmCluster::GtmCluster(size_t num_shards, const Clock* clock,
     dbs_.push_back(std::make_unique<storage::Database>());
     shards_.push_back(
         std::make_unique<gtm::Gtm>(dbs_.back().get(), clock, options));
+    shards_.back()->trace()->set_default_shard(static_cast<int>(s));
   }
 }
 
@@ -31,6 +32,7 @@ GtmCluster::GtmCluster(size_t num_shards, const Clock* clock,
       dbs_.push_back(std::make_unique<storage::Database>());
       shards_.push_back(
           std::make_unique<gtm::Gtm>(dbs_.back().get(), clock, options.gtm));
+      shards_.back()->trace()->set_default_shard(static_cast<int>(s));
     }
     return;
   }
@@ -43,6 +45,12 @@ GtmCluster::GtmCluster(size_t num_shards, const Clock* clock,
   for (size_t s = 0; s < num_shards; ++s) {
     groups_.push_back(std::make_unique<replica::ReplicatedGtm>(
         clock, options.gtm, ropts, ship_rng_.get()));
+    // Stamp every node, not just the primary: a promoted backup keeps
+    // recording under the same shard lane.
+    replica::ReplicatedGtm* g = groups_.back().get();
+    for (size_t n = 0; n < g->num_nodes(); ++n) {
+      g->node(n)->gtm()->trace()->set_default_shard(static_cast<int>(s));
+    }
   }
 }
 
@@ -121,6 +129,17 @@ Status GtmCluster::InsertRow(ShardId s, const std::string& table,
 Result<storage::Value> GtmCluster::PermanentValue(
     const gtm::ObjectId& id, semantics::MemberId member) const {
   return shard(ShardOf(id))->PermanentValue(id, member);
+}
+
+obs::ClusterExplain GtmCluster::Explain() const {
+  obs::ClusterExplain out;
+  for (size_t s = 0; s < num_shards(); ++s) {
+    obs::GtmExplain ex = shard(s)->Explain();
+    ex.shard = static_cast<int>(s);
+    out.now = ex.now;
+    out.shards.push_back(std::move(ex));
+  }
+  return out;
 }
 
 gtm::GtmMetrics::Snapshot GtmCluster::AggregateSnapshot() const {

@@ -98,6 +98,10 @@ class GtmCluster : public ShardBackend {
   }
   gtm::GtmMetrics::Snapshot AggregateSnapshot() const;
 
+  // Cluster-wide introspection: every shard's (current primary's)
+  // Gtm::Explain(), shard ids stamped.
+  obs::ClusterExplain Explain() const;
+
   // --- replica-group control (replicated clusters only) --------------------
   void KillShardPrimary(ShardId s) { groups_[s]->KillPrimary(); }
   bool ShardPrimaryAlive(ShardId s) const {

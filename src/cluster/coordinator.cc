@@ -14,6 +14,13 @@ ClusterCoordinator::ClusterCoordinator(ShardBackend* shards,
                                        storage::WalStorage* wal_storage)
     : shards_(shards), wal_storage_(wal_storage), wal_(wal_storage) {}
 
+void ClusterCoordinator::Trace(gtm::TraceEventKind kind, TxnId global,
+                               std::string detail) {
+  if (trace_ == nullptr) return;
+  trace_->Record(clock_ == nullptr ? 0 : clock_->Now(), kind, global, "",
+                 std::move(detail));
+}
+
 Status ClusterCoordinator::CommitGlobal(
     TxnId global, const std::vector<std::pair<ShardId, TxnId>>& branches) {
   if (branches.empty()) {
@@ -24,6 +31,8 @@ Status ClusterCoordinator::CommitGlobal(
   // branches to re-drive whatever happens next.
   PRESERIAL_RETURN_IF_ERROR(
       wal_.LogClusterPrepare(global, {branches.begin(), branches.end()}));
+  Trace(gtm::TraceEventKind::kTwoPcPrepare, global,
+        StrFormat("branches=%zu", branches.size()));
 
   // Phase 1: collect votes in shard order. The first no-vote decides abort.
   for (size_t i = 0; i < branches.size(); ++i) {
@@ -68,6 +77,8 @@ Status ClusterCoordinator::AbortGlobal(
 Status ClusterCoordinator::DriveCommit(
     TxnId global, const std::vector<std::pair<ShardId, TxnId>>& branches) {
   ++counters_.commits;
+  Trace(gtm::TraceEventKind::kTwoPcCommit, global,
+        StrFormat("branches=%zu", branches.size()));
   for (const auto& [shard, branch] : branches) {
     Status s = shards_->CommitPrepared(shard, branch);
     if (!s.ok()) {
@@ -89,6 +100,8 @@ Status ClusterCoordinator::DriveAbort(
     TxnId global, const std::vector<std::pair<ShardId, TxnId>>& branches) {
   PRESERIAL_RETURN_IF_ERROR(wal_.LogClusterAbort(global));
   ++counters_.aborts;
+  Trace(gtm::TraceEventKind::kTwoPcAbort, global,
+        StrFormat("branches=%zu", branches.size()));
   for (const auto& [shard, branch] : branches) {
     (void)shards_->AbortBranch(shard, branch);
   }

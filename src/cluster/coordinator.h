@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "cluster/shard_map.h"
+#include "common/clock.h"
 #include "common/ids.h"
 #include "common/status.h"
+#include "gtm/trace.h"
 #include "storage/wal.h"
 
 namespace preserial::cluster {
@@ -93,6 +95,14 @@ class ClusterCoordinator {
   // leaving shards as they are) at the given point, then re-arms to kNone.
   void set_crash_point(CrashPoint p) { crash_point_ = p; }
 
+  // Opt-in tracing: records kTwoPcPrepare / kTwoPcCommit / kTwoPcAbort into
+  // `trace` (typically the router's log) at `clock` time, under whatever
+  // ambient span drove the commit. Both pointers must outlive this.
+  void EnableTracing(gtm::TraceLog* trace, const Clock* clock) {
+    trace_ = trace;
+    clock_ = clock;
+  }
+
   const Counters& counters() const { return counters_; }
 
  private:
@@ -102,12 +112,15 @@ class ClusterCoordinator {
                     const std::vector<std::pair<ShardId, TxnId>>& branches);
   Status DriveCommit(TxnId global,
                      const std::vector<std::pair<ShardId, TxnId>>& branches);
+  void Trace(gtm::TraceEventKind kind, TxnId global, std::string detail);
 
   ShardBackend* shards_;
   storage::WalStorage* wal_storage_;
   storage::WalWriter wal_;
   CrashPoint crash_point_ = CrashPoint::kNone;
   Counters counters_;
+  gtm::TraceLog* trace_ = nullptr;
+  const Clock* clock_ = nullptr;
 };
 
 }  // namespace preserial::cluster

@@ -4,14 +4,16 @@
 #include <set>
 
 #include "common/strings.h"
+#include "obs/trace_context.h"
 
 namespace preserial::cluster {
 
 using gtm::GtmEvent;
 using gtm::TxnState;
 
-GtmRouter::GtmRouter(GtmCluster* cluster, ClusterCoordinator* coordinator)
-    : cluster_(cluster), coordinator_(coordinator) {
+GtmRouter::GtmRouter(GtmCluster* cluster, ClusterCoordinator* coordinator,
+                     const Clock* clock)
+    : cluster_(cluster), coordinator_(coordinator), clock_(clock) {
   branch_to_global_.resize(cluster_->num_shards());
 }
 
@@ -30,20 +32,28 @@ TxnId GtmRouter::Begin(int priority) {
   GlobalTxn g;
   g.priority = priority;
   globals_.emplace(id, std::move(g));
+  trace_.Record(Now(), gtm::TraceEventKind::kBegin, id, "", "global");
   return id;
 }
 
 TxnId GtmRouter::BranchFor(TxnId txn, GlobalTxn* g, ShardId shard) {
   auto it = g->branches.find(shard);
   if (it != g->branches.end()) return it->second;
+  // The branch gets its own span under the caller's request span, so every
+  // shard-side event of this branch hangs off the request that opened it.
+  obs::SpanScope span(obs::ChildOf(obs::CurrentContext()));
   const TxnId branch = cluster_->endpoint(shard)->Begin(g->priority);
   g->branches.emplace(shard, branch);
   branch_to_global_[shard].emplace(branch, txn);
+  if (trace_.enabled()) {
+    trace_.Record(Now(), gtm::TraceEventKind::kBranchBegin, txn, "",
+                  StrFormat("shard=%zu branch=%llu", shard,
+                            static_cast<unsigned long long>(branch)));
+  }
   return branch;
 }
 
 void GtmRouter::InvalidateAll(TxnId txn, GlobalTxn* g) {
-  (void)txn;
   for (const auto& [shard, branch] : g->branches) {
     Result<TxnState> st = cluster_->endpoint(shard)->StateOf(branch);
     if (!st.ok()) continue;
@@ -59,6 +69,7 @@ void GtmRouter::InvalidateAll(TxnId txn, GlobalTxn* g) {
   }
   g->terminal = TxnState::kAborted;
   ++aborted_;
+  trace_.Record(Now(), gtm::TraceEventKind::kAbort, txn, "", "global");
 }
 
 void GtmRouter::CheckUnilateralAborts(TxnId txn, GlobalTxn* g) {
@@ -121,6 +132,7 @@ Status GtmRouter::RequestCommit(TxnId txn) {
     // Read-nothing transaction: trivially committed.
     g->terminal = TxnState::kCommitted;
     ++committed_;
+    trace_.Record(Now(), gtm::TraceEventKind::kCommit, txn, "", "global");
     return Status::Ok();
   }
 
@@ -131,9 +143,12 @@ Status GtmRouter::RequestCommit(TxnId txn) {
     if (s.ok()) {
       g->terminal = TxnState::kCommitted;
       ++committed_;
+      trace_.Record(Now(), gtm::TraceEventKind::kCommit, txn, "",
+                    "global one-phase");
     } else if (s.code() == StatusCode::kAborted) {
       g->terminal = TxnState::kAborted;
       ++aborted_;
+      trace_.Record(Now(), gtm::TraceEventKind::kAbort, txn, "", "global");
     }
     return s;
   }
@@ -144,9 +159,12 @@ Status GtmRouter::RequestCommit(TxnId txn) {
   if (s.ok()) {
     g->terminal = TxnState::kCommitted;
     ++committed_;
+    trace_.Record(Now(), gtm::TraceEventKind::kCommit, txn, "",
+                  "global two-phase");
   } else if (s.code() == StatusCode::kAborted) {
     g->terminal = TxnState::kAborted;
     ++aborted_;
+    trace_.Record(Now(), gtm::TraceEventKind::kAbort, txn, "", "global");
   }
   // kUnavailable (injected coordinator crash) leaves the transaction in
   // doubt: no terminal state; a successor coordinator's Recover() settles
@@ -195,6 +213,7 @@ Status GtmRouter::Sleep(TxnId txn) {
     }
     if (!s.ok()) return s;
   }
+  trace_.Record(Now(), gtm::TraceEventKind::kSleep, txn, "", "global fan-out");
   return Status::Ok();
 }
 
@@ -221,6 +240,7 @@ Status GtmRouter::Awake(TxnId txn) {
     }
     if (!s.ok()) return s;
   }
+  trace_.Record(Now(), gtm::TraceEventKind::kAwake, txn, "", "global fan-out");
   return Status::Ok();
 }
 

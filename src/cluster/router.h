@@ -10,7 +10,9 @@
 
 #include "cluster/cluster.h"
 #include "cluster/coordinator.h"
+#include "common/clock.h"
 #include "gtm/endpoint.h"
+#include "gtm/trace.h"
 
 namespace preserial::cluster {
 
@@ -32,7 +34,11 @@ namespace preserial::cluster {
 // synchronized, like Gtm.
 class GtmRouter : public gtm::GtmEndpoint {
  public:
-  GtmRouter(GtmCluster* cluster, ClusterCoordinator* coordinator);
+  // `clock`, when given, timestamps the router's own trace events (global
+  // begin/terminal transitions, branch creation); without it they record
+  // at time 0. The trace itself is off until trace()->Enable(capacity).
+  GtmRouter(GtmCluster* cluster, ClusterCoordinator* coordinator,
+            const Clock* clock = nullptr);
 
   TxnId Begin(int priority = 0) override;
   Status Invoke(TxnId txn, const gtm::ObjectId& object,
@@ -70,6 +76,12 @@ class GtmRouter : public gtm::GtmEndpoint {
   int64_t committed() const { return committed_; }
   int64_t aborted() const { return aborted_; }
 
+  // Router-lane trace: global-transaction lifecycle (kBegin, kBranchBegin,
+  // terminal kCommit/kAbort, fan-out kSleep/kAwake), correlated with the
+  // shard-lane events through the caller's ambient TraceContext.
+  gtm::TraceLog* trace() { return &trace_; }
+  const gtm::TraceLog* trace() const { return &trace_; }
+
  private:
   struct GlobalTxn {
     int priority = 0;
@@ -94,9 +106,12 @@ class GtmRouter : public gtm::GtmEndpoint {
   void InvalidateAll(TxnId txn, GlobalTxn* g);
   Status ExecuteOnceRouted(TxnId txn, uint64_t seq,
                            const std::function<Status()>& call);
+  TimePoint Now() const { return clock_ == nullptr ? 0 : clock_->Now(); }
 
   GtmCluster* cluster_;
   ClusterCoordinator* coordinator_;
+  const Clock* clock_;
+  gtm::TraceLog trace_;
   TxnId next_global_ = 1;
   std::map<TxnId, GlobalTxn> globals_;
   // Per shard: branch txn id -> global txn id (event translation).

@@ -81,11 +81,12 @@ double Histogram::Percentile(double q) const {
 }
 
 std::string Histogram::Summary() const {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "n=%lld mean=%.4f p50=%.4f p95=%.4f p99=%.4f max=%.4f",
-                static_cast<long long>(count()), mean(), p50(), p95(), p99(),
-                Percentile(1.0));
+  char buf[192];
+  std::snprintf(
+      buf, sizeof(buf),
+      "n=%lld mean=%.4f p50=%.4f p90=%.4f p95=%.4f p99=%.4f max=%.4f",
+      static_cast<long long>(count()), mean(), p50(), p90(), p95(), p99(),
+      Percentile(1.0));
   return buf;
 }
 

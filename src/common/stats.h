@@ -50,10 +50,11 @@ class Histogram {
   // empty.
   double Percentile(double q) const;
   double p50() const { return Percentile(0.50); }
+  double p90() const { return Percentile(0.90); }
   double p95() const { return Percentile(0.95); }
   double p99() const { return Percentile(0.99); }
 
-  // One-line summary "n=... mean=... p50=... p95=... max=...".
+  // One-line summary "n=... mean=... p50=... p90=... p95=... p99=... max=...".
   std::string Summary() const;
 
  private:

@@ -976,8 +976,9 @@ std::vector<TxnId> Gtm::DetectAndResolveDeadlocks() {
   return victims;
 }
 
-lock::WaitsForGraph Gtm::BuildWaitsForGraph() const {
-  lock::WaitsForGraph wfg;
+void Gtm::ForEachWaitEdge(
+    const std::function<void(TxnId waiter, TxnId holder,
+                             const ObjectId& object)>& fn) const {
   for (const auto& [oid, obj] : objects_) {
     for (size_t i = 0; i < obj->waiting.size(); ++i) {
       const WaitEntry& w = obj->waiting[i];
@@ -987,7 +988,7 @@ lock::WaitsForGraph Gtm::BuildWaitsForGraph() const {
         if (holder == w.txn || obj->IsSleeping(holder)) continue;
         for (const auto& [m, cls] : ops) {
           if (EffectiveConflict(cls, w.op.cls, m, w.member, obj->deps)) {
-            wfg.AddEdge(w.txn, holder);
+            fn(w.txn, holder, oid);
             break;
           }
         }
@@ -996,7 +997,7 @@ lock::WaitsForGraph Gtm::BuildWaitsForGraph() const {
         if (holder == w.txn) continue;
         for (const auto& [m, cls] : ops) {
           if (EffectiveConflict(cls, w.op.cls, m, w.member, obj->deps)) {
-            wfg.AddEdge(w.txn, holder);
+            fn(w.txn, holder, oid);
             break;
           }
         }
@@ -1007,12 +1008,117 @@ lock::WaitsForGraph Gtm::BuildWaitsForGraph() const {
         if (earlier.txn == w.txn || obj->IsSleeping(earlier.txn)) continue;
         if (EffectiveConflict(earlier.op.cls, w.op.cls, earlier.member,
                               w.member, obj->deps)) {
-          wfg.AddEdge(w.txn, earlier.txn);
+          fn(w.txn, earlier.txn, oid);
         }
       }
     }
   }
+}
+
+lock::WaitsForGraph Gtm::BuildWaitsForGraph() const {
+  lock::WaitsForGraph wfg;
+  ForEachWaitEdge([&wfg](TxnId waiter, TxnId holder, const ObjectId&) {
+    wfg.AddEdge(waiter, holder);
+  });
   return wfg;
+}
+
+obs::GtmExplain Gtm::Explain() const {
+  obs::GtmExplain out;
+  out.now = clock_->Now();
+  out.shard = trace_.default_shard();
+
+  for (const auto& [oid, obj] : objects_) {
+    if (obj->pending.empty() && obj->waiting.empty() &&
+        obj->committing.empty() && obj->sleeping.empty()) {
+      continue;  // Quiet object: nothing to explain.
+    }
+    obs::ObjectInfo info;
+    info.id = oid;
+    for (const auto& [txn, ops] : obj->pending) {
+      obs::HolderInfo h;
+      h.txn = txn;
+      h.sleeping = obj->IsSleeping(txn);
+      for (const auto& [m, cls] : ops) h.ops[m] = semantics::OpClassName(cls);
+      info.holders.push_back(std::move(h));
+    }
+    for (const auto& [txn, ops] : obj->committing) {
+      obs::HolderInfo h;
+      h.txn = txn;
+      h.committing = true;
+      for (const auto& [m, cls] : ops) h.ops[m] = semantics::OpClassName(cls);
+      info.holders.push_back(std::move(h));
+    }
+    for (const WaitEntry& w : obj->waiting) {
+      obs::WaitInfo wi;
+      wi.txn = w.txn;
+      wi.member = w.member;
+      wi.op_class = semantics::OpClassName(w.op.cls);
+      wi.since = w.arrival;
+      wi.waited = out.now - w.arrival;
+      wi.priority = w.priority;
+      info.waiters.push_back(std::move(wi));
+    }
+    info.sleeping.assign(obj->sleeping.begin(), obj->sleeping.end());
+    info.committed_retained = obj->committed.size();
+    out.objects.push_back(std::move(info));
+  }
+
+  for (const auto& [id, t] : txns_) {
+    if (!IsLive(t->state())) continue;
+    obs::TxnInfo ti;
+    ti.txn = id;
+    ti.state = t->state();
+    ti.priority = t->priority();
+    ti.begin_time = t->begin_time();
+    ti.age = out.now - t->begin_time();
+    ti.total_wait_time = t->total_wait_time;
+    ti.total_sleep_time = t->total_sleep_time;
+    ti.ops_executed = t->ops_executed;
+    ti.involved.assign(t->involved().begin(), t->involved().end());
+    out.txns.push_back(std::move(ti));
+  }
+
+  ForEachWaitEdge([&out](TxnId waiter, TxnId holder, const ObjectId& object) {
+    out.wait_edges.push_back(obs::WaitEdge{waiter, holder, object});
+  });
+
+  // Algorithm 9, evaluated read-only: the same AwakeConflict check Awake()
+  // will run, so the verdict here is exactly what a real Awake would do if
+  // nothing changes in between.
+  for (const auto& [id, t] : txns_) {
+    if (t->state() != TxnState::kSleeping) continue;
+    obs::SleeperVerdict v;
+    v.txn = id;
+    v.sleep_since = t->sleep_since();
+    v.asleep_for = out.now - v.sleep_since;
+    for (const ObjectId& oid : t->involved()) {
+      auto it = objects_.find(oid);
+      if (it == objects_.end()) continue;
+      const ObjectState& obj = *it->second;
+      std::optional<TxnId> blocker = AwakeConflict(obj, id, v.sleep_since);
+      if (!blocker) continue;
+      v.will_abort = true;
+      v.object = oid;
+      v.blocker = *blocker;
+      if (obj.IsPending(*blocker) || obj.committing.count(*blocker) > 0) {
+        v.reason = StrFormat(
+            "live incompatible holder txn %llu on %s",
+            static_cast<unsigned long long>(*blocker), oid.c_str());
+      } else {
+        for (const CommittedEntry& c : obj.committed) {
+          if (c.txn == *blocker) v.blocker_commit_time = c.commit_time;
+        }
+        v.reason = StrFormat(
+            "txn %llu committed on %s at X_tc=%.3f > A_t_sleep=%.3f",
+            static_cast<unsigned long long>(*blocker), oid.c_str(),
+            v.blocker_commit_time, v.sleep_since);
+      }
+      break;
+    }
+    out.sleepers.push_back(std::move(v));
+  }
+  return out;
 }
 
 // --- invariants --------------------------------------------------------------------

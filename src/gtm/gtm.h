@@ -21,6 +21,7 @@
 #include "gtm/sst.h"
 #include "gtm/trace.h"
 #include "lock/waits_for_graph.h"
+#include "obs/explain.h"
 #include "semantics/operation.h"
 #include "storage/database.h"
 
@@ -197,6 +198,13 @@ class Gtm : public GtmEndpoint {
   // Waits-for graph over waiting transactions (for tests and diagnostics).
   lock::WaitsForGraph BuildWaitsForGraph() const;
 
+  // Full introspection snapshot: live lock table (sharing sets + wait
+  // queues), waits-for edges with the object that induces each, live
+  // transactions, and — for every Sleeping transaction — the Algorithm 9
+  // verdict (would Awake() abort right now, and why) evaluated without
+  // side effects. Render with obs::GtmExplain::ToString().
+  obs::GtmExplain Explain() const;
+
   // Cross-checks internal invariants (object/txn agreement, queue
   // consistency); used heavily by the test suite.
   Status CheckInvariants() const;
@@ -242,6 +250,12 @@ class Gtm : public GtmEndpoint {
 
   // Alg 11 generalization: admit the FIFO prefix of admissible waiters.
   void PumpWaiters(ObjectState* obj);
+
+  // Enumerates blocking edges (waiter -> holder, induced by object) —
+  // shared by BuildWaitsForGraph and Explain.
+  void ForEachWaitEdge(
+      const std::function<void(TxnId waiter, TxnId holder,
+                               const ObjectId& object)>& fn) const;
 
   // Phase 1 of the 2PC split (Alg 3 local commit): reconcile + validate and
   // park `t` in Committing. Shared by RequestCommit and Prepare.

@@ -1,5 +1,7 @@
 #include "gtm/metrics.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace preserial::gtm {
@@ -50,9 +52,11 @@ std::string FormatSummary(const GtmCounters& c, const Histogram& exec,
                    static_cast<long long>(c.sst_injected_failures));
   out += StrFormat("dedup: duplicates_suppressed=%lld\n",
                    static_cast<long long>(c.duplicates_suppressed));
-  out += StrFormat("replication: lag_records=%lld failovers=%lld\n",
-                   static_cast<long long>(c.replication_lag_records),
-                   static_cast<long long>(c.failovers_total));
+  out += StrFormat(
+      "replication: lag_records=%lld lag_max_records=%lld failovers=%lld\n",
+      static_cast<long long>(c.replication_lag_records),
+      static_cast<long long>(c.replication_lag_max_records),
+      static_cast<long long>(c.failovers_total));
   out += "exec_time: " + exec.Summary() + "\n";
   out += "wait_time: " + wait.Summary() + "\n";
   return out;
@@ -90,6 +94,8 @@ void GtmCounters::MergeFrom(const GtmCounters& other) {
   admission_denials += other.admission_denials;
   replication_lag_records += other.replication_lag_records;
   failovers_total += other.failovers_total;
+  replication_lag_max_records =
+      std::max(replication_lag_max_records, other.replication_lag_max_records);
 }
 
 void GtmMetrics::Snapshot::MergeFrom(const Snapshot& other) {

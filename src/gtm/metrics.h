@@ -57,9 +57,14 @@ struct GtmCounters {
   // this Gtm won (stamped on the new primary).
   int64_t replication_lag_records = 0;
   int64_t failovers_total = 0;
+  // Worst-group lag gauge: summed lag hides a single straggling group
+  // behind healthy ones, so the max is tracked separately. Set alongside
+  // replication_lag_records on every ship round; merging takes the max.
+  int64_t replication_lag_max_records = 0;
 
-  // Field-wise sum; the mirror counters (sst_*) add like the rest, which is
-  // correct when each source is a distinct Gtm (shard).
+  // Field-wise sum (replication_lag_max_records merges by max); the mirror
+  // counters (sst_*) add like the rest, which is correct when each source
+  // is a distinct Gtm (shard).
   void MergeFrom(const GtmCounters& other);
 };
 

@@ -1,8 +1,15 @@
 #include "gtm/trace.h"
 
 #include "common/strings.h"
+#include "obs/trace_context.h"
 
 namespace preserial::gtm {
+
+// Adding a TraceEventKind? Extend TraceEventKindName below, then bump this
+// count (and kTraceEventKindCount follows the last enumerator in trace.h).
+static_assert(kTraceEventKindCount == 24,
+              "TraceEventKind changed: update TraceEventKindName and this "
+              "static_assert together");
 
 const char* TraceEventKindName(TraceEventKind kind) {
   switch (kind) {
@@ -36,6 +43,24 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "SHIP_ACK";
     case TraceEventKind::kPromote:
       return "PROMOTE";
+    case TraceEventKind::kClientSend:
+      return "CLIENT_SEND";
+    case TraceEventKind::kClientRetry:
+      return "CLIENT_RETRY";
+    case TraceEventKind::kClientDegrade:
+      return "CLIENT_DEGRADE";
+    case TraceEventKind::kClientReconnect:
+      return "CLIENT_RECONNECT";
+    case TraceEventKind::kBranchBegin:
+      return "BRANCH_BEGIN";
+    case TraceEventKind::kTwoPcPrepare:
+      return "2PC_PREPARE";
+    case TraceEventKind::kTwoPcCommit:
+      return "2PC_COMMIT";
+    case TraceEventKind::kTwoPcAbort:
+      return "2PC_ABORT";
+    case TraceEventKind::kWatchdog:
+      return "WATCHDOG";
   }
   return "?";
 }
@@ -46,6 +71,13 @@ std::string TraceEvent::ToString() const {
                             TraceEventKindName(kind));
   if (!object.empty()) s += " " + object;
   if (!detail.empty()) s += " (" + detail + ")";
+  if (shard >= 0) s += StrFormat(" [shard %d]", shard);
+  if (trace != 0) {
+    s += StrFormat(" {trace=%llu span=%llu parent=%llu}",
+                   static_cast<unsigned long long>(trace),
+                   static_cast<unsigned long long>(span),
+                   static_cast<unsigned long long>(parent));
+  }
   return s;
 }
 
@@ -59,9 +91,12 @@ void TraceLog::Enable(size_t capacity) {
 void TraceLog::Record(TimePoint time, TraceEventKind kind, TxnId txn,
                       std::string object, std::string detail) {
   ++total_recorded_;
-  if (capacity_ == 0) return;
-  ring_[next_] = TraceEvent{time, kind, txn, std::move(object),
-                            std::move(detail)};
+  if (capacity_ == 0) return;  // Disabled: no context read, no allocation.
+  const obs::TraceContext& ctx = obs::CurrentContext();
+  ring_[next_] = TraceEvent{time,          kind,      txn,
+                            std::move(object), std::move(detail),
+                            ctx.trace,     ctx.span,  ctx.parent,
+                            default_shard_};
   next_ = (next_ + 1) % capacity_;
   if (size_ < capacity_) ++size_;
 }

@@ -29,7 +29,25 @@ enum class TraceEventKind {
   kShip,     // A log record left the primary for a backup.
   kShipAck,  // A backup's cumulative ack advanced.
   kPromote,  // A backup was promoted to primary (recorded on the winner).
+  // Client transport (src/mobile/). Recorded against the client's TraceLog.
+  kClientSend,       // A logical request was issued (first attempt).
+  kClientRetry,      // A silent attempt timed out; backed off and resent.
+  kClientDegrade,    // Retry budget exhausted; degrading to Sleep.
+  kClientReconnect,  // Back online: Awake + resend of the pending request.
+  // Cluster (src/cluster/). Recorded against the router's TraceLog.
+  kBranchBegin,   // Router opened a branch of a global txn on a shard.
+  kTwoPcPrepare,  // Coordinator started phase 1 for a global commit.
+  kTwoPcCommit,   // Coordinator decided commit and drove phase 2.
+  kTwoPcAbort,    // Coordinator decided abort and drove phase 2.
+  // Observability (src/obs/).
+  kWatchdog,  // Slow-txn/long-sleep threshold tripped; Explain emitted.
 };
+
+// Number of TraceEventKind values. Keep last: the static_assert in trace.cc
+// and the obs exhaustiveness test both key off it, so a new kind without a
+// TraceEventKindName entry fails loudly instead of rendering as "?".
+inline constexpr size_t kTraceEventKindCount =
+    static_cast<size_t>(TraceEventKind::kWatchdog) + 1;
 
 const char* TraceEventKindName(TraceEventKind kind);
 
@@ -39,6 +57,13 @@ struct TraceEvent {
   TxnId txn = kInvalidTxnId;
   std::string object;  // Empty for transaction-level events.
   std::string detail;
+  // Correlation fields, stamped by TraceLog::Record from the thread's
+  // ambient obs::TraceContext (zero when recorded outside any SpanScope)
+  // and the log's default shard (-1 for unsharded deployments).
+  uint64_t trace = 0;
+  uint64_t span = 0;
+  uint64_t parent = 0;
+  int shard = -1;
 
   std::string ToString() const;
 };
@@ -62,6 +87,11 @@ class TraceLog {
   // Events of one transaction, chronological.
   std::vector<TraceEvent> ForTxn(TxnId txn) const;
 
+  // Shard id stamped on every event this log records (a cluster stamps each
+  // shard's Gtm trace at construction). -1 = not part of a sharded cluster.
+  void set_default_shard(int shard) { default_shard_ = shard; }
+  int default_shard() const { return default_shard_; }
+
   size_t size() const { return size_; }
   int64_t total_recorded() const { return total_recorded_; }
   void Clear();
@@ -75,6 +105,7 @@ class TraceLog {
   size_t next_ = 0;   // Slot for the next write.
   size_t size_ = 0;   // Live entries (<= capacity).
   int64_t total_recorded_ = 0;
+  int default_shard_ = -1;
 };
 
 }  // namespace preserial::gtm

@@ -24,7 +24,10 @@ void RequestStub::Send(ExecuteFn execute, ReplyFn on_reply,
 
 void RequestStub::Attempt() {
   ++attempt_;
-  if (attempt_ > 1) ++retries_;
+  if (attempt_ > 1) {
+    ++retries_;
+    if (on_retry_) on_retry_(attempt_);
+  }
   const uint64_t epoch = epoch_;
   // Request direction: each surviving copy reaches the middleware and
   // executes there; the reply crosses the channel independently. The

@@ -77,6 +77,11 @@ class RequestStub {
   // Drops the pending request: late replies are ignored, no more retries.
   void Cancel() { ++epoch_; }
 
+  // Observer invoked on every attempt beyond the first of a logical
+  // request, with the attempt number (2, 3, ...). Tracing hook: sessions
+  // record kClientRetry here.
+  void set_on_retry(std::function<void(int)> fn) { on_retry_ = std::move(fn); }
+
   // Attempts beyond the first, across all requests of this stub.
   int64_t retries() const { return retries_; }
 
@@ -90,6 +95,7 @@ class RequestStub {
   ExecuteFn execute_;
   ReplyFn on_reply_;
   ExhaustedFn on_exhausted_;
+  std::function<void(int)> on_retry_;
   // Guards stale timers and replies: each logical request is an epoch.
   uint64_t epoch_ = 0;
   bool replied_ = false;

@@ -9,19 +9,37 @@ namespace preserial::mobile {
 // --- MultiGtmSession ------------------------------------------------------------
 
 MultiGtmSession::MultiGtmSession(gtm::GtmEndpoint* gtm, sim::Simulator* simulator,
-                                 MultiTxnPlan plan, PumpFn pump, DoneFn done)
+                                 MultiTxnPlan plan, PumpFn pump, DoneFn done,
+                                 gtm::TraceLog* client_trace)
     : gtm_(gtm),
       sim_(simulator),
       plan_(std::move(plan)),
       pump_(std::move(pump)),
-      done_(std::move(done)) {}
+      done_(std::move(done)),
+      client_trace_(client_trace) {}
+
+void MultiGtmSession::RecordClient(gtm::TraceEventKind kind,
+                                   std::string detail) {
+  if (client_trace_ == nullptr) return;
+  const gtm::ObjectId object = current_step_ < plan_.steps.size()
+                                   ? plan_.steps[current_step_].object
+                                   : gtm::ObjectId{};
+  client_trace_->Record(sim_->Now(), kind, txn_, object, std::move(detail));
+}
 
 void MultiGtmSession::Start() {
   stats_.arrival = sim_->Now();
   stats_.disconnected = plan_.disconnect.disconnects;
   stats_.tag = plan_.tag;
   stats_.shard = plan_.shard;
-  txn_ = gtm_->Begin();
+  // One trace per transaction, rooted at the client: every GTM call below
+  // runs under a child span, so the server-side events it records stitch
+  // into this trace.
+  ctx_ = obs::NewRootContext();
+  {
+    obs::SpanScope span(obs::ChildOf(ctx_));
+    txn_ = gtm_->Begin();
+  }
   stats_.txn = txn_;
   if (plan_.disconnect.disconnects) {
     sim_->After(plan_.disconnect.offset, [this] { DoSleep(); });
@@ -54,6 +72,8 @@ void MultiGtmSession::RunStep() {
     return;
   }
   const TourStep& step = plan_.steps[current_step_];
+  obs::SpanScope span(obs::ChildOf(ctx_));
+  RecordClient(gtm::TraceEventKind::kClientSend, "invoke");
   const Status s =
       gtm_->InvokeOnce(txn_, next_seq_++, step.object, step.member, step.op);
   switch (s.code()) {
@@ -115,6 +135,8 @@ void MultiGtmSession::AdvanceOrCommit() {
 
 void MultiGtmSession::DoSleep() {
   if (finished_) return;
+  obs::SpanScope span(obs::ChildOf(ctx_));
+  RecordClient(gtm::TraceEventKind::kClientSend, "sleep");
   const Status s = gtm_->SleepOnce(txn_, next_seq_++);
   if (!s.ok()) {
     // Sleeping disabled (ablation) aborts on disconnection.
@@ -129,6 +151,8 @@ void MultiGtmSession::DoSleep() {
 
 void MultiGtmSession::DoAwake() {
   if (finished_) return;
+  obs::SpanScope span(obs::ChildOf(ctx_));
+  RecordClient(gtm::TraceEventKind::kClientSend, "awake");
   const Status s = gtm_->AwakeOnce(txn_, next_seq_++);
   if (!s.ok()) {
     Finish(false, s.code() == StatusCode::kAborted
@@ -170,6 +194,8 @@ void MultiGtmSession::DoCommit() {
     sim_->After(plan_.commit_delay, [this] { DoCommit(); });
     return;
   }
+  obs::SpanScope span(obs::ChildOf(ctx_));
+  RecordClient(gtm::TraceEventKind::kClientSend, "commit");
   const Status s = gtm_->CommitOnce(txn_, next_seq_++);
   if (s.ok()) {
     Finish(true, AbortCause::kNone);

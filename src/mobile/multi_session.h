@@ -43,8 +43,12 @@ class MultiGtmSession : public GtmWaiter {
   using DoneFn = std::function<void(const SessionStats&)>;
   using PumpFn = std::function<void()>;
 
+  // `client_trace`, when non-null, receives client-side span events as in
+  // GtmSession: one root TraceContext minted at Start, every GTM call below
+  // running under a child span so server-side events stitch into the trace.
   MultiGtmSession(gtm::GtmEndpoint* gtm, sim::Simulator* simulator, MultiTxnPlan plan,
-                  PumpFn pump, DoneFn done);
+                  PumpFn pump, DoneFn done,
+                  gtm::TraceLog* client_trace = nullptr);
 
   void Start();
   void OnGranted() override;
@@ -52,8 +56,10 @@ class MultiGtmSession : public GtmWaiter {
 
   TxnId txn() const { return txn_; }
   bool finished() const { return finished_; }
+  const obs::TraceContext& trace_context() const { return ctx_; }
 
  private:
+  void RecordClient(gtm::TraceEventKind kind, std::string detail);
   void ScheduleStep();     // Pay the step's wireless hop, then RunStep.
   void RunStep();          // Invoke steps_[current_step_].
   void StepDone();         // Think, then advance.
@@ -81,6 +87,8 @@ class MultiGtmSession : public GtmWaiter {
   // Requests carry per-transaction sequence numbers (idempotent endpoints).
   uint64_t next_seq_ = 1;
   bool commit_delay_paid_ = false;
+  gtm::TraceLog* client_trace_;
+  obs::TraceContext ctx_;  // Root span of this transaction's trace.
 };
 
 // The strict-2PL counterpart: each step locks its cell (read-for-update +

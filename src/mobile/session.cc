@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace preserial::mobile {
 
@@ -31,19 +32,33 @@ const char* AbortCauseName(AbortCause c) {
 // --- GtmSession ---------------------------------------------------------------
 
 GtmSession::GtmSession(gtm::GtmEndpoint* gtm, sim::Simulator* simulator, TxnPlan plan,
-                       PumpFn pump, DoneFn done)
+                       PumpFn pump, DoneFn done, gtm::TraceLog* client_trace)
     : gtm_(gtm),
       sim_(simulator),
       plan_(std::move(plan)),
       pump_(std::move(pump)),
-      done_(std::move(done)) {}
+      done_(std::move(done)),
+      client_trace_(client_trace) {}
+
+void GtmSession::RecordClient(gtm::TraceEventKind kind, std::string detail) {
+  if (client_trace_ == nullptr) return;
+  client_trace_->Record(sim_->Now(), kind, txn_, plan_.object,
+                        std::move(detail));
+}
 
 void GtmSession::Start() {
   stats_.arrival = sim_->Now();
   stats_.disconnected = plan_.disconnect.disconnects;
   stats_.tag = plan_.tag;
   stats_.shard = plan_.shard;
-  txn_ = gtm_->Begin();
+  // One trace per transaction, rooted at the client: every GTM call below
+  // runs under a child span, so the server-side events it records stitch
+  // into this trace.
+  ctx_ = obs::NewRootContext();
+  {
+    obs::SpanScope span(obs::ChildOf(ctx_));
+    txn_ = gtm_->Begin();
+  }
   stats_.txn = txn_;
   if (plan_.invoke_delay > 0) {
     sim_->After(plan_.invoke_delay, [this] { DoInvoke(); });
@@ -53,6 +68,8 @@ void GtmSession::Start() {
 }
 
 void GtmSession::DoInvoke() {
+  obs::SpanScope span(obs::ChildOf(ctx_));
+  RecordClient(gtm::TraceEventKind::kClientSend, "invoke");
   const Status s = gtm_->Invoke(txn_, plan_.object, plan_.member, plan_.op);
   switch (s.code()) {
     case StatusCode::kOk:
@@ -99,6 +116,8 @@ void GtmSession::ProceedAfterGrant() {
 
 void GtmSession::DoSleep() {
   if (finished_) return;
+  obs::SpanScope span(obs::ChildOf(ctx_));
+  RecordClient(gtm::TraceEventKind::kClientSend, "sleep");
   const Status s = gtm_->Sleep(txn_);
   if (!s.ok()) {
     // Sleeping disabled (ablation): the disconnection killed us.
@@ -112,6 +131,8 @@ void GtmSession::DoSleep() {
 
 void GtmSession::DoAwake() {
   if (finished_) return;
+  obs::SpanScope span(obs::ChildOf(ctx_));
+  RecordClient(gtm::TraceEventKind::kClientSend, "awake");
   const Status s = gtm_->Awake(txn_);
   if (!s.ok()) {
     Finish(false, s.code() == StatusCode::kAborted
@@ -129,6 +150,8 @@ void GtmSession::DoAwake() {
 
 void GtmSession::DoCommit() {
   if (finished_) return;
+  obs::SpanScope span(obs::ChildOf(ctx_));
+  RecordClient(gtm::TraceEventKind::kClientSend, "commit");
   const Status s = gtm_->RequestCommit(txn_);
   if (s.ok()) {
     Finish(true, AbortCause::kNone);
@@ -151,13 +174,27 @@ void GtmSession::Finish(bool committed, AbortCause cause) {
 
 FaultTolerantGtmSession::FaultTolerantGtmSession(
     gtm::GtmEndpoint* gtm, sim::Simulator* simulator, const LossyChannel* channel,
-    Rng* rng, FtPlan plan, PumpFn pump, DoneFn done)
+    Rng* rng, FtPlan plan, PumpFn pump, DoneFn done, gtm::TraceLog* client_trace)
     : gtm_(gtm),
       sim_(simulator),
       plan_(std::move(plan)),
       pump_(std::move(pump)),
       done_(std::move(done)),
-      stub_(simulator, channel, rng, plan_.retry) {}
+      client_trace_(client_trace),
+      stub_(simulator, channel, rng, plan_.retry) {
+  stub_.set_on_retry([this](int attempt) {
+    obs::SpanScope span(obs::ChildOf(ctx_));
+    RecordClient(gtm::TraceEventKind::kClientRetry,
+                 StrFormat("attempt=%d", attempt));
+  });
+}
+
+void FaultTolerantGtmSession::RecordClient(gtm::TraceEventKind kind,
+                                           std::string detail) {
+  if (client_trace_ == nullptr) return;
+  client_trace_->Record(sim_->Now(), kind, txn_, plan_.base.object,
+                        std::move(detail));
+}
 
 void FaultTolerantGtmSession::Start() {
   if (!started_) {
@@ -165,11 +202,13 @@ void FaultTolerantGtmSession::Start() {
     stats_.arrival = sim_->Now();
     stats_.tag = plan_.base.tag;
     stats_.shard = plan_.base.shard;
+    ctx_ = obs::NewRootContext();
   }
   // Session establishment is reliable (see class comment); everything after
   // Begin crosses the lossy channel. A replica group whose primary just
   // died refuses new sessions (kInvalidTxnId): retry after the per-attempt
   // deadline until a promoted primary accepts us.
+  obs::SpanScope span(obs::ChildOf(ctx_));
   txn_ = gtm_->Begin();
   if (txn_ == kInvalidTxnId) {
     sim_->After(plan_.retry.request_timeout, [this] {
@@ -184,9 +223,18 @@ void FaultTolerantGtmSession::Start() {
 void FaultTolerantGtmSession::SendInvoke() {
   if (invoke_seq_ == 0) invoke_seq_ = next_seq_++;
   const TxnPlan& base = plan_.base;
+  // The request carries its span across the channel: the closure executes
+  // at the middleware (possibly more than once) under the span of the
+  // logical request, not whatever the simulator happened to be running.
+  const obs::TraceContext req = obs::ChildOf(ctx_);
+  {
+    obs::SpanScope span(req);
+    RecordClient(gtm::TraceEventKind::kClientSend, "invoke");
+  }
   stub_.Send(
       /*execute=*/[gtm = gtm_, pump = pump_, txn = txn_, seq = invoke_seq_,
-                   base] {
+                   base, req] {
+        obs::SpanScope span(req);
         const Status s =
             gtm->InvokeOnce(txn, seq, base.object, base.member, base.op);
         pump();  // Server-side effects may admit other sessions' waiters.
@@ -198,6 +246,7 @@ void FaultTolerantGtmSession::SendInvoke() {
 
 void FaultTolerantGtmSession::OnInvokeReply(const Status& s) {
   if (finished_ || phase_ != Phase::kInvoke) return;  // Stale reply.
+  obs::SpanScope span(obs::ChildOf(ctx_));  // Covers the abort paths below.
   switch (s.code()) {
     case StatusCode::kOk:
       ProceedAfterGrant();
@@ -246,8 +295,15 @@ void FaultTolerantGtmSession::SendCommit() {
   if (finished_) return;
   phase_ = Phase::kCommit;
   if (commit_seq_ == 0) commit_seq_ = next_seq_++;
+  const obs::TraceContext req = obs::ChildOf(ctx_);
+  {
+    obs::SpanScope span(req);
+    RecordClient(gtm::TraceEventKind::kClientSend, "commit");
+  }
   stub_.Send(
-      /*execute=*/[gtm = gtm_, pump = pump_, txn = txn_, seq = commit_seq_] {
+      /*execute=*/[gtm = gtm_, pump = pump_, txn = txn_, seq = commit_seq_,
+                   req] {
+        obs::SpanScope span(req);
         const Status s = gtm->CommitOnce(txn, seq);
         pump();  // The commit releases admissions for other waiters.
         return s;
@@ -279,6 +335,9 @@ void FaultTolerantGtmSession::OnExhausted() {
   ++degrades_;
   ++stats_.degraded_sleeps;
   stats_.disconnected = true;
+  obs::SpanScope span(obs::ChildOf(ctx_));
+  RecordClient(gtm::TraceEventKind::kClientDegrade,
+               StrFormat("episode=%d", degrades_));
   // The client is effectively offline; the middleware's inactivity oracle
   // Ξ (Alg 8) parks it rather than aborting. Modeling note: we invoke
   // Sleep directly — a server-side decision needs no channel crossing.
@@ -299,6 +358,8 @@ void FaultTolerantGtmSession::OnExhausted() {
 
 void FaultTolerantGtmSession::Reconnect() {
   if (finished_) return;
+  obs::SpanScope reconnect_span(obs::ChildOf(ctx_));
+  RecordClient(gtm::TraceEventKind::kClientReconnect, "");
   Result<gtm::TxnState> st = gtm_->StateOf(txn_);
   if (!st.ok() || st.value() != gtm::TxnState::kSleeping) {
     // Not parked (e.g. the lost request had already committed or aborted
@@ -308,8 +369,14 @@ void FaultTolerantGtmSession::Reconnect() {
     return;
   }
   const uint64_t awake_seq = next_seq_++;
+  const obs::TraceContext req = obs::ChildOf(ctx_);
+  {
+    obs::SpanScope span(req);
+    RecordClient(gtm::TraceEventKind::kClientSend, "awake");
+  }
   stub_.Send(
-      /*execute=*/[gtm = gtm_, pump = pump_, txn = txn_, awake_seq] {
+      /*execute=*/[gtm = gtm_, pump = pump_, txn = txn_, awake_seq, req] {
+        obs::SpanScope span(req);
         const Status s = gtm->AwakeOnce(txn, awake_seq);
         pump();
         return s;
@@ -351,6 +418,7 @@ void FaultTolerantGtmSession::ResendPending() {
 void FaultTolerantGtmSession::GiveUp() {
   // Before declaring the transaction lost, reconcile with the server-side
   // truth: a commit may have applied even though every reply drowned.
+  obs::SpanScope span(obs::ChildOf(ctx_));
   Result<gtm::TxnState> st = gtm_->StateOf(txn_);
   if (st.ok() && st.value() == gtm::TxnState::kCommitted) {
     Finish(true, AbortCause::kNone);

@@ -7,8 +7,10 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "gtm/gtm.h"
+#include "gtm/trace.h"
 #include "mobile/client.h"
 #include "mobile/disconnect_model.h"
+#include "obs/trace_context.h"
 #include "sim/simulator.h"
 #include "txn/txn_manager.h"
 
@@ -95,8 +97,12 @@ class GtmSession : public GtmWaiter {
   using DoneFn = std::function<void(const SessionStats&)>;
   using PumpFn = std::function<void()>;
 
+  // `client_trace`, when non-null, receives client-side span events
+  // (kClientSend and friends) correlated with the server-side GTM events:
+  // the session mints one root TraceContext at Start and runs every GTM
+  // call under a child span of it.
   GtmSession(gtm::GtmEndpoint* gtm, sim::Simulator* simulator, TxnPlan plan,
-             PumpFn pump, DoneFn done);
+             PumpFn pump, DoneFn done, gtm::TraceLog* client_trace = nullptr);
 
   // Schedules nothing; call at the arrival time.
   void Start();
@@ -106,6 +112,7 @@ class GtmSession : public GtmWaiter {
 
   TxnId txn() const { return txn_; }
   bool finished() const { return finished_; }
+  const obs::TraceContext& trace_context() const { return ctx_; }
 
  private:
   void DoInvoke();
@@ -114,12 +121,16 @@ class GtmSession : public GtmWaiter {
   void DoAwake();
   void DoCommit();
   void Finish(bool committed, AbortCause cause);
+  // Records a client-lane event under the current ambient span.
+  void RecordClient(gtm::TraceEventKind kind, std::string detail);
 
   gtm::GtmEndpoint* gtm_;
   sim::Simulator* sim_;
   TxnPlan plan_;
   PumpFn pump_;
   DoneFn done_;
+  gtm::TraceLog* client_trace_;
+  obs::TraceContext ctx_;  // Root span of this transaction's trace.
   TxnId txn_ = kInvalidTxnId;
   SessionStats stats_;
   bool finished_ = false;
@@ -164,9 +175,14 @@ class FaultTolerantGtmSession : public GtmWaiter {
   using DoneFn = std::function<void(const SessionStats&)>;
   using PumpFn = std::function<void()>;
 
+  // `client_trace` as in GtmSession; additionally every logical request
+  // gets its own child span, captured by value into the request closure so
+  // the server-side execution (and any redelivered duplicate) records
+  // under the span of the request that carried it.
   FaultTolerantGtmSession(gtm::GtmEndpoint* gtm, sim::Simulator* simulator,
                           const LossyChannel* channel, Rng* rng, FtPlan plan,
-                          PumpFn pump, DoneFn done);
+                          PumpFn pump, DoneFn done,
+                          gtm::TraceLog* client_trace = nullptr);
 
   void Start();
   void OnGranted() override;
@@ -175,6 +191,7 @@ class FaultTolerantGtmSession : public GtmWaiter {
   TxnId txn() const { return txn_; }
   bool finished() const { return finished_; }
   const SessionStats& stats() const { return stats_; }
+  const obs::TraceContext& trace_context() const { return ctx_; }
 
  private:
   enum class Phase { kInvoke, kWorking, kCommit, kDone };
@@ -191,12 +208,15 @@ class FaultTolerantGtmSession : public GtmWaiter {
   void ResendPending();
   void GiveUp();
   void Finish(bool committed, AbortCause cause);
+  void RecordClient(gtm::TraceEventKind kind, std::string detail);
 
   gtm::GtmEndpoint* gtm_;
   sim::Simulator* sim_;
   FtPlan plan_;
   PumpFn pump_;
   DoneFn done_;
+  gtm::TraceLog* client_trace_;
+  obs::TraceContext ctx_;  // Root span of this transaction's trace.
   RequestStub stub_;
   TxnId txn_ = kInvalidTxnId;
   SessionStats stats_;

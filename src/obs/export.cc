@@ -1,0 +1,173 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace preserial::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// The shared JSON body of one event (Chrome args / JSONL fields).
+std::string EventFields(const gtm::TraceEvent& e) {
+  return StrFormat(
+      "\"object\":\"%s\",\"detail\":\"%s\",\"trace\":%llu,\"span\":%llu,"
+      "\"parent\":%llu,\"shard\":%d",
+      JsonEscape(e.object).c_str(), JsonEscape(e.detail).c_str(),
+      static_cast<unsigned long long>(e.trace),
+      static_cast<unsigned long long>(e.span),
+      static_cast<unsigned long long>(e.parent), e.shard);
+}
+
+void AppendCounter(std::string* out, const std::string& prefix,
+                   const char* name, int64_t value) {
+  *out += StrFormat("# TYPE %s_%s counter\n%s_%s %lld\n", prefix.c_str(),
+                    name, prefix.c_str(), name, static_cast<long long>(value));
+}
+
+void AppendGauge(std::string* out, const std::string& prefix, const char* name,
+                 int64_t value) {
+  *out += StrFormat("# TYPE %s_%s gauge\n%s_%s %lld\n", prefix.c_str(), name,
+                    prefix.c_str(), name, static_cast<long long>(value));
+}
+
+void AppendSummary(std::string* out, const std::string& prefix,
+                   const char* name, const Histogram& h) {
+  const std::string metric = prefix + "_" + name;
+  *out += StrFormat("# TYPE %s summary\n", metric.c_str());
+  *out += StrFormat("%s{quantile=\"0.5\"} %.6f\n", metric.c_str(), h.p50());
+  *out += StrFormat("%s{quantile=\"0.9\"} %.6f\n", metric.c_str(), h.p90());
+  *out += StrFormat("%s{quantile=\"0.99\"} %.6f\n", metric.c_str(), h.p99());
+  *out += StrFormat("%s_sum %.6f\n", metric.c_str(),
+                    h.mean() * static_cast<double>(h.count()));
+  *out += StrFormat("%s_count %lld\n", metric.c_str(),
+                    static_cast<long long>(h.count()));
+}
+
+}  // namespace
+
+std::vector<gtm::TraceEvent> MergeEvents(
+    const std::vector<const gtm::TraceLog*>& logs) {
+  std::vector<gtm::TraceEvent> out;
+  for (const gtm::TraceLog* log : logs) {
+    if (log == nullptr) continue;
+    for (gtm::TraceEvent& e : log->Snapshot()) out.push_back(std::move(e));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const gtm::TraceEvent& a, const gtm::TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+std::string ToChromeTrace(const std::vector<gtm::TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // Name each shard's process lane so Perfetto shows "shard N" not "pid N".
+  std::set<int> shards;
+  for (const gtm::TraceEvent& e : events) shards.insert(std::max(e.shard, 0));
+  for (int s : shards) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+        "\"args\":{\"name\":\"shard %d\"}}",
+        s, s);
+  }
+  for (const gtm::TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,"
+        "\"tid\":%llu,\"args\":{%s}}",
+        gtm::TraceEventKindName(e.kind), e.time * 1e6, std::max(e.shard, 0),
+        static_cast<unsigned long long>(e.txn), EventFields(e).c_str());
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ToJsonl(const std::vector<gtm::TraceEvent>& events) {
+  std::string out;
+  for (const gtm::TraceEvent& e : events) {
+    out += StrFormat("{\"time\":%.6f,\"kind\":\"%s\",\"txn\":%llu,%s}\n",
+                     e.time, gtm::TraceEventKindName(e.kind),
+                     static_cast<unsigned long long>(e.txn),
+                     EventFields(e).c_str());
+  }
+  return out;
+}
+
+std::string ToPrometheus(const gtm::GtmMetrics::Snapshot& snapshot,
+                         const std::string& prefix) {
+  const gtm::GtmCounters& c = snapshot.counters;
+  std::string out;
+  AppendCounter(&out, prefix, "txns_begun_total", c.begun);
+  AppendCounter(&out, prefix, "txns_committed_total", c.committed);
+  AppendCounter(&out, prefix, "txns_aborted_total", c.aborted);
+  AppendCounter(&out, prefix, "invocations_total", c.invocations);
+  AppendCounter(&out, prefix, "granted_immediately_total",
+                c.granted_immediately);
+  AppendCounter(&out, prefix, "shared_grants_total", c.shared_grants);
+  AppendCounter(&out, prefix, "waits_total", c.waits);
+  AppendCounter(&out, prefix, "sleeps_total", c.sleeps);
+  AppendCounter(&out, prefix, "awakes_total", c.awakes);
+  AppendCounter(&out, prefix, "awake_aborts_total", c.awake_aborts);
+  AppendCounter(&out, prefix, "deadlock_refusals_total", c.deadlock_refusals);
+  AppendCounter(&out, prefix, "deadlock_aborts_total", c.deadlock_aborts);
+  AppendCounter(&out, prefix, "timeout_aborts_total", c.timeout_aborts);
+  AppendCounter(&out, prefix, "constraint_aborts_total", c.constraint_aborts);
+  AppendCounter(&out, prefix, "disconnect_aborts_total", c.disconnect_aborts);
+  AppendCounter(&out, prefix, "user_aborts_total", c.user_aborts);
+  AppendCounter(&out, prefix, "prepares_total", c.prepares);
+  AppendCounter(&out, prefix, "prepared_aborts_total", c.prepared_aborts);
+  AppendCounter(&out, prefix, "reconciliations_total", c.reconciliations);
+  AppendCounter(&out, prefix, "sst_executed_total", c.sst_executed);
+  AppendCounter(&out, prefix, "sst_failed_total", c.sst_failed);
+  AppendCounter(&out, prefix, "sst_retries_total", c.sst_retries);
+  AppendCounter(&out, prefix, "sst_cells_written_total", c.sst_cells_written);
+  AppendCounter(&out, prefix, "duplicates_suppressed_total",
+                c.duplicates_suppressed);
+  AppendCounter(&out, prefix, "starvation_denials_total", c.starvation_denials);
+  AppendCounter(&out, prefix, "admission_denials_total", c.admission_denials);
+  AppendCounter(&out, prefix, "failovers_total", c.failovers_total);
+  AppendGauge(&out, prefix, "replication_lag_records",
+              c.replication_lag_records);
+  AppendGauge(&out, prefix, "replication_lag_max_records",
+              c.replication_lag_max_records);
+  AppendSummary(&out, prefix, "execution_time_seconds",
+                snapshot.execution_time);
+  AppendSummary(&out, prefix, "wait_time_seconds", snapshot.wait_time);
+  return out;
+}
+
+}  // namespace preserial::obs

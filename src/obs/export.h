@@ -1,0 +1,39 @@
+#ifndef PRESERIAL_OBS_EXPORT_H_
+#define PRESERIAL_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "gtm/metrics.h"
+#include "gtm/trace.h"
+
+// Exporters: turn TraceLog events and GtmMetrics snapshots into the three
+// interchange formats the benches emit behind --obs-out (Chrome trace JSON,
+// Prometheus text exposition, JSONL).
+
+namespace preserial::obs {
+
+// Merges the snapshots of several TraceLogs (client, router, shards,
+// replicas) into one stream ordered by event time. The sort is stable, so
+// each log's internal order is preserved across equal timestamps.
+std::vector<gtm::TraceEvent> MergeEvents(
+    const std::vector<const gtm::TraceLog*>& logs);
+
+// Chrome trace_event JSON ({"traceEvents":[...]}), loadable in Perfetto /
+// about:tracing. Events render as thread-scoped instants: pid = shard (0
+// for unsharded), tid = transaction id, ts in microseconds of virtual
+// time; trace/span/parent ids travel in args.
+std::string ToChromeTrace(const std::vector<gtm::TraceEvent>& events);
+
+// One JSON object per event per line.
+std::string ToJsonl(const std::vector<gtm::TraceEvent>& events);
+
+// Prometheus text exposition of a metrics snapshot: every counter as
+// `<prefix>_<field>_total`, the replication lag gauges as gauges, and the
+// two latency histograms as summaries with p50/p90/p99 quantiles.
+std::string ToPrometheus(const gtm::GtmMetrics::Snapshot& snapshot,
+                         const std::string& prefix = "preserial");
+
+}  // namespace preserial::obs
+
+#endif  // PRESERIAL_OBS_EXPORT_H_

@@ -1,0 +1,64 @@
+#include "obs/timeline.h"
+
+#include "common/strings.h"
+
+namespace preserial::obs {
+
+std::vector<gtm::TraceEventKind> Timeline::Kinds() const {
+  std::vector<gtm::TraceEventKind> out;
+  out.reserve(events.size());
+  for (const gtm::TraceEvent& e : events) out.push_back(e.kind);
+  return out;
+}
+
+bool Timeline::Contains(gtm::TraceEventKind kind) const {
+  for (const gtm::TraceEvent& e : events) {
+    if (e.kind == kind) return true;
+  }
+  return false;
+}
+
+bool Timeline::HasSequence(
+    const std::vector<gtm::TraceEventKind>& kinds) const {
+  size_t next = 0;
+  for (const gtm::TraceEvent& e : events) {
+    if (next < kinds.size() && e.kind == kinds[next]) ++next;
+  }
+  return next == kinds.size();
+}
+
+std::string Timeline::ToString() const {
+  std::string out = StrFormat(
+      "=== trace %llu: %zu event(s) ===\n",
+      static_cast<unsigned long long>(trace), events.size());
+  const TimePoint t0 = events.empty() ? 0 : events.front().time;
+  for (const gtm::TraceEvent& e : events) {
+    std::string lane = e.shard >= 0 ? StrFormat("shard %d", e.shard) : "client";
+    out += StrFormat("  +%8.3fs  %-8s  %-20s txn %-4llu", e.time - t0,
+                     lane.c_str(), gtm::TraceEventKindName(e.kind),
+                     static_cast<unsigned long long>(e.txn));
+    if (!e.object.empty()) out += " " + e.object;
+    if (!e.detail.empty()) out += " (" + e.detail + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+Timeline BuildTimeline(const std::vector<gtm::TraceEvent>& merged,
+                       uint64_t trace_id) {
+  Timeline tl;
+  tl.trace = trace_id;
+  for (const gtm::TraceEvent& e : merged) {
+    if (e.trace == trace_id) tl.events.push_back(e);
+  }
+  return tl;
+}
+
+uint64_t TraceOfTxn(const std::vector<gtm::TraceEvent>& merged, TxnId txn) {
+  for (const gtm::TraceEvent& e : merged) {
+    if (e.txn == txn && e.trace != 0) return e.trace;
+  }
+  return 0;
+}
+
+}  // namespace preserial::obs

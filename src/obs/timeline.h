@@ -1,0 +1,45 @@
+#ifndef PRESERIAL_OBS_TIMELINE_H_
+#define PRESERIAL_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "gtm/trace.h"
+
+// Causal-timeline reconstruction: given the merged event streams of every
+// layer (client, router, shards, replicas), stitch the events of one trace
+// id back into the life of a single global transaction.
+
+namespace preserial::obs {
+
+struct Timeline {
+  uint64_t trace = 0;
+  // Time-ordered (stable across layers at equal timestamps).
+  std::vector<gtm::TraceEvent> events;
+
+  std::vector<gtm::TraceEventKind> Kinds() const;
+  bool Contains(gtm::TraceEventKind kind) const;
+  // True when `kinds` occurs as a (not necessarily contiguous) subsequence
+  // of the timeline — the natural way to assert causal order.
+  bool HasSequence(const std::vector<gtm::TraceEventKind>& kinds) const;
+
+  // Multi-line rendering: relative time, shard lane, kind, object, detail.
+  std::string ToString() const;
+};
+
+// Events of `trace_id` from an already-merged stream (see
+// obs::MergeEvents), preserving order.
+Timeline BuildTimeline(const std::vector<gtm::TraceEvent>& merged,
+                       uint64_t trace_id);
+
+// The trace id of the span that recorded `txn`'s events; 0 when the
+// transaction never appears or was recorded untraced. When a transaction's
+// events carry several trace ids (e.g. the same shard-local TxnId reused
+// across traces), the first traced occurrence wins.
+uint64_t TraceOfTxn(const std::vector<gtm::TraceEvent>& merged, TxnId txn);
+
+}  // namespace preserial::obs
+
+#endif  // PRESERIAL_OBS_TIMELINE_H_

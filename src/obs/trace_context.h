@@ -1,0 +1,83 @@
+#ifndef PRESERIAL_OBS_TRACE_CONTEXT_H_
+#define PRESERIAL_OBS_TRACE_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+
+// Correlation layer of the observability subsystem. Header-only on purpose:
+// gtm/trace.cc stamps events from the ambient context, and preserial_gtm
+// must not link against preserial_obs (which links the whole cluster stack).
+
+namespace preserial::obs {
+
+// Identity of one unit of causally related work. One trace per global
+// transaction (minted at Begin by the session layer); one span per
+// request/hop inside it (client attempt, router fan-out leg, 2PC phase).
+// trace == 0 means "untraced": events recorded outside any SpanScope keep
+// zero ids and still land in the TraceLog, they just don't stitch.
+struct TraceContext {
+  uint64_t trace = 0;
+  uint64_t span = 0;
+  uint64_t parent = 0;  // Span id of the parent span; 0 = root span.
+
+  bool valid() const { return trace != 0; }
+};
+
+namespace internal {
+inline std::atomic<uint64_t> g_next_trace_id{1};
+inline std::atomic<uint64_t> g_next_span_id{1};
+
+inline TraceContext& Ambient() {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+}  // namespace internal
+
+inline uint64_t NextTraceId() {
+  return internal::g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+inline uint64_t NextSpanId() {
+  return internal::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Restarts both id sequences at 1. Tests only (deterministic ids).
+inline void ResetTraceIdsForTest() {
+  internal::g_next_trace_id.store(1, std::memory_order_relaxed);
+  internal::g_next_span_id.store(1, std::memory_order_relaxed);
+}
+
+// The calling thread's ambient context — what TraceLog::Record stamps.
+inline const TraceContext& CurrentContext() { return internal::Ambient(); }
+
+// Mints a fresh trace with its root span.
+inline TraceContext NewRootContext() {
+  return TraceContext{NextTraceId(), NextSpanId(), 0};
+}
+
+// A child span inside the same trace. Propagating an invalid context stays
+// invalid, so untraced paths never allocate ids.
+inline TraceContext ChildOf(const TraceContext& parent) {
+  if (!parent.valid()) return TraceContext{};
+  return TraceContext{parent.trace, NextSpanId(), parent.span};
+}
+
+// RAII: installs `ctx` as the thread's ambient context for its lifetime.
+// Scopes nest; destruction restores whatever was ambient before.
+class SpanScope {
+ public:
+  explicit SpanScope(const TraceContext& ctx) : saved_(internal::Ambient()) {
+    internal::Ambient() = ctx;
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  ~SpanScope() { internal::Ambient() = saved_; }
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace preserial::obs
+
+#endif  // PRESERIAL_OBS_TRACE_CONTEXT_H_

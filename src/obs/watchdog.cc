@@ -1,0 +1,42 @@
+#include "obs/watchdog.h"
+
+#include "common/strings.h"
+
+namespace preserial::obs {
+
+size_t Watchdog::Observe(gtm::Gtm* g, TimePoint now) {
+  std::vector<std::pair<TxnId, std::string>> tripped;
+  const GtmExplain ex = g->Explain();
+  for (const TxnInfo& t : ex.txns) {
+    if (t.state == gtm::TxnState::kSleeping) continue;  // Judged below.
+    if (t.age >= options_.slow_txn_after) {
+      tripped.emplace_back(t.txn, "slow-txn");
+    }
+  }
+  for (const SleeperVerdict& v : ex.sleepers) {
+    if (v.asleep_for >= options_.long_sleep_after) {
+      tripped.emplace_back(v.txn, "long-sleep");
+    }
+  }
+
+  size_t emitted = 0;
+  for (auto& [txn, cause] : tripped) {
+    if (!fired_.insert({txn, cause}).second) continue;  // Already reported.
+    ++trips_;
+    ++emitted;
+    g->trace()->Record(now, gtm::TraceEventKind::kWatchdog, txn, "", cause);
+    reports_.push_back(WatchdogReport{now, txn, cause, ex});
+    if (reports_.size() > options_.max_reports) {
+      reports_.erase(reports_.begin());
+    }
+  }
+  return emitted;
+}
+
+void Watchdog::Clear() {
+  fired_.clear();
+  reports_.clear();
+  trips_ = 0;
+}
+
+}  // namespace preserial::obs

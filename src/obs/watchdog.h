@@ -1,0 +1,60 @@
+#ifndef PRESERIAL_OBS_WATCHDOG_H_
+#define PRESERIAL_OBS_WATCHDOG_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "gtm/gtm.h"
+#include "obs/explain.h"
+
+// Slow-transaction / long-sleep watchdog: polled against a Gtm, it trips
+// once per (transaction, cause) and captures an Explain snapshot at the
+// moment of the trip — the "why is this stuck" evidence that is gone by the
+// time a post-mortem asks. Each trip also lands a kWatchdog event in the
+// Gtm's TraceLog, so timelines show when thresholds fired.
+
+namespace preserial::obs {
+
+struct WatchdogOptions {
+  // A live (non-terminal) transaction older than this is slow.
+  Duration slow_txn_after = 30.0;
+  // A Sleeping transaction parked longer than this has slept too long.
+  Duration long_sleep_after = 60.0;
+  // Retained reports (oldest dropped beyond this).
+  size_t max_reports = 32;
+};
+
+struct WatchdogReport {
+  TimePoint time = 0;
+  TxnId txn = kInvalidTxnId;
+  std::string cause;  // "slow-txn" or "long-sleep".
+  GtmExplain snapshot;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options = {}) : options_(options) {}
+
+  // Scans `g` for tripped thresholds at `now`. Emits at most one report per
+  // (txn, cause); all trips of one scan share a single Explain snapshot.
+  // Returns the number of new reports.
+  size_t Observe(gtm::Gtm* g, TimePoint now);
+
+  const std::vector<WatchdogReport>& reports() const { return reports_; }
+  int64_t trips() const { return trips_; }
+  void Clear();
+
+ private:
+  WatchdogOptions options_;
+  std::set<std::pair<TxnId, std::string>> fired_;
+  std::vector<WatchdogReport> reports_;
+  int64_t trips_ = 0;
+};
+
+}  // namespace preserial::obs
+
+#endif  // PRESERIAL_OBS_WATCHDOG_H_

@@ -30,8 +30,11 @@ ReplicatedGtm::ReplicatedGtm(const Clock* clock, gtm::GtmOptions gtm_options,
 }
 
 void ReplicatedGtm::UpdateLagGauge() {
-  primary_gtm()->metrics().counters().replication_lag_records =
-      static_cast<int64_t>(shipper_.Lag());
+  gtm::GtmCounters& c = primary_gtm()->metrics().counters();
+  c.replication_lag_records = static_cast<int64_t>(shipper_.Lag());
+  // One group has one shipper, so both gauges read the same here; they
+  // diverge when snapshots merge across groups (sum vs worst group).
+  c.replication_lag_max_records = c.replication_lag_records;
 }
 
 Status ReplicatedGtm::Run(ReplicaRecord* rec, Status* reply) {

@@ -12,6 +12,7 @@
 #include "gtm/gtm.h"
 #include "mobile/disconnect_model.h"
 #include "mobile/network.h"
+#include "obs/export.h"
 #include "storage/database.h"
 #include "txn/occ.h"
 
@@ -118,6 +119,10 @@ ExperimentResult RunGtmExperiment(const GtmExperimentSpec& spec,
   gtm::Gtm gtm(db.get(), simulator.clock(), options);
   GtmRunner runner(&gtm, &simulator);
   GtmRunner* runner_ptr = &runner;
+  if (spec.trace_capacity > 0) {
+    gtm.trace()->Enable(spec.trace_capacity);
+    runner.client_trace()->Enable(spec.trace_capacity);
+  }
 
   // Register the objects: qty and price are logically dependent members.
   for (size_t i = 0; i < spec.num_objects; ++i) {
@@ -156,6 +161,11 @@ ExperimentResult RunGtmExperiment(const GtmExperimentSpec& spec,
   result.deadlocks = c.deadlock_refusals;
   result.starvation_denials = c.starvation_denials;
   result.admission_denials = c.admission_denials;
+  result.snapshot = gtm.metrics().TakeSnapshot();
+  if (spec.trace_capacity > 0) {
+    result.trace_events =
+        obs::MergeEvents({gtm.trace(), runner.client_trace()});
+  }
   return result;
 }
 
@@ -171,6 +181,10 @@ LossyExperimentResult RunLossyGtmExperiment(const GtmExperimentSpec& spec,
   sim::Simulator simulator;
   gtm::Gtm gtm(db.get(), simulator.clock(), options);
   GtmRunner runner(&gtm, &simulator);
+  if (spec.trace_capacity > 0) {
+    gtm.trace()->Enable(spec.trace_capacity);
+    runner.client_trace()->Enable(spec.trace_capacity);
+  }
 
   mobile::ChannelFaults faults;
   faults.loss = channel.loss;
@@ -228,6 +242,11 @@ LossyExperimentResult RunLossyGtmExperiment(const GtmExperimentSpec& spec,
     result.quantity_consumed +=
         spec.initial_quantity - qty.value().as_int();
   }
+  result.snapshot = gtm.metrics().TakeSnapshot();
+  if (spec.trace_capacity > 0) {
+    result.trace_events =
+        obs::MergeEvents({gtm.trace(), runner.client_trace()});
+  }
   return result;
 }
 
@@ -280,8 +299,16 @@ ShardedExperimentResult RunShardedGtmExperiment(
 
   storage::MemoryWalStorage coordinator_wal;
   cluster::ClusterCoordinator coordinator(&gtm_cluster, &coordinator_wal);
-  cluster::GtmRouter router(&gtm_cluster, &coordinator);
+  cluster::GtmRouter router(&gtm_cluster, &coordinator, simulator.clock());
+  coordinator.EnableTracing(router.trace(), simulator.clock());
   GtmRunner runner(&router, &simulator, spec.wait_timeout);
+  if (base.trace_capacity > 0) {
+    for (size_t sh = 0; sh < spec.num_shards; ++sh) {
+      gtm_cluster.shard(sh)->trace()->Enable(base.trace_capacity);
+    }
+    router.trace()->Enable(base.trace_capacity);
+    runner.client_trace()->Enable(base.trace_capacity);
+  }
 
   // Whether any cross-shard pairing exists at all (e.g. one shard => no).
   const bool can_cross = [&] {
@@ -354,6 +381,15 @@ ShardedExperimentResult RunShardedGtmExperiment(
         base.initial_quantity - qty.value().as_int();
   }
   for (int64_t c : result.consumed_by_shard) result.quantity_consumed += c;
+  if (base.trace_capacity > 0) {
+    std::vector<const gtm::TraceLog*> logs;
+    for (size_t sh = 0; sh < spec.num_shards; ++sh) {
+      logs.push_back(gtm_cluster.shard(sh)->trace());
+    }
+    logs.push_back(router.trace());
+    logs.push_back(runner.client_trace());
+    result.trace_events = obs::MergeEvents(logs);
+  }
   return result;
 }
 
@@ -409,6 +445,12 @@ FailoverExperimentResult RunFailoverExperiment(
   }
 
   GtmRunner runner(&group, &simulator, spec.wait_timeout);
+  if (base.trace_capacity > 0) {
+    for (size_t n = 0; n < group.num_nodes(); ++n) {
+      group.node(n)->gtm()->trace()->Enable(base.trace_capacity);
+    }
+    runner.client_trace()->Enable(base.trace_capacity);
+  }
 
   mobile::ChannelFaults faults;
   faults.loss = channel.loss;
@@ -509,6 +551,15 @@ FailoverExperimentResult RunFailoverExperiment(
             Value::Int(static_cast<int64_t>(i)), kColQty);
     PRESERIAL_CHECK(qty.ok());
     result.quantity_consumed += base.initial_quantity - qty.value().as_int();
+  }
+  result.snapshot = group.primary_gtm()->metrics().TakeSnapshot();
+  if (base.trace_capacity > 0) {
+    std::vector<const gtm::TraceLog*> logs;
+    for (size_t n = 0; n < group.num_nodes(); ++n) {
+      logs.push_back(group.node(n)->gtm()->trace());
+    }
+    logs.push_back(runner.client_trace());
+    result.trace_events = obs::MergeEvents(logs);
   }
   return result;
 }

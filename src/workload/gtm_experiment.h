@@ -7,6 +7,7 @@
 #include "cluster/coordinator.h"
 #include "common/clock.h"
 #include "gtm/metrics.h"
+#include "gtm/trace.h"
 #include "gtm/policies.h"
 #include "mobile/network.h"
 #include "replica/replica.h"
@@ -42,6 +43,11 @@ struct GtmExperimentSpec {
   // latency-free emulation.
   double network_delay_mean = 0.0;
   uint64_t seed = 42;
+  // Observability: capacity of every TraceLog the run touches (shard GTMs,
+  // router, client lane). 0 keeps tracing off and the hot path
+  // allocation-free; > 0 fills the result's `trace_events` with the merged
+  // chronological event stream, span-correlated per transaction.
+  size_t trace_capacity = 0;
 };
 
 // SessionStats/RunStats tag values used by the experiment.
@@ -65,6 +71,10 @@ struct ExperimentResult {
   int64_t deadlocks = 0;
   int64_t starvation_denials = 0;  // GTM only (Sec. VII policy).
   int64_t admission_denials = 0;   // GTM only (Sec. VII policy).
+  // Merged server + client trace (empty unless spec.trace_capacity > 0).
+  std::vector<gtm::TraceEvent> trace_events;
+  // Metrics snapshot of the (single) GTM, for the exporters.
+  gtm::GtmMetrics::Snapshot snapshot;
 };
 
 // Runs the experiment against the GTM with the given options.
@@ -97,6 +107,9 @@ struct LossyExperimentResult {
   // across all objects. Committed subtract sessions must equal this — any
   // difference is a double-applied or lost commit.
   int64_t quantity_consumed = 0;
+  // Merged server + client trace (empty unless spec.trace_capacity > 0).
+  std::vector<gtm::TraceEvent> trace_events;
+  gtm::GtmMetrics::Snapshot snapshot;
 };
 
 // Runs the Sec. VI-B arrival sequence with every client request crossing a
@@ -137,6 +150,9 @@ struct ShardedExperimentResult {
   // Ground truth per shard: quantity drained from that shard's rows.
   std::vector<int64_t> consumed_by_shard;
   int64_t quantity_consumed = 0;  // Sum over shards.
+  // Merged shard + router + client trace (empty unless trace_capacity > 0);
+  // shard lanes carry their shard id, router/client events shard = -1.
+  std::vector<gtm::TraceEvent> trace_events;
 };
 
 ShardedExperimentResult RunShardedGtmExperiment(
@@ -186,6 +202,11 @@ struct FailoverExperimentResult {
   int64_t quantity_consumed = 0;
   int64_t duplicates_suppressed = 0;
   replica::ShipCounters ship;
+  // Merged trace over every replica node plus the client lane (empty
+  // unless trace_capacity > 0). Events the promoted backup replayed from
+  // the shipped log appear on both nodes' lanes — each node's own view.
+  std::vector<gtm::TraceEvent> trace_events;
+  gtm::GtmMetrics::Snapshot snapshot;  // Post-run primary.
 };
 
 FailoverExperimentResult RunFailoverExperiment(

@@ -40,7 +40,8 @@ void GtmRunner::AddSession(mobile::TxnPlan plan, TimePoint arrival,
       gtm_, sim_, std::move(plan), /*pump=*/[this] { Pump(); },
       /*done=*/[this, measured](const SessionStats& s) {
         if (measured) stats_.Record(s);
-      });
+      },
+      &client_trace_);
   mobile::GtmSession* raw = session.get();
   sessions_.push_back(std::move(session));
   sim_->At(arrival, [this, raw] {
@@ -59,7 +60,8 @@ void GtmRunner::AddMultiSession(mobile::MultiTxnPlan plan, TimePoint arrival,
       gtm_, sim_, std::move(plan), /*pump=*/[this] { Pump(); },
       /*done=*/[this, measured](const SessionStats& s) {
         if (measured) stats_.Record(s);
-      });
+      },
+      &client_trace_);
   mobile::MultiGtmSession* raw = session.get();
   multi_sessions_.push_back(std::move(session));
   sim_->At(arrival, [this, raw] {
@@ -79,7 +81,8 @@ mobile::FaultTolerantGtmSession* GtmRunner::AddFaultTolerantSession(
       gtm_, sim_, channel, rng, std::move(plan), /*pump=*/[this] { Pump(); },
       /*done=*/[this, measured](const SessionStats& s) {
         if (measured) stats_.Record(s);
-      });
+      },
+      &client_trace_);
   mobile::FaultTolerantGtmSession* raw = session.get();
   ft_sessions_.push_back(std::move(session));
   sim_->At(arrival, [this, raw] {
@@ -152,6 +155,23 @@ void GtmRunner::SweepTimeouts() {
     sim_->After(wait_timeout_ / 2, [this] { SweepTimeouts(); });
   } else {
     sweep_scheduled_ = false;
+  }
+}
+
+void GtmRunner::AttachWatchdog(gtm::Gtm* gtm, obs::Watchdog* dog,
+                               Duration interval) {
+  watchdogs_.push_back(WatchdogAttachment{gtm, dog, interval});
+  const size_t index = watchdogs_.size() - 1;
+  sim_->After(interval, [this, index] { PollWatchdog(index); });
+}
+
+void GtmRunner::PollWatchdog(size_t index) {
+  const WatchdogAttachment& w = watchdogs_[index];
+  w.dog->Observe(w.gtm, sim_->Now());
+  // Same liveness rule as the timeout sweep: keep polling while the
+  // simulation has pending events or a session only the sweep can finish.
+  if (!sim_->Idle() || AnySweepableFtSession()) {
+    sim_->After(w.interval, [this, index] { PollWatchdog(index); });
   }
 }
 

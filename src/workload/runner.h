@@ -8,8 +8,10 @@
 
 #include "common/stats.h"
 #include "gtm/gtm.h"
+#include "gtm/trace.h"
 #include "mobile/multi_session.h"
 #include "mobile/session.h"
+#include "obs/watchdog.h"
 #include "sim/simulator.h"
 #include "storage/database.h"
 #include "txn/txn_manager.h"
@@ -97,6 +99,18 @@ class GtmRunner {
 
   const RunStats& stats() const { return stats_; }
 
+  // Client-lane trace: every session added to this runner records its
+  // kClient* events (send/retry/degrade/reconnect) here. Off until
+  // client_trace()->Enable(capacity).
+  gtm::TraceLog* client_trace() { return &client_trace_; }
+  const gtm::TraceLog* client_trace() const { return &client_trace_; }
+
+  // Polls `dog` against `gtm` every `interval` virtual seconds for as long
+  // as the simulation has work left, auto-capturing Explain snapshots when
+  // slow-txn/long-sleep thresholds trip. Both must outlive the runner; call
+  // once per watched Gtm (each shard of a cluster can have its own).
+  void AttachWatchdog(gtm::Gtm* gtm, obs::Watchdog* dog, Duration interval);
+
   // Delivers pending admission events to the sessions. The runner does this
   // after every session step; call it yourself whenever you drive the Gtm
   // directly (Begin/Invoke/RequestCommit outside a session) so that grants
@@ -104,8 +118,15 @@ class GtmRunner {
   void DispatchEvents() { Pump(); }
 
  private:
+  struct WatchdogAttachment {
+    gtm::Gtm* gtm = nullptr;
+    obs::Watchdog* dog = nullptr;
+    Duration interval = 0;
+  };
+
   void Pump();
   void SweepTimeouts();
+  void PollWatchdog(size_t index);
   // by_txn_ lookup that tolerates late Begins: a fault-tolerant session
   // that arrives while a replica group's primary is dead only gets its
   // TxnId on a retry, after its arrival-time registration already ran.
@@ -120,6 +141,8 @@ class GtmRunner {
   std::vector<std::unique_ptr<mobile::FaultTolerantGtmSession>> ft_sessions_;
   std::map<TxnId, mobile::GtmWaiter*> by_txn_;
   RunStats stats_;
+  gtm::TraceLog client_trace_;
+  std::vector<WatchdogAttachment> watchdogs_;
   bool pumping_ = false;
   bool sweep_scheduled_ = false;
 };

@@ -1,0 +1,199 @@
+// Gtm::Explain() / GtmCluster::Explain(): live lock-table and wait-graph
+// introspection, and the Algorithm 9 sleeper verdict — "will Awake abort,
+// and why" — evaluated without waking anyone.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/strings.h"
+#include "gtm/gtm.h"
+#include "obs/explain.h"
+#include "storage/database.h"
+
+namespace preserial::obs {
+namespace {
+
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class ObsExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<storage::Database>();
+    ASSERT_TRUE(db_->Open().ok());
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"qty", ValueType::kInt64, false},
+                        },
+                        0)
+                        .value();
+    ASSERT_TRUE(db_->CreateTable("obj", std::move(schema)).ok());
+    ASSERT_TRUE(
+        db_->InsertRow("obj", Row({Value::Int(0), Value::Int(100)})).ok());
+    gtm_ = std::make_unique<gtm::Gtm>(db_.get(), &clock_);
+    ASSERT_TRUE(gtm_->RegisterObject("X", "obj", Value::Int(0), {1}).ok());
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  ManualClock clock_;
+  std::unique_ptr<gtm::Gtm> gtm_;
+};
+
+TEST_F(ObsExplainTest, ListsHoldersWaitersAndWaitEdges) {
+  const TxnId holder = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(holder, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  clock_.Advance(2.0);
+  const TxnId waiter = gtm_->Begin();
+  ASSERT_EQ(gtm_->Invoke(waiter, "X", 0, Operation::Assign(Value::Int(5)))
+                .code(),
+            StatusCode::kWaiting);
+  clock_.Advance(3.0);
+
+  const GtmExplain ex = gtm_->Explain();
+  EXPECT_DOUBLE_EQ(ex.now, 5.0);
+  ASSERT_EQ(ex.objects.size(), 1u);
+  const ObjectInfo& obj = ex.objects[0];
+  EXPECT_EQ(obj.id, "X");
+  ASSERT_EQ(obj.holders.size(), 1u);
+  EXPECT_EQ(obj.holders[0].txn, holder);
+  EXPECT_FALSE(obj.holders[0].sleeping);
+  ASSERT_EQ(obj.waiters.size(), 1u);
+  EXPECT_EQ(obj.waiters[0].txn, waiter);
+  EXPECT_DOUBLE_EQ(obj.waiters[0].waited, 3.0);
+  ASSERT_EQ(ex.wait_edges.size(), 1u);
+  EXPECT_EQ(ex.wait_edges[0].waiter, waiter);
+  EXPECT_EQ(ex.wait_edges[0].holder, holder);
+  EXPECT_EQ(ex.wait_edges[0].object, "X");
+  EXPECT_EQ(ex.txns.size(), 2u);  // Both still live.
+}
+
+TEST_F(ObsExplainTest, SleeperVerdictSurvivesCompatibleCommit) {
+  const TxnId sleeper = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(sleeper, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  clock_.Advance(1.0);
+  ASSERT_TRUE(gtm_->Sleep(sleeper).ok());
+  // A compatible subtraction commits while the sleeper is away.
+  const TxnId other = gtm_->Begin();
+  clock_.Advance(1.0);
+  ASSERT_TRUE(gtm_->Invoke(other, "X", 0, Operation::Sub(Value::Int(5))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(other).ok());
+  clock_.Advance(1.0);
+
+  const GtmExplain ex = gtm_->Explain();
+  const SleeperVerdict* v = ex.VerdictFor(sleeper);
+  ASSERT_NE(v, nullptr);
+  EXPECT_FALSE(v->will_abort);
+  EXPECT_DOUBLE_EQ(v->sleep_since, 1.0);
+  EXPECT_DOUBLE_EQ(v->asleep_for, 2.0);
+  // The prediction holds: Awake succeeds.
+  EXPECT_TRUE(gtm_->Awake(sleeper).ok());
+}
+
+// Acceptance: Explain() a Sleeping transaction and predict its Awake-abort
+// verdict — blocker, object and X_tc > A_t_sleep — before Awake is called;
+// then confirm Awake does exactly that.
+TEST_F(ObsExplainTest, SleeperVerdictPredictsAwakeAbort) {
+  const TxnId sleeper = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(sleeper, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  clock_.Advance(1.0);
+  ASSERT_TRUE(gtm_->Sleep(sleeper).ok());
+  // An incompatible assignment commits during the sleep (X_tc = 2.0 >
+  // A_t_sleep = 1.0): Algorithm 9 must abort the sleeper on Awake.
+  const TxnId admin = gtm_->Begin();
+  clock_.Advance(1.0);
+  ASSERT_TRUE(
+      gtm_->Invoke(admin, "X", 0, Operation::Assign(Value::Int(42))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(admin).ok());
+  clock_.Advance(1.0);
+
+  const GtmExplain ex = gtm_->Explain();
+  const SleeperVerdict* v = ex.VerdictFor(sleeper);
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->will_abort);
+  EXPECT_EQ(v->object, "X");
+  EXPECT_EQ(v->blocker, admin);
+  EXPECT_DOUBLE_EQ(v->sleep_since, 1.0);
+  // Committed blocker: permanent verdict, stamped with its commit time.
+  EXPECT_DOUBLE_EQ(v->blocker_commit_time, 2.0);
+  EXPECT_GT(v->blocker_commit_time, v->sleep_since);
+  EXPECT_NE(v->reason.find("X_tc"), std::string::npos);
+
+  // The verdict was a prediction; now the real Awake agrees.
+  EXPECT_EQ(gtm_->Awake(sleeper).code(), StatusCode::kAborted);
+}
+
+TEST_F(ObsExplainTest, VerdictForUnknownOrActiveTxnIsNull) {
+  const TxnId active = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(active, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  const GtmExplain ex = gtm_->Explain();
+  EXPECT_EQ(ex.VerdictFor(active), nullptr);   // Not sleeping.
+  EXPECT_EQ(ex.VerdictFor(99999), nullptr);    // Unknown.
+}
+
+TEST_F(ObsExplainTest, ToStringRendersObjectsTxnsAndVerdicts) {
+  const TxnId sleeper = gtm_->Begin();
+  ASSERT_TRUE(
+      gtm_->Invoke(sleeper, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm_->Sleep(sleeper).ok());
+  const TxnId admin = gtm_->Begin();
+  clock_.Advance(1.0);
+  ASSERT_TRUE(
+      gtm_->Invoke(admin, "X", 0, Operation::Assign(Value::Int(7))).ok());
+  ASSERT_TRUE(gtm_->RequestCommit(admin).ok());
+
+  const std::string s = gtm_->Explain().ToString();
+  EXPECT_NE(s.find("X"), std::string::npos);
+  EXPECT_NE(s.find(StrFormat("%llu", (unsigned long long)sleeper)),
+            std::string::npos);
+  EXPECT_NE(s.find("sleep"), std::string::npos);
+}
+
+TEST(ClusterExplainTest, StampsShardIdsAcrossTheCluster) {
+  ManualClock clock;
+  cluster::GtmCluster cluster(2, &clock);
+  Schema schema = Schema::Create(
+                      {
+                          ColumnDef{"id", ValueType::kInt64, false},
+                          ColumnDef{"qty", ValueType::kInt64, false},
+                      },
+                      0)
+                      .value();
+  ASSERT_TRUE(cluster.CreateTableAllShards("t", std::move(schema)).ok());
+  for (int i = 0; i < 8; ++i) {
+    const gtm::ObjectId oid = StrFormat("t/%d", i);
+    const Value key = Value::Int(i);
+    ASSERT_TRUE(cluster.db(cluster.ShardOf(oid))
+                    ->InsertRow("t", Row({key, Value::Int(100)}))
+                    .ok());
+    ASSERT_TRUE(cluster.RegisterObject(oid, "t", key, {1}).ok());
+  }
+  // One live holder somewhere, so at least one shard has state to show.
+  const gtm::ObjectId oid = "t/0";
+  const cluster::ShardId shard = cluster.ShardOf(oid);
+  const TxnId t = cluster.shard(shard)->Begin();
+  ASSERT_TRUE(
+      cluster.shard(shard)->Invoke(t, oid, 0, Operation::Sub(Value::Int(1)))
+          .ok());
+
+  const ClusterExplain ex = cluster.Explain();
+  ASSERT_EQ(ex.shards.size(), 2u);
+  for (size_t s = 0; s < ex.shards.size(); ++s) {
+    EXPECT_EQ(ex.shards[s].shard, static_cast<int>(s));
+  }
+  EXPECT_NE(ex.ToString().find("shard"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace preserial::obs

@@ -1,0 +1,192 @@
+// Exporters: merged event streams, Chrome trace_event JSON, JSONL and
+// Prometheus text exposition — plus the Snapshot percentile/merge
+// behaviours the Prometheus summaries are built on.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "gtm/metrics.h"
+#include "gtm/trace.h"
+#include "obs/export.h"
+#include "obs/trace_context.h"
+
+namespace preserial::obs {
+namespace {
+
+using gtm::TraceEvent;
+using gtm::TraceEventKind;
+using gtm::TraceLog;
+
+TEST(MergeEventsTest, OrdersByTimeStablyAcrossLogs) {
+  TraceLog a;
+  a.Enable(8);
+  a.set_default_shard(0);
+  TraceLog b;
+  b.Enable(8);
+  b.set_default_shard(1);
+  a.Record(1.0, TraceEventKind::kBegin, 1);
+  b.Record(2.0, TraceEventKind::kGrant, 1);
+  a.Record(3.0, TraceEventKind::kCommit, 1);
+  // Equal timestamps: log order (a before b) is preserved by stable sort.
+  a.Record(5.0, TraceEventKind::kSleep, 2);
+  b.Record(5.0, TraceEventKind::kAwake, 2);
+
+  const std::vector<TraceEvent> merged = MergeEvents({&a, &b, nullptr});
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged[0].kind, TraceEventKind::kBegin);
+  EXPECT_EQ(merged[1].kind, TraceEventKind::kGrant);
+  EXPECT_EQ(merged[2].kind, TraceEventKind::kCommit);
+  EXPECT_EQ(merged[3].kind, TraceEventKind::kSleep);
+  EXPECT_EQ(merged[4].kind, TraceEventKind::kAwake);
+  EXPECT_EQ(merged[3].shard, 0);
+  EXPECT_EQ(merged[4].shard, 1);
+}
+
+TEST(ChromeTraceTest, EmitsInstantsWithSpanIdsAndShardLanes) {
+  ResetTraceIdsForTest();
+  TraceLog log;
+  log.Enable(8);
+  log.set_default_shard(2);
+  const TraceContext ctx = NewRootContext();
+  {
+    SpanScope scope(ctx);
+    log.Record(1.5, TraceEventKind::kGrant, 42, "X", "sub(1)");
+  }
+
+  const std::string json = ToChromeTrace(log.Snapshot());
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"GRANT\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1500000.000"), std::string::npos);  // µs.
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":42"), std::string::npos);
+  // Shard lane named for Perfetto, correlation ids in args.
+  EXPECT_NE(json.find("\"name\":\"shard 2\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":1"), std::string::npos);
+}
+
+TEST(JsonlTest, OneObjectPerLineWithEscapedDetails) {
+  TraceLog log;
+  log.Enable(4);
+  log.Record(1.0, TraceEventKind::kBegin, 1, "", "plain");
+  log.Record(2.0, TraceEventKind::kAbort, 1, "X", "say \"no\"\nnow");
+  const std::string jsonl = ToJsonl(log.Snapshot());
+
+  size_t lines = 0;
+  for (char c : jsonl) lines += (c == '\n');
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"kind\":\"BEGIN\""), std::string::npos);
+  EXPECT_NE(jsonl.find("say \\\"no\\\"\\nnow"), std::string::npos);
+}
+
+TEST(PrometheusTest, CountersGaugesAndQuantiles) {
+  gtm::GtmMetrics::Snapshot snap;
+  snap.counters.begun = 10;
+  snap.counters.committed = 7;
+  snap.counters.aborted = 3;
+  snap.counters.sleeps = 2;
+  for (int i = 1; i <= 100; ++i) {
+    snap.execution_time.Add(static_cast<double>(i));
+  }
+
+  const std::string text = ToPrometheus(snap);
+  EXPECT_NE(text.find("# TYPE preserial_txns_begun_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("preserial_txns_committed_total 7"), std::string::npos);
+  EXPECT_NE(text.find("preserial_sleeps_total 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE preserial_execution_time_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("preserial_execution_time_seconds{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.9\""), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("preserial_execution_time_seconds_count 100"),
+            std::string::npos);
+  // Custom prefix.
+  const std::string other = ToPrometheus(snap, "gtm");
+  EXPECT_NE(other.find("gtm_txns_begun_total 10"), std::string::npos);
+}
+
+// Satellite (c): the worst-group replication lag travels as its own gauge.
+TEST(PrometheusTest, MaxLagGaugeExported) {
+  gtm::GtmMetrics::Snapshot snap;
+  snap.counters.replication_lag_records = 12;
+  snap.counters.replication_lag_max_records = 9;
+  const std::string text = ToPrometheus(snap);
+  EXPECT_NE(text.find("# TYPE preserial_replication_lag_records gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("preserial_replication_lag_records 12"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE preserial_replication_lag_max_records gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("preserial_replication_lag_max_records 9"),
+            std::string::npos);
+}
+
+// Satellite (b): the quantiles behind the summaries.
+TEST(HistogramPercentilesTest, EmptySingleAndSpread) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.p90(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99(), 0.0);
+
+  Histogram one;
+  one.Add(4.5);
+  EXPECT_DOUBLE_EQ(one.p50(), 4.5);
+  EXPECT_DOUBLE_EQ(one.p90(), 4.5);
+  EXPECT_DOUBLE_EQ(one.p99(), 4.5);
+
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<double>(i));
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_GE(h.p90(), 85.0);
+  EXPECT_LE(h.p90(), 95.0);
+}
+
+// Satellite (b): MergeFrom with empty and single-sample operands.
+TEST(SnapshotMergeTest, EmptyAndSingleSampleOperands) {
+  gtm::GtmMetrics::Snapshot a;  // Empty.
+  gtm::GtmMetrics::Snapshot b;
+  b.counters.committed = 1;
+  b.execution_time.Add(3.0);  // Single sample.
+
+  // empty.MergeFrom(single): adopts the sample.
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counters.committed, 1);
+  EXPECT_EQ(a.execution_time.count(), 1);
+  EXPECT_DOUBLE_EQ(a.execution_time.p99(), 3.0);
+
+  // single.MergeFrom(empty): unchanged.
+  gtm::GtmMetrics::Snapshot c;
+  a.MergeFrom(c);
+  EXPECT_EQ(a.counters.committed, 1);
+  EXPECT_EQ(a.execution_time.count(), 1);
+
+  // Counters sum; the max-lag gauge merges by max, not by sum.
+  gtm::GtmMetrics::Snapshot d;
+  d.counters.committed = 2;
+  d.counters.replication_lag_records = 4;
+  d.counters.replication_lag_max_records = 4;
+  a.counters.replication_lag_records = 1;
+  a.counters.replication_lag_max_records = 6;
+  a.MergeFrom(d);
+  EXPECT_EQ(a.counters.committed, 3);
+  EXPECT_EQ(a.counters.replication_lag_records, 5);      // Summed.
+  EXPECT_EQ(a.counters.replication_lag_max_records, 6);  // Max.
+}
+
+TEST(SnapshotMergeTest, SummaryIncludesPercentiles) {
+  gtm::GtmMetrics::Snapshot s;
+  for (int i = 1; i <= 10; ++i) s.execution_time.Add(static_cast<double>(i));
+  const std::string summary = s.Summary();
+  EXPECT_NE(summary.find("p50"), std::string::npos);
+  EXPECT_NE(summary.find("p90"), std::string::npos);
+  EXPECT_NE(summary.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace preserial::obs

@@ -1,0 +1,115 @@
+// Span correlation: trace/span id minting, ambient-context scoping, the
+// stamping of correlation fields by TraceLog::Record, and the
+// exhaustiveness of the TraceEventKind name table.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gtm/trace.h"
+#include "obs/trace_context.h"
+
+namespace preserial::obs {
+namespace {
+
+using gtm::TraceEvent;
+using gtm::TraceEventKind;
+using gtm::TraceEventKindName;
+using gtm::TraceLog;
+
+TEST(TraceContextTest, InvalidByDefaultAndChildOfInvalidStaysInvalid) {
+  TraceContext none;
+  EXPECT_FALSE(none.valid());
+  // Untraced paths propagate the invalid context without minting ids.
+  const TraceContext child = ChildOf(none);
+  EXPECT_FALSE(child.valid());
+  EXPECT_EQ(child.span, 0u);
+}
+
+TEST(TraceContextTest, RootAndChildRelationships) {
+  ResetTraceIdsForTest();
+  const TraceContext root = NewRootContext();
+  EXPECT_TRUE(root.valid());
+  EXPECT_EQ(root.parent, 0u);  // Root span has no parent.
+
+  const TraceContext child = ChildOf(root);
+  EXPECT_EQ(child.trace, root.trace);  // Same trace...
+  EXPECT_NE(child.span, root.span);    // ...new span...
+  EXPECT_EQ(child.parent, root.span);  // ...parented to the root.
+
+  const TraceContext other = NewRootContext();
+  EXPECT_NE(other.trace, root.trace);  // Distinct transactions, distinct traces.
+}
+
+TEST(TraceContextTest, SpanScopeInstallsAndRestoresNested) {
+  ResetTraceIdsForTest();
+  EXPECT_FALSE(CurrentContext().valid());
+  const TraceContext outer = NewRootContext();
+  {
+    SpanScope outer_scope(outer);
+    EXPECT_EQ(CurrentContext().span, outer.span);
+    const TraceContext inner = ChildOf(outer);
+    {
+      SpanScope inner_scope(inner);
+      EXPECT_EQ(CurrentContext().span, inner.span);
+      EXPECT_EQ(CurrentContext().parent, outer.span);
+    }
+    // Inner scope destruction restores the outer context.
+    EXPECT_EQ(CurrentContext().span, outer.span);
+  }
+  EXPECT_FALSE(CurrentContext().valid());
+}
+
+TEST(TraceContextTest, TraceLogStampsAmbientContextAndShard) {
+  ResetTraceIdsForTest();
+  TraceLog log;
+  log.Enable(8);
+  log.set_default_shard(3);
+
+  const TraceContext ctx = NewRootContext();
+  {
+    SpanScope scope(ctx);
+    log.Record(1.0, TraceEventKind::kGrant, 7, "X", "traced");
+  }
+  log.Record(2.0, TraceEventKind::kCommit, 7, "", "untraced");
+
+  const std::vector<TraceEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace, ctx.trace);
+  EXPECT_EQ(events[0].span, ctx.span);
+  EXPECT_EQ(events[0].shard, 3);
+  // Outside any SpanScope the correlation ids stay zero; the shard lane
+  // still stamps.
+  EXPECT_EQ(events[1].trace, 0u);
+  EXPECT_EQ(events[1].span, 0u);
+  EXPECT_EQ(events[1].shard, 3);
+}
+
+TEST(TraceContextTest, DisabledLogStaysSilentUnderSpans) {
+  TraceLog log;  // Capacity 0: the hot path returns before reading ambient.
+  const TraceContext ctx = NewRootContext();
+  SpanScope scope(ctx);
+  log.Record(1.0, TraceEventKind::kBegin, 1);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_recorded(), 1);
+}
+
+// Satellite (a): every TraceEventKind value renders a real, unique name.
+// A new enum value without a name-table entry fails here (and in the
+// static_assert keyed off kTraceEventKindCount in trace.cc).
+TEST(TraceEventKindTest, NameTableIsExhaustiveAndUnique) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < gtm::kTraceEventKindCount; ++i) {
+    const char* name = TraceEventKindName(static_cast<TraceEventKind>(i));
+    ASSERT_NE(name, nullptr) << "kind " << i;
+    const std::string s(name);
+    EXPECT_FALSE(s.empty()) << "kind " << i;
+    EXPECT_NE(s, "?") << "kind " << i;
+    EXPECT_TRUE(names.insert(s).second) << "duplicate name " << s;
+  }
+  EXPECT_EQ(names.size(), gtm::kTraceEventKindCount);
+}
+
+}  // namespace
+}  // namespace preserial::obs

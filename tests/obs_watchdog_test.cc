@@ -1,0 +1,166 @@
+// Slow-txn / long-sleep watchdog: threshold trips, once-per-cause dedup,
+// captured Explain snapshots, the kWatchdog trace event, and the runner's
+// periodic polling hook.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gtm/gtm.h"
+#include "obs/watchdog.h"
+#include "sim/simulator.h"
+#include "storage/database.h"
+#include "workload/runner.h"
+
+namespace preserial::obs {
+namespace {
+
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+std::unique_ptr<storage::Database> MakeDb() {
+  auto db = std::make_unique<storage::Database>();
+  EXPECT_TRUE(db->Open().ok());
+  Schema schema = Schema::Create(
+                      {
+                          ColumnDef{"id", ValueType::kInt64, false},
+                          ColumnDef{"qty", ValueType::kInt64, false},
+                      },
+                      0)
+                      .value();
+  EXPECT_TRUE(db->CreateTable("obj", std::move(schema)).ok());
+  EXPECT_TRUE(
+      db->InsertRow("obj", Row({Value::Int(0), Value::Int(100)})).ok());
+  return db;
+}
+
+TEST(WatchdogTest, SlowTxnTripsOnceAndCapturesSnapshot) {
+  auto db = MakeDb();
+  ManualClock clock;
+  gtm::Gtm g(db.get(), &clock);
+  ASSERT_TRUE(g.RegisterObject("X", "obj", Value::Int(0), {1}).ok());
+  g.trace()->Enable(16);
+
+  const TxnId t = g.Begin();
+  ASSERT_TRUE(g.Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+
+  WatchdogOptions opts;
+  opts.slow_txn_after = 5.0;
+  Watchdog dog(opts);
+
+  clock.Advance(4.0);
+  EXPECT_EQ(dog.Observe(&g, clock.Now()), 0u);  // Under threshold.
+  clock.Advance(2.0);
+  EXPECT_EQ(dog.Observe(&g, clock.Now()), 1u);  // Tripped at age 6.
+  EXPECT_EQ(dog.Observe(&g, clock.Now()), 0u);  // Once per (txn, cause).
+  EXPECT_EQ(dog.trips(), 1);
+
+  ASSERT_EQ(dog.reports().size(), 1u);
+  const WatchdogReport& report = dog.reports()[0];
+  EXPECT_EQ(report.txn, t);
+  EXPECT_EQ(report.cause, "slow-txn");
+  EXPECT_DOUBLE_EQ(report.time, 6.0);
+  // The snapshot preserves the evidence: the slow txn holds X.
+  ASSERT_EQ(report.snapshot.objects.size(), 1u);
+  EXPECT_EQ(report.snapshot.objects[0].holders[0].txn, t);
+
+  // The trip landed in the trace for the timeline.
+  bool traced = false;
+  for (const auto& e : g.trace()->Snapshot()) {
+    traced = traced || (e.kind == gtm::TraceEventKind::kWatchdog &&
+                        e.txn == t && e.detail == "slow-txn");
+  }
+  EXPECT_TRUE(traced);
+}
+
+TEST(WatchdogTest, LongSleepIsItsOwnCause) {
+  auto db = MakeDb();
+  ManualClock clock;
+  gtm::Gtm g(db.get(), &clock);
+  ASSERT_TRUE(g.RegisterObject("X", "obj", Value::Int(0), {1}).ok());
+
+  const TxnId t = g.Begin();
+  ASSERT_TRUE(g.Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  clock.Advance(1.0);
+  ASSERT_TRUE(g.Sleep(t).ok());
+
+  WatchdogOptions opts;
+  opts.slow_txn_after = 1000.0;  // Only the sleep threshold can fire.
+  opts.long_sleep_after = 10.0;
+  Watchdog dog(opts);
+
+  clock.Advance(5.0);
+  EXPECT_EQ(dog.Observe(&g, clock.Now()), 0u);
+  clock.Advance(6.0);
+  ASSERT_EQ(dog.Observe(&g, clock.Now()), 1u);
+  EXPECT_EQ(dog.reports()[0].cause, "long-sleep");
+  // The snapshot carries the Algorithm 9 verdict alongside the trip.
+  EXPECT_NE(dog.reports()[0].snapshot.VerdictFor(t), nullptr);
+}
+
+TEST(WatchdogTest, RetainsAtMostMaxReports) {
+  auto db = MakeDb();
+  ManualClock clock;
+  gtm::Gtm g(db.get(), &clock);
+  ASSERT_TRUE(g.RegisterObject("X", "obj", Value::Int(0), {1}).ok());
+
+  for (int i = 0; i < 5; ++i) {
+    const TxnId t = g.Begin();
+    ASSERT_TRUE(g.Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
+  }
+  WatchdogOptions opts;
+  opts.slow_txn_after = 1.0;
+  opts.max_reports = 2;
+  Watchdog dog(opts);
+  clock.Advance(2.0);
+  EXPECT_EQ(dog.Observe(&g, clock.Now()), 5u);  // All five trip...
+  EXPECT_EQ(dog.trips(), 5);
+  EXPECT_EQ(dog.reports().size(), 2u);  // ...only the newest two retained.
+
+  dog.Clear();
+  EXPECT_EQ(dog.trips(), 0);
+  EXPECT_TRUE(dog.reports().empty());
+  // Cleared dedup state: the same transactions trip again.
+  EXPECT_EQ(dog.Observe(&g, clock.Now()), 5u);
+}
+
+TEST(WatchdogTest, RunnerPollsTheWatchdogDuringARun) {
+  auto db = MakeDb();
+  sim::Simulator simulator;
+  gtm::Gtm g(db.get(), simulator.clock());
+  ASSERT_TRUE(g.RegisterObject("X", "obj", Value::Int(0), {1}).ok());
+  g.trace()->Enable(64);
+
+  workload::GtmRunner runner(&g, &simulator);
+  // A transaction that stays active for 20 virtual seconds.
+  mobile::TxnPlan plan;
+  plan.object = "X";
+  plan.op = Operation::Sub(Value::Int(1));
+  plan.work_time = 20.0;
+  runner.AddSession(plan, 0.0);
+  // And a quick one the watchdog must ignore.
+  mobile::TxnPlan quick;
+  quick.object = "X";
+  quick.op = Operation::Sub(Value::Int(1));
+  quick.work_time = 1.0;
+  runner.AddSession(quick, 0.0);
+
+  WatchdogOptions opts;
+  opts.slow_txn_after = 10.0;
+  Watchdog dog(opts);
+  runner.AttachWatchdog(&g, &dog, /*interval=*/1.0);
+
+  const workload::RunStats& stats = runner.Run();
+  EXPECT_EQ(stats.committed, 2);
+  EXPECT_EQ(dog.trips(), 1);  // Only the 20 s transaction tripped.
+  ASSERT_EQ(dog.reports().size(), 1u);
+  EXPECT_EQ(dog.reports()[0].cause, "slow-txn");
+  EXPECT_GE(dog.reports()[0].time, 10.0);
+}
+
+}  // namespace
+}  // namespace preserial::obs
