@@ -1,0 +1,70 @@
+#ifndef PRESERIAL_CHECK_CHECKER_H_
+#define PRESERIAL_CHECK_CHECKER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+#include "storage/value.h"
+
+namespace preserial::check {
+
+// One rule breach found in a history. `rule` names the validator:
+//   "incomplete-history"  the trace ring dropped events; checks are unsound
+//   "definition1"         two concurrently active transactions held
+//                         incompatible classes on dependent members
+//   "reconciliation"      replaying commits through eqs. 1-2 predicts a
+//                         different X_permanent than the GTM installed
+//   "constraint"          an installed value broke a CHECK lower bound
+//   "serial"              no serial order over the committed transactions
+//                         reproduces the final state
+//   "algorithm9"          a sleeper awoke despite an incompatible commit
+//                         with X_tc > A_t_sleep (or was aborted without one)
+struct Violation {
+  std::string rule;
+  std::string detail;
+  std::string ToString() const { return rule + ": " + detail; }
+};
+
+struct CheckOptions {
+  // Committed-transaction count up to which the serial-equivalence check
+  // searches every order (memoized DFS); above it only the commit-order
+  // witness is tried.
+  size_t exact_search_limit = 10;
+  // Relative tolerance for numeric equality (eq. 2 installs doubles where
+  // a serial replay of int operands stays integral).
+  double epsilon = 1e-9;
+  // Hard cap on reported violations (a broken run breaks everywhere).
+  size_t max_violations = 25;
+};
+
+struct CheckReport {
+  std::vector<Violation> violations;
+  size_t committed_txns = 0;  // Committed transactions examined.
+  size_t orders_tried = 0;    // Serial orders evaluated by the search.
+  // True when the committed set was within exact_search_limit, i.e. a
+  // serial-equivalence failure would have been confirmed by the full DFS
+  // rather than by the commit-order witness alone.
+  bool exact_search = false;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+// True when the two values are semantically equal: both null, exact match
+// for bool/string, numerics within relative `epsilon` (int 40 == 40.0).
+bool ValuesEquivalent(const storage::Value& a, const storage::Value& b,
+                      double epsilon);
+
+// Validates a recorded history against the paper's correctness claims:
+// Definition 1 admission discipline, reconciliation equivalence (eqs. 1-2,
+// CHECK bounds included), existence of an equivalent serial order, and the
+// Algorithm 9 awake rule. Empty violations == the history is semantically
+// serializable.
+CheckReport CheckHistory(const History& history,
+                         const CheckOptions& options = {});
+
+}  // namespace preserial::check
+
+#endif  // PRESERIAL_CHECK_CHECKER_H_

@@ -1,0 +1,673 @@
+#include "check/explorer.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+#include "cluster/cluster.h"
+#include "cluster/coordinator.h"
+#include "common/clock.h"
+#include "common/strings.h"
+#include "gtm/gtm.h"
+#include "gtm/txn_state.h"
+#include "replica/replica.h"
+#include "storage/constraint.h"
+#include "storage/database.h"
+#include "storage/schema.h"
+#include "storage/wal.h"
+
+namespace preserial::check {
+
+namespace {
+
+using cluster::ShardId;
+using gtm::TxnState;
+using semantics::Operation;
+using storage::Row;
+using storage::Value;
+
+// Every scenario uses the same two-member row: qty (column 1, Int — the
+// add/sub and assign playground) and price (column 2, Double — where
+// mul/div's eq. 2 result can be installed). Dependencies and the optional
+// CHECK bound attach to these members.
+storage::Schema MakeSchema() {
+  return storage::Schema::Create(
+             {
+                 storage::ColumnDef{"id", storage::ValueType::kInt64, false},
+                 storage::ColumnDef{"qty", storage::ValueType::kInt64, false},
+                 storage::ColumnDef{"price", storage::ValueType::kDouble,
+                                    false},
+             },
+             0)
+      .value();
+}
+
+Row MakeRow(int64_t key) {
+  return Row({Value::Int(key), Value::Int(100), Value::Double(8.0)});
+}
+
+// Op menu keyed by the walk's action decision: operand types follow the
+// member's column type so commits exercise the reconciliation equations
+// instead of dying on SST type checks. kQty == member 0, kPrice == member 1.
+constexpr semantics::MemberId kQty = 0;
+constexpr semantics::MemberId kPrice = 1;
+
+// Odd-indexed objects declare their two members logically dependent, so the
+// walk exercises both the member-independent fast path and the dependent
+// class matrix of Definition 1.
+semantics::LogicalDependencies DepsFor(size_t object_index) {
+  semantics::LogicalDependencies deps;
+  if (object_index % 2 == 1) deps.AddDependency(0, 1);
+  return deps;
+}
+
+bool LiveState(TxnState s) {
+  return s != TxnState::kCommitted && s != TxnState::kAborted;
+}
+
+bool IsLive(gtm::GtmEndpoint* ep, TxnId t) {
+  if (t == kInvalidTxnId) return false;
+  Result<TxnState> s = ep->StateOf(t);
+  return s.ok() && LiveState(s.value());
+}
+
+// The shared decision walk over a GtmEndpoint (single-node Gtm and
+// ReplicatedGtm both speak it). Each Step() consumes a fixed-shape prefix
+// of decisions — slot, action, operand details — so replayed vectors stay
+// aligned no matter which branches were no-ops.
+class EndpointWalk {
+ public:
+  EndpointWalk(gtm::GtmEndpoint* ep, ManualClock* clock,
+               std::vector<gtm::ObjectId> objects, DecisionSource* d)
+      : ep_(ep), clock_(clock), objects_(std::move(objects)), d_(d) {
+    slots_.assign(4, kInvalidTxnId);
+  }
+
+  // One scheduling decision. `scenario_hook` runs for the scenario-private
+  // action (failover injection etc.); pass nullptr for none.
+  void Step(const std::function<void()>& scenario_hook) {
+    clock_->Advance(0.25 * d_->Choose(4));
+    TxnId& t = slots_[d_->Choose(static_cast<uint32_t>(slots_.size()))];
+    const uint32_t action = d_->Choose(12);
+    switch (action) {
+      case 0:
+        if (!IsLive(ep_, t)) t = ep_->Begin();
+        break;
+      case 1:
+        InvokeOp(t, d_->Choose(2), Operation::Read());
+        break;
+      case 2:
+        InvokeOp(t, kQty, Operation::Sub(Value::Int(1 + d_->Choose(3))));
+        break;
+      case 3:
+        InvokeOp(t, kQty, Operation::Add(Value::Int(1 + d_->Choose(3))));
+        break;
+      case 4:
+        InvokeOp(t, kQty, Operation::Assign(Value::Int(5 * d_->Choose(8))));
+        break;
+      case 5:
+        switch (d_->Choose(3)) {
+          case 0:
+            InvokeOp(t, kPrice, Operation::Mul(Value::Int(2)));
+            break;
+          case 1:
+            InvokeOp(t, kPrice, Operation::Div(Value::Int(2)));
+            break;
+          default:
+            InvokeOp(t, kPrice, Operation::Assign(Value::Double(2.5)));
+            break;
+        }
+        break;
+      case 6:
+        if (t != kInvalidTxnId) (void)ep_->RequestCommit(t);
+        break;
+      case 7:
+        if (t != kInvalidTxnId) (void)ep_->RequestAbort(t);
+        break;
+      case 8:
+        if (t != kInvalidTxnId) (void)ep_->Sleep(t);
+        break;
+      case 9:
+        if (t != kInvalidTxnId) (void)ep_->Awake(t);
+        break;
+      case 10:
+        (void)ep_->AbortExpiredWaits(d_->Choose(2) == 0 ? 0.4 : 1.5);
+        break;
+      case 11:
+        if (scenario_hook) scenario_hook();
+        break;
+      default:
+        break;
+    }
+    (void)ep_->TakeEvents();
+  }
+
+  // Drives every slot to a terminal state. Sleepers are woken first (the
+  // Algorithm 9 gate fires here), then actives commit or abort by decision,
+  // and anything still live is aborted.
+  void Quiesce() {
+    for (int pass = 0; pass < 4; ++pass) {
+      bool any_live = false;
+      for (TxnId& t : slots_) {
+        if (!IsLive(ep_, t)) continue;
+        any_live = true;
+        Result<TxnState> s = ep_->StateOf(t);
+        if (!s.ok()) continue;
+        switch (s.value()) {
+          case TxnState::kSleeping:
+            (void)ep_->Awake(t);
+            break;
+          case TxnState::kActive:
+            if (d_->Choose(2) == 0) {
+              (void)ep_->RequestCommit(t);
+            } else {
+              (void)ep_->RequestAbort(t);
+            }
+            break;
+          default:
+            (void)ep_->RequestAbort(t);
+            break;
+        }
+        (void)ep_->TakeEvents();
+      }
+      if (!any_live) return;
+    }
+    for (TxnId& t : slots_) {
+      if (IsLive(ep_, t)) (void)ep_->RequestAbort(t);
+    }
+  }
+
+ private:
+  void InvokeOp(TxnId t, semantics::MemberId member, const Operation& op) {
+    // Operand decisions are consumed by the caller before this point; the
+    // object decision is consumed unconditionally too so replay alignment
+    // never depends on slot liveness.
+    const gtm::ObjectId& obj =
+        objects_[d_->Choose(static_cast<uint32_t>(objects_.size()))];
+    if (t == kInvalidTxnId) return;
+    (void)ep_->Invoke(t, obj, member, op);
+  }
+
+  gtm::GtmEndpoint* ep_;
+  ManualClock* clock_;
+  std::vector<gtm::ObjectId> objects_;
+  DecisionSource* d_;
+  std::vector<TxnId> slots_;
+};
+
+void ApplyMinBound(const ScheduleSeed& seed,
+                   const std::vector<gtm::ObjectId>& objects, History* h) {
+  if (!seed.with_constraint) return;
+  for (const gtm::ObjectId& id : objects) {
+    h->min_bound[gtm::Cell{id, 0}] = 0.0;  // qty >= 0.
+  }
+}
+
+// --- single node -----------------------------------------------------------
+
+std::vector<History> DriveSingleNode(const ScheduleSeed& seed,
+                                     DecisionSource* d) {
+  storage::Database db;
+  PRESERIAL_CHECK(db.Open().ok());
+  PRESERIAL_CHECK(db.CreateTable("obj", MakeSchema()).ok());
+  if (seed.with_constraint) {
+    PRESERIAL_CHECK(db.AddConstraint("obj", storage::CheckConstraint(
+                                                "nonneg", 1,
+                                                storage::CompareOp::kGe,
+                                                Value::Int(0)))
+                        .ok());
+  }
+  ManualClock clock;
+  clock.Set(0.0);
+  gtm::GtmOptions opts;
+  opts.mutation = seed.mutation;
+  gtm::Gtm gtm(&db, &clock, opts);
+
+  std::vector<gtm::ObjectId> objects = {"A", "B"};
+  for (size_t i = 0; i < objects.size(); ++i) {
+    PRESERIAL_CHECK(
+        db.InsertRow("obj", MakeRow(static_cast<int64_t>(i))).ok());
+    PRESERIAL_CHECK(gtm.RegisterObject(objects[i], "obj",
+                                       Value::Int(static_cast<int64_t>(i)),
+                                       {1, 2}, DepsFor(i))
+                        .ok());
+  }
+
+  HistoryRecorder recorder;
+  recorder.Attach(&gtm);
+
+  EndpointWalk walk(&gtm, &clock, objects, d);
+  for (size_t i = 0; i < seed.steps; ++i) {
+    walk.Step([&] {
+      // Scenario-private action: the maintenance sweeps the endpoint
+      // interface does not carry.
+      if (d->Choose(2) == 0) {
+        (void)gtm.SleepIdleTransactions(d->Choose(2) == 0 ? 0.5 : 1.5);
+      } else {
+        (void)gtm.DetectAndResolveDeadlocks();
+      }
+    });
+  }
+  walk.Quiesce();
+
+  History h = recorder.Finish();
+  ApplyMinBound(seed, objects, &h);
+  return {std::move(h)};
+}
+
+// --- sharded 2PC -----------------------------------------------------------
+
+// A cross-shard transaction under exploration: one branch per touched
+// shard, driven through the cluster endpoints and committed atomically by
+// the coordinator.
+struct GlobalTxn {
+  std::vector<std::pair<ShardId, TxnId>> branches;
+};
+
+std::vector<History> DriveShardedTwoPc(const ScheduleSeed& seed,
+                                       DecisionSource* d) {
+  constexpr size_t kShards = 2;
+  ManualClock clock;
+  clock.Set(0.0);
+  gtm::GtmOptions opts;
+  opts.mutation = seed.mutation;
+  cluster::GtmCluster cl(kShards, &clock, opts);
+  PRESERIAL_CHECK(cl.CreateTableAllShards("obj", MakeSchema()).ok());
+
+  std::vector<gtm::ObjectId> objects = {"O0", "O1", "O2", "O3"};
+  std::map<ShardId, std::vector<gtm::ObjectId>> by_shard;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const ShardId s = cl.ShardOf(objects[i]);
+    PRESERIAL_CHECK(
+        cl.InsertRow(s, "obj", MakeRow(static_cast<int64_t>(i))).ok());
+    PRESERIAL_CHECK(cl.RegisterObject(objects[i], "obj",
+                                      Value::Int(static_cast<int64_t>(i)),
+                                      {1, 2}, DepsFor(i))
+                        .ok());
+    by_shard[s].push_back(objects[i]);
+  }
+
+  ClusterHistoryRecorder recorder;
+  recorder.Attach(&cl);
+
+  storage::MemoryWalStorage wal;
+  auto coord = std::make_unique<cluster::ClusterCoordinator>(&cl, &wal);
+  // The coordinator "crashed" mid-commit: a successor over the same WAL
+  // must Recover() before driving anything else.
+  auto reincarnate = [&] {
+    coord = std::make_unique<cluster::ClusterCoordinator>(&cl, &wal);
+    PRESERIAL_CHECK(coord->Recover().ok());
+  };
+
+  std::vector<GlobalTxn> slots(3);
+  TxnId next_global = 1000000;  // Distinct from every branch id.
+  auto slot_live = [&](const GlobalTxn& g) {
+    for (const auto& [s, b] : g.branches) {
+      if (IsLive(cl.endpoint(s), b)) return true;
+    }
+    return false;
+  };
+
+  for (size_t step = 0; step < seed.steps; ++step) {
+    clock.Advance(0.25 * d->Choose(4));
+    GlobalTxn& g = slots[d->Choose(static_cast<uint32_t>(slots.size()))];
+    const uint32_t action = d->Choose(12);
+    // Branch/object decisions are consumed unconditionally (see
+    // EndpointWalk::InvokeOp for why).
+    switch (action) {
+      case 0: {  // Begin a fresh global transaction on 1-2 shards.
+        const bool both = d->Choose(2) == 1;
+        const ShardId first = d->Choose(kShards);
+        if (slot_live(g)) break;
+        g.branches.clear();
+        for (ShardId s = 0; s < static_cast<ShardId>(kShards); ++s) {
+          if (both || s == first) {
+            g.branches.emplace_back(s, cl.endpoint(s)->Begin());
+          }
+        }
+        break;
+      }
+      case 1:
+      case 2:
+      case 3:
+      case 4:
+      case 5: {  // Operation on one branch.
+        const uint32_t bi = d->Choose(
+            static_cast<uint32_t>(g.branches.empty() ? 1 : g.branches.size()));
+        const uint32_t oi = d->Choose(2);
+        const uint32_t k = d->Choose(8);
+        if (g.branches.empty()) break;
+        const auto& [s, b] = g.branches[bi];
+        const auto& shard_objects = by_shard[s];
+        if (shard_objects.empty()) break;
+        const gtm::ObjectId& obj = shard_objects[oi % shard_objects.size()];
+        semantics::MemberId member = kQty;
+        Operation op = Operation::Read();
+        switch (action) {
+          case 1: member = k % 2; break;
+          case 2: op = Operation::Sub(Value::Int(1 + k % 3)); break;
+          case 3: op = Operation::Add(Value::Int(1 + k % 3)); break;
+          case 4: op = Operation::Assign(Value::Int(5 * k)); break;
+          case 5:
+            member = kPrice;
+            op = k % 3 == 0   ? Operation::Mul(Value::Int(2))
+                 : k % 3 == 1 ? Operation::Div(Value::Int(2))
+                              : Operation::Assign(Value::Double(2.5));
+            break;
+          default: break;
+        }
+        (void)cl.endpoint(s)->Invoke(b, obj, member, op);
+        break;
+      }
+      case 6: {  // Global commit, optionally crashing the coordinator.
+        const uint32_t crash = d->Choose(4);
+        if (g.branches.empty()) break;
+        if (crash == 2) {
+          coord->set_crash_point(cluster::CrashPoint::kAfterPrepare);
+        } else if (crash == 3) {
+          coord->set_crash_point(cluster::CrashPoint::kAfterDecision);
+        }
+        const Status st = coord->CommitGlobal(next_global++, g.branches);
+        if (st.code() == StatusCode::kUnavailable) reincarnate();
+        g.branches.clear();
+        break;
+      }
+      case 7: {  // Global abort.
+        if (g.branches.empty()) break;
+        (void)coord->AbortGlobal(next_global++, g.branches);
+        g.branches.clear();
+        break;
+      }
+      case 8:
+      case 9: {  // Sleep / awake one branch.
+        const uint32_t bi = d->Choose(
+            static_cast<uint32_t>(g.branches.empty() ? 1 : g.branches.size()));
+        if (g.branches.empty()) break;
+        const auto& [s, b] = g.branches[bi];
+        if (action == 8) {
+          (void)cl.endpoint(s)->Sleep(b);
+        } else {
+          (void)cl.endpoint(s)->Awake(b);
+        }
+        break;
+      }
+      case 10: {  // Maintenance sweep on one shard.
+        const ShardId s = d->Choose(kShards);
+        if (d->Choose(2) == 0) {
+          (void)cl.shard(s)->AbortExpiredWaits(1.0);
+        } else {
+          (void)cl.shard(s)->SleepIdleTransactions(1.0);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    for (ShardId s = 0; s < static_cast<ShardId>(kShards); ++s) {
+      (void)cl.endpoint(s)->TakeEvents();
+    }
+  }
+
+  // Quiesce: resolve in-doubt branches first, then retire every live slot.
+  PRESERIAL_CHECK(coord->Recover().ok());
+  for (GlobalTxn& g : slots) {
+    for (const auto& [s, b] : g.branches) {
+      if (!IsLive(cl.endpoint(s), b)) continue;
+      Result<TxnState> st = cl.endpoint(s)->StateOf(b);
+      if (st.ok() && st.value() == TxnState::kSleeping) {
+        (void)cl.endpoint(s)->Awake(b);
+      }
+    }
+    if (!g.branches.empty() && d->Choose(2) == 0) {
+      (void)coord->CommitGlobal(next_global++, g.branches);
+    }
+    for (const auto& [s, b] : g.branches) {
+      if (IsLive(cl.endpoint(s), b)) (void)cl.endpoint(s)->RequestAbort(b);
+    }
+    g.branches.clear();
+  }
+
+  std::vector<History> histories = recorder.Finish();
+  for (size_t s = 0; s < histories.size(); ++s) {
+    if (!seed.with_constraint) continue;
+    for (const gtm::ObjectId& id : by_shard[static_cast<ShardId>(s)]) {
+      histories[s].min_bound[gtm::Cell{id, 0}] = 0.0;
+    }
+  }
+  return histories;
+}
+
+// --- failover --------------------------------------------------------------
+
+std::vector<History> DriveFailover(const ScheduleSeed& seed,
+                                   DecisionSource* d) {
+  ManualClock clock;
+  clock.Set(0.0);
+  gtm::GtmOptions opts;
+  opts.mutation = seed.mutation;
+  replica::ReplicaOptions ropts;
+  ropts.num_backups = 1;
+  Rng ship_rng(seed.seed ^ 0x9e3779b97f4a7c15ULL);
+  replica::ReplicatedGtm rep(&clock, opts, ropts, &ship_rng);
+
+  PRESERIAL_CHECK(rep.CreateTable("obj", MakeSchema()).ok());
+  if (seed.with_constraint) {
+    PRESERIAL_CHECK(rep.AddConstraint("obj", storage::CheckConstraint(
+                                                 "nonneg", 1,
+                                                 storage::CompareOp::kGe,
+                                                 Value::Int(0)))
+                        .ok());
+  }
+  std::vector<gtm::ObjectId> objects = {"A", "B"};
+  for (size_t i = 0; i < objects.size(); ++i) {
+    PRESERIAL_CHECK(
+        rep.InsertRow("obj", MakeRow(static_cast<int64_t>(i))).ok());
+    PRESERIAL_CHECK(rep.RegisterObject(objects[i], "obj",
+                                       Value::Int(static_cast<int64_t>(i)),
+                                       {1, 2}, DepsFor(i))
+                        .ok());
+  }
+
+  ReplicaHistoryRecorder recorder;
+  recorder.Attach(&rep);
+
+  bool killed = false;
+  bool promoted = false;
+  EndpointWalk walk(&rep, &clock, objects, d);
+  for (size_t i = 0; i < seed.steps; ++i) {
+    walk.Step([&] {
+      // At most one failover per schedule: kill the primary once, later
+      // promote the surviving backup (calls in between hit a dead primary).
+      if (!killed) {
+        rep.KillPrimary();
+        killed = true;
+      } else if (!promoted) {
+        (void)rep.Pump();
+        if (rep.Promote().ok()) promoted = true;
+      } else {
+        (void)rep.SleepIdleTransactions(d->Choose(2) == 0 ? 0.5 : 1.5);
+      }
+    });
+  }
+  // The authoritative timeline lives on a live primary; finish the
+  // failover if the walk killed but never promoted.
+  if (killed && !promoted) {
+    (void)rep.Pump();
+    PRESERIAL_CHECK(rep.Promote().ok());
+  }
+  walk.Quiesce();
+
+  History h = recorder.Finish();
+  ApplyMinBound(seed, objects, &h);
+  return {std::move(h)};
+}
+
+}  // namespace
+
+std::string ScheduleOutcome::Describe() const {
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (!reports[i].ok()) {
+      return StrFormat("history %zu: %s", i, reports[i].ToString().c_str());
+    }
+  }
+  return "ok";
+}
+
+ScheduleOutcome RunSchedule(const ScheduleSeed& seed,
+                            const CheckOptions& check) {
+  std::unique_ptr<DecisionSource> source;
+  if (seed.choices.empty()) {
+    source = std::make_unique<RngDecisionSource>(seed.seed);
+  } else {
+    source = std::make_unique<ReplayDecisionSource>(seed.choices);
+  }
+
+  ScheduleOutcome out;
+  switch (seed.scenario) {
+    case ScenarioKind::kSingleNode:
+      out.histories = DriveSingleNode(seed, source.get());
+      break;
+    case ScenarioKind::kShardedTwoPc:
+      out.histories = DriveShardedTwoPc(seed, source.get());
+      break;
+    case ScenarioKind::kFailover:
+      out.histories = DriveFailover(seed, source.get());
+      break;
+    default:
+      PRESERIAL_CHECK(false &&
+                      "fuzz scenarios replay in their own test harness");
+  }
+  out.choices = source->recorded();
+  out.reports.reserve(out.histories.size());
+  for (const History& h : out.histories) {
+    out.reports.push_back(CheckHistory(h, check));
+  }
+  return out;
+}
+
+ShrinkResult ShrinkSchedule(const ScheduleSeed& failing,
+                            const CheckOptions& check, size_t budget) {
+  ShrinkResult result;
+  result.seed = failing;
+
+  auto fails = [&](const std::vector<uint32_t>& choices) {
+    // An empty vector means "seed-driven walk" to RunSchedule, not "all
+    // zeros" — never shrink down to it.
+    if (choices.empty()) return false;
+    if (result.runs >= budget) return false;
+    ++result.runs;
+    ScheduleSeed candidate = failing;
+    candidate.choices = choices;
+    return !RunSchedule(candidate, check).ok();
+  };
+
+  // Materialize the decision vector if the failure was seed-driven.
+  std::vector<uint32_t> best = failing.choices;
+  if (best.empty()) {
+    ScheduleSeed replay = failing;
+    ScheduleOutcome outcome = RunSchedule(replay, check);
+    best = outcome.choices;
+    if (outcome.ok()) return result;  // Not reproducible; nothing to shrink.
+  }
+
+  bool progress = true;
+  while (progress && result.runs < budget) {
+    progress = false;
+    // 1. Truncate the tail (replay pads with 0): halving binary search for
+    //    the shortest failing prefix.
+    size_t lo = 0, hi = best.size();
+    while (lo < hi && result.runs < budget) {
+      const size_t mid = lo + (hi - lo) / 2;
+      std::vector<uint32_t> cand(best.begin(), best.begin() + mid);
+      if (fails(cand)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    if (hi < best.size()) {
+      best.resize(hi);
+      progress = true;
+    }
+    // 2. Delete chunks, halving sizes down to 1.
+    for (size_t chunk = std::max<size_t>(best.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+      for (size_t start = 0; start + chunk <= best.size();) {
+        std::vector<uint32_t> cand;
+        cand.reserve(best.size() - chunk);
+        cand.insert(cand.end(), best.begin(), best.begin() + start);
+        cand.insert(cand.end(), best.begin() + start + chunk, best.end());
+        if (fails(cand)) {
+          best = std::move(cand);
+          progress = true;
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    // 3. Zero individual decisions (0 is every action's cheapest arm).
+    for (size_t i = 0; i < best.size(); ++i) {
+      if (best[i] == 0) continue;
+      std::vector<uint32_t> cand = best;
+      cand[i] = 0;
+      if (fails(cand)) {
+        best = std::move(cand);
+        progress = true;
+      }
+    }
+  }
+
+  result.seed.choices = std::move(best);
+  return result;
+}
+
+void ScheduleExplorer::Record(const ScheduleSeed& seed,
+                              ExplorationResult* result) {
+  ScheduleOutcome outcome = RunSchedule(seed, check_);
+  ++result->schedules;
+  if (outcome.ok()) return;
+  ++result->failures;
+  if (result->first_failure.has_value()) return;
+  result->first_failure_report = outcome.Describe();
+  ScheduleSeed failing = seed;
+  failing.choices = outcome.choices;
+  result->first_failure = ShrinkSchedule(failing, check_).seed;
+}
+
+ExplorationResult ScheduleExplorer::ExploreRandom(size_t schedules) {
+  ExplorationResult result;
+  for (size_t i = 0; i < schedules; ++i) {
+    ScheduleSeed seed = base_;
+    seed.choices.clear();
+    seed.seed = base_.seed + i;
+    Record(seed, &result);
+  }
+  return result;
+}
+
+ExplorationResult ScheduleExplorer::ExploreExhaustive(size_t depth,
+                                                      uint32_t fanout) {
+  ExplorationResult result;
+  PRESERIAL_CHECK(fanout >= 1);
+  std::vector<uint32_t> vec(depth, 0);
+  while (true) {
+    ScheduleSeed seed = base_;
+    seed.choices = vec;
+    Record(seed, &result);
+    // Odometer increment over {0..fanout-1}^depth.
+    size_t i = 0;
+    for (; i < depth; ++i) {
+      if (++vec[i] < fanout) break;
+      vec[i] = 0;
+    }
+    if (i == depth) break;
+  }
+  return result;
+}
+
+}  // namespace preserial::check

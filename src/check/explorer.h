@@ -1,0 +1,153 @@
+#ifndef PRESERIAL_CHECK_EXPLORER_H_
+#define PRESERIAL_CHECK_EXPLORER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/checker.h"
+#include "check/history.h"
+#include "check/seed.h"
+#include "common/random.h"
+
+namespace preserial::check {
+
+// The stream of scheduling decisions a scenario driver consumes. Choose(n)
+// yields a value in [0, n) and records the *effective* value, so the
+// recorded vector replayed through ReplayDecisionSource reproduces the
+// schedule bit-for-bit — the foundation for shrinking. Forced choices
+// (n <= 1) are neither recorded nor consumed: they carry no information,
+// and how many of them occur can itself depend on earlier decisions, so
+// recording them would misalign replay.
+class DecisionSource {
+ public:
+  virtual ~DecisionSource() = default;
+
+  // Uniform decision in [0, n); n must be >= 1.
+  uint32_t Choose(uint32_t n) {
+    if (n <= 1) return 0;
+    const uint32_t v = Next(n);
+    recorded_.push_back(v);
+    return v;
+  }
+
+  const std::vector<uint32_t>& recorded() const { return recorded_; }
+
+ protected:
+  virtual uint32_t Next(uint32_t n) = 0;
+
+ private:
+  std::vector<uint32_t> recorded_;
+};
+
+// Seed-driven random walk.
+class RngDecisionSource : public DecisionSource {
+ public:
+  explicit RngDecisionSource(uint64_t seed) : rng_(seed) {}
+
+ protected:
+  uint32_t Next(uint32_t n) override {
+    return static_cast<uint32_t>(rng_.NextBounded(n));
+  }
+
+ private:
+  Rng rng_;
+};
+
+// Replays a pinned decision vector; positions past the end yield 0, so a
+// truncated (shrunk) vector still drives a complete, deterministic run.
+class ReplayDecisionSource : public DecisionSource {
+ public:
+  explicit ReplayDecisionSource(std::vector<uint32_t> choices)
+      : choices_(std::move(choices)) {}
+
+ protected:
+  uint32_t Next(uint32_t n) override {
+    const uint32_t raw = pos_ < choices_.size() ? choices_[pos_] : 0;
+    ++pos_;
+    return raw % n;
+  }
+
+ private:
+  std::vector<uint32_t> choices_;
+  size_t pos_ = 0;
+};
+
+// Everything one executed schedule produced: the recorded histories (one
+// per serialization domain — a sharded run yields one per shard), the
+// checker's verdict on each, and the decision vector that reproduces it.
+struct ScheduleOutcome {
+  std::vector<History> histories;
+  std::vector<CheckReport> reports;
+  std::vector<uint32_t> choices;
+
+  bool ok() const {
+    for (const CheckReport& r : reports) {
+      if (!r.ok()) return false;
+    }
+    return true;
+  }
+  // First failing report's text, or "ok".
+  std::string Describe() const;
+};
+
+// Executes one schedule: builds the scenario named by `seed.scenario` from
+// scratch (deterministic — ManualClock, no threads), drives it with the
+// seed's decision stream (pinned `choices` if non-empty, else a random walk
+// from `seed.seed`), quiesces every transaction, and runs CheckHistory on
+// each recorded history. Only explorer scenarios (single-node, sharded-2pc,
+// failover) are supported; the fuzz kinds replay inside their own test
+// harness.
+ScheduleOutcome RunSchedule(const ScheduleSeed& seed,
+                            const CheckOptions& check = {});
+
+// Minimizes the decision vector of a failing schedule while preserving the
+// failure. Greedy fixpoint of three reductions — truncate the tail, delete
+// chunks (halving chunk sizes), zero entries — bounded by `budget` schedule
+// executions. Returns a seed whose pinned choices still fail.
+struct ShrinkResult {
+  ScheduleSeed seed;   // scenario/mutation copied from the input.
+  size_t runs = 0;     // Schedules executed while shrinking.
+};
+ShrinkResult ShrinkSchedule(const ScheduleSeed& failing,
+                            const CheckOptions& check = {},
+                            size_t budget = 400);
+
+struct ExplorationResult {
+  size_t schedules = 0;  // Schedules executed (and checked).
+  size_t failures = 0;   // Schedules with at least one violation.
+  // First failing schedule, shrunk to a minimal pinned-choice seed.
+  std::optional<ScheduleSeed> first_failure;
+  std::string first_failure_report;
+};
+
+// Systematic schedule exploration: every explored schedule runs the full
+// checker; any failure is shrunk to a replayable counterexample.
+class ScheduleExplorer {
+ public:
+  explicit ScheduleExplorer(ScheduleSeed base, CheckOptions check = {})
+      : base_(std::move(base)), check_(check) {}
+
+  // Seed-driven random walks: schedules seeded base.seed + i for
+  // i in [0, schedules).
+  ExplorationResult ExploreRandom(size_t schedules);
+
+  // Bounded exhaustive enumeration: every decision vector in
+  // {0..fanout-1}^depth, later positions padded with 0 by replay. Covers
+  // fanout^depth schedules — keep depth small (the prefix decisions steer
+  // the most divergent part of a schedule).
+  ExplorationResult ExploreExhaustive(size_t depth, uint32_t fanout);
+
+ private:
+  // Runs + checks one schedule; folds the outcome into `result` (shrinking
+  // on first failure).
+  void Record(const ScheduleSeed& seed, ExplorationResult* result);
+
+  ScheduleSeed base_;
+  CheckOptions check_;
+};
+
+}  // namespace preserial::check
+
+#endif  // PRESERIAL_CHECK_EXPLORER_H_

@@ -1,0 +1,61 @@
+#ifndef PRESERIAL_CHECK_SEED_H_
+#define PRESERIAL_CHECK_SEED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gtm/policies.h"
+
+namespace preserial::check {
+
+// Which deterministic harness a schedule seed drives. The first three are
+// ScheduleExplorer scenarios (explorer.h); the fuzz kinds name the
+// self-contained harnesses in tests/ so their failures land in the same
+// corpus format and replay through the same regression test.
+enum class ScenarioKind {
+  kSingleNode,   // One Gtm, sleep/awake/deadlock/maintenance injection.
+  kShardedTwoPc, // GtmCluster + ClusterCoordinator, crash-point injection.
+  kFailover,     // ReplicatedGtm, kill-primary/promote mid-run.
+  kPropertyFuzz, // tests/gtm_fuzzer.h random-walk harness.
+  kMemberFuzz,   // tests/gtm_fuzzer.h multi-member variant.
+};
+
+const char* ScenarioKindName(ScenarioKind kind);
+Result<ScenarioKind> ParseScenarioKind(const std::string& name);
+
+const char* MutationName(gtm::GtmMutation mutation);
+Result<gtm::GtmMutation> ParseMutation(const std::string& name);
+
+// A fully replayable schedule: the harness, its parameters, and the decision
+// stream. When `choices` is empty the schedule is the seed-driven random
+// walk; a non-empty vector pins every decision (shrunk counterexamples are
+// stored this way — replaying pads missing decisions with 0).
+struct ScheduleSeed {
+  ScenarioKind scenario = ScenarioKind::kSingleNode;
+  gtm::GtmMutation mutation = gtm::GtmMutation::kNone;
+  bool with_constraint = false;   // CHECK lower bound on the qty member.
+  size_t steps = 48;              // Decision steps before quiescing.
+  uint64_t seed = 0;              // Base PRNG seed.
+  std::vector<uint32_t> choices;  // Pinned decisions (empty = from seed).
+};
+
+// Text form, one `key=value` per line ('#' comments and blank lines are
+// ignored when parsing):
+//   scenario=single-node
+//   mutation=none
+//   constraint=0
+//   steps=48
+//   seed=12345
+//   choices=3,1,4,1,5
+std::string FormatScheduleSeed(const ScheduleSeed& seed);
+Result<ScheduleSeed> ParseScheduleSeed(const std::string& text);
+
+Result<ScheduleSeed> LoadScheduleSeedFile(const std::string& path);
+Status SaveScheduleSeedFile(const std::string& path,
+                            const ScheduleSeed& seed);
+
+}  // namespace preserial::check
+
+#endif  // PRESERIAL_CHECK_SEED_H_

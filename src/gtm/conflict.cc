@@ -54,7 +54,16 @@ std::optional<TxnId> FindAdmissionConflict(const ObjectState& obj,
 std::optional<TxnId> FindAwakeConflict(const ObjectState& obj, TxnId sleeper,
                                        TimePoint slept_at,
                                        const ClassConflictFn& conflict) {
-  const MemberOps own = obj.OpsOf(sleeper);
+  // The sleeper's full footprint on the object: granted (pending) classes
+  // plus the classes of its still-queued invocations — a buffered op is
+  // re-admitted at the wake, so a conflicting live holder or a conflicting
+  // commit newer than the sleep dooms the reconnect just like one against a
+  // held grant. Granted classes win per member (queued upgrades don't
+  // exist, so the overlap is at most same-class).
+  MemberOps own = obj.OpsOf(sleeper);
+  for (const WaitEntry& w : obj.waiting) {
+    if (w.txn == sleeper) own.emplace(w.member, w.op.cls);
+  }
   if (own.empty()) return std::nullopt;
   for (const auto& [txn, ops] : obj.pending) {
     if (txn == sleeper) continue;

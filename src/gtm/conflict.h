@@ -48,7 +48,8 @@ std::optional<TxnId> FindAdmissionConflict(
 
 // Awake check of Algorithm 9: a blocker among X_pending ∪ X_committing,
 // or a transaction committed after `slept_at` whose classes conflict with
-// the sleeper's own ops on this object.
+// the sleeper's footprint on this object — its granted ops plus the
+// classes of its still-queued invocations.
 std::optional<TxnId> FindAwakeConflict(
     const ObjectState& obj, TxnId sleeper, TimePoint slept_at,
     const ClassConflictFn& conflict = DefaultClassConflict);

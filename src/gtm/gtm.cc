@@ -69,6 +69,13 @@ Result<const ObjectState*> Gtm::GetObject(const ObjectId& id) const {
   return static_cast<const ObjectState*>(it->second.get());
 }
 
+std::vector<ObjectId> Gtm::ObjectIds() const {
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, _] : objects_) out.push_back(id);
+  return out;
+}
+
 ObjectState* Gtm::GetObjectMutable(const ObjectId& id) {
   auto it = objects_.find(id);
   return it == objects_.end() ? nullptr : it->second.get();
@@ -150,9 +157,20 @@ bool Gtm::EffectiveConflict(OpClass held, OpClass requested, MemberId held_m,
 std::optional<TxnId> Gtm::AdmissionConflict(const ObjectState& obj,
                                             TxnId requester, MemberId member,
                                             OpClass cls) const {
-  const ClassConflictFn fn = options_.semantic_sharing
-                                 ? ClassConflictFn(DefaultClassConflict)
-                                 : ClassConflictFn(ExclusiveClassConflict);
+  ClassConflictFn fn = options_.semantic_sharing
+                           ? ClassConflictFn(DefaultClassConflict)
+                           : ClassConflictFn(ExclusiveClassConflict);
+  if (options_.mutation == GtmMutation::kAdmitAssignWithAddSub) {
+    const ClassConflictFn base = std::move(fn);
+    fn = [base](OpClass held, OpClass requested) {
+      const bool assign_addsub =
+          (held == OpClass::kUpdateAssign &&
+           requested == OpClass::kUpdateAddSub) ||
+          (held == OpClass::kUpdateAddSub &&
+           requested == OpClass::kUpdateAssign);
+      return assign_addsub ? false : base(held, requested);
+    };
+  }
   return FindAdmissionConflict(obj, requester, member, cls, fn);
 }
 
@@ -161,7 +179,32 @@ std::optional<TxnId> Gtm::AwakeConflict(const ObjectState& obj, TxnId sleeper,
   const ClassConflictFn fn = options_.semantic_sharing
                                  ? ClassConflictFn(DefaultClassConflict)
                                  : ClassConflictFn(ExclusiveClassConflict);
+  if (options_.mutation == GtmMutation::kSkipAwakeStalenessCheck) {
+    // Pretend the sleep just started: no committed X_tc can be newer, so
+    // the Algorithm 9 staleness comparison never fires. Live-holder
+    // conflicts are still honoured.
+    slept_at = kNoTimeout;
+  }
   return FindAwakeConflict(obj, sleeper, slept_at, fn);
+}
+
+Result<Value> Gtm::ReconcileCell(OpClass cls, const Value& read,
+                                 const Value& temp,
+                                 const Value& permanent) const {
+  switch (options_.mutation) {
+    case GtmMutation::kReconcileMulDivAsAddSub:
+      if (cls == OpClass::kUpdateMulDiv) {
+        return semantics::Reconcile(OpClass::kUpdateAddSub, read, temp,
+                                    permanent);
+      }
+      break;
+    case GtmMutation::kReconcileAddSubLastWrite:
+      if (cls == OpClass::kUpdateAddSub) return temp;
+      break;
+    default:
+      break;
+  }
+  return semantics::Reconcile(cls, read, temp, permanent);
 }
 
 // --- Algorithm 1: begin --------------------------------------------------------
@@ -252,6 +295,13 @@ Status Gtm::ApplyToCopy(ManagedTxn* t, ObjectState* obj, MemberId member,
   PRESERIAL_ASSIGN_OR_RETURN(Value next, semantics::Transition(temp, op));
   t->SetTemp(cell, std::move(next));
   ++t->ops_executed;
+  // Every successful copy mutation (first grant, repeated same-class op,
+  // upgrade, re-grant at Awake) lands here, so this is the one place the
+  // complete effect history can be recorded.
+  if (trace_.enabled()) {
+    trace_.RecordOp(clock_->Now(), TraceEventKind::kApply, t->id(), obj->id,
+                    member, op);
+  }
   return Status::Ok();
 }
 
@@ -363,8 +413,9 @@ Status Gtm::Invoke(TxnId txn, const ObjectId& object, MemberId member,
     ++metrics_.counters().granted_immediately;
     if (shared) ++metrics_.counters().shared_grants;
     if (trace_.enabled()) {
-      trace_.Record(clock_->Now(), TraceEventKind::kGrant, txn, object,
-                    op.ToString() + (shared ? " [shared]" : ""));
+      trace_.RecordOp(clock_->Now(), TraceEventKind::kGrant, txn, object,
+                      member, op,
+                      op.ToString() + (shared ? " [shared]" : ""));
     }
     return Status::Ok();
   }
@@ -384,7 +435,8 @@ Status Gtm::Invoke(TxnId txn, const ObjectId& object, MemberId member,
   t->NoteInvolved(object);
   ++metrics_.counters().waits;
   if (trace_.enabled()) {
-    trace_.Record(now, TraceEventKind::kWait, txn, object, op.ToString());
+    trace_.RecordOp(now, TraceEventKind::kWait, txn, object, member, op,
+                    op.ToString());
   }
 
   if (options_.deadlock_detection) {
@@ -600,8 +652,8 @@ Status Gtm::PrepareInternal(ManagedTxn* t) {
       const Value& read = obj->read.at(txn).at(member);
       Result<Value> temp = t->GetTemp(cell);
       PRESERIAL_CHECK(temp.ok());
-      Result<Value> reconciled = semantics::Reconcile(
-          cls, read, temp.value(), obj->permanent[member]);
+      Result<Value> reconciled =
+          ReconcileCell(cls, read, temp.value(), obj->permanent[member]);
       if (!reconciled.ok()) {
         AbortInternal(t, &metrics_.counters().constraint_aborts);
         return Status::Aborted("reconciliation failed: " +
@@ -648,8 +700,8 @@ Status Gtm::CommitPrepared(TxnId txn) {
       const Value& read = obj->read.at(txn).at(member);
       Result<Value> temp = t->GetTemp(cell);
       PRESERIAL_CHECK(temp.ok());
-      Result<Value> reconciled = semantics::Reconcile(
-          cls, read, temp.value(), obj->permanent[member]);
+      Result<Value> reconciled =
+          ReconcileCell(cls, read, temp.value(), obj->permanent[member]);
       if (!reconciled.ok()) {
         prepared_.erase(txn);
         AbortInternal(t, &metrics_.counters().constraint_aborts);
@@ -689,7 +741,12 @@ Status Gtm::CommitPrepared(TxnId txn) {
   }
 
   // Global commit (Alg 4): install X_new as X_permanent, stamp X_tc.
+  // Recorded before the release loop: PumpWaiters below may grant waiters
+  // whose admission is *enabled by* this commit, and the trace must show
+  // the commit happening first (offline checkers read the ring as the
+  // serialization order).
   const TimePoint now = clock_->Now();
+  trace_.Record(now, TraceEventKind::kCommit, txn);
   for (const ObjectId& oid : t->involved()) {
     ObjectState* obj = GetObjectMutable(oid);
     auto cit = obj->committing.find(txn);
@@ -709,7 +766,6 @@ Status Gtm::CommitPrepared(TxnId txn) {
   prepared_.erase(txn);
   ++metrics_.counters().committed;
   metrics_.execution_time().Add(now - t->begin_time());
-  trace_.Record(now, TraceEventKind::kCommit, txn);
   return Status::Ok();
 }
 
@@ -741,6 +797,15 @@ Status Gtm::AbortPrepared(TxnId txn) {
 // --- Algorithms 5 + 6: abort ----------------------------------------------------
 
 void Gtm::AbortInternal(ManagedTxn* t, int64_t* cause_counter) {
+  ++metrics_.counters().aborted;
+  if (cause_counter != nullptr) ++*cause_counter;
+  const bool awake_cause = cause_counter == &metrics_.counters().awake_aborts;
+  // Recorded before the release loop so grants enabled by this abort trace
+  // after it (the ring is read as the serialization order).
+  trace_.Record(clock_->Now(),
+                awake_cause ? TraceEventKind::kAwakeAbort
+                            : TraceEventKind::kAbort,
+                t->id());
   for (const ObjectId& oid : t->involved()) {
     ObjectState* obj = GetObjectMutable(oid);
     if (obj == nullptr) continue;
@@ -750,13 +815,6 @@ void Gtm::AbortInternal(ManagedTxn* t, int64_t* cause_counter) {
   t->ClearAllTemp();
   t->ClearAllWaitSince();
   t->set_state(TxnState::kAborted);
-  ++metrics_.counters().aborted;
-  if (cause_counter != nullptr) ++*cause_counter;
-  const bool awake_cause = cause_counter == &metrics_.counters().awake_aborts;
-  trace_.Record(clock_->Now(),
-                awake_cause ? TraceEventKind::kAwakeAbort
-                            : TraceEventKind::kAbort,
-                t->id());
 }
 
 Status Gtm::RequestAbort(TxnId txn) {
@@ -826,7 +884,11 @@ Status Gtm::Awake(TxnId txn) {
 
   // Alg 9, no-conflict cases: leave every sleeping set; queued invocations
   // are admitted directly with a fresh snapshot (case 1); held grants keep
-  // their copies and reconcile at commit (case 2).
+  // their copies and reconcile at commit (case 2). The AWAKE event is
+  // recorded first: the re-grants and pumps below happen *after* the wake
+  // in the serialization order the trace captures (every non-abort exit of
+  // this function leaves the transaction Active).
+  trace_.Record(now, TraceEventKind::kAwake, txn);
   for (const ObjectId& oid : t->involved()) {
     ObjectState* obj = GetObjectMutable(oid);
     if (obj == nullptr) continue;
@@ -860,7 +922,6 @@ Status Gtm::Awake(TxnId txn) {
   t->set_state(TxnState::kActive);
   t->total_sleep_time += now - slept_at;
   t->set_last_activity(now);  // A reconnection counts as activity.
-  trace_.Record(now, TraceEventKind::kAwake, txn);
   return Status::Ok();
 }
 
@@ -902,8 +963,9 @@ void Gtm::PumpWaiters(ObjectState* obj) {
     FinishWait(t, obj->id);
     events_.push_back(GtmEvent{entry.txn, obj->id});
     if (trace_.enabled()) {
-      trace_.Record(clock_->Now(), TraceEventKind::kGrant, entry.txn,
-                    obj->id, entry.op.ToString() + " [from queue]");
+      trace_.RecordOp(clock_->Now(), TraceEventKind::kGrant, entry.txn,
+                      obj->id, entry.member, entry.op,
+                      entry.op.ToString() + " [from queue]");
     }
   }
 }

@@ -89,6 +89,9 @@ class Gtm : public GtmEndpoint {
 
   bool HasObject(const ObjectId& id) const { return objects_.count(id) > 0; }
   Result<const ObjectState*> GetObject(const ObjectId& id) const;
+  // Ids of every registered object, lexicographic. Used by offline checkers
+  // to snapshot the full permanent state before/after a run.
+  std::vector<ObjectId> ObjectIds() const;
 
   // Reloads X_permanent from the LDBS. Only legal while no transaction
   // holds or waits on the object — it exists for rebinding after external
@@ -233,6 +236,13 @@ class Gtm : public GtmEndpoint {
                                          semantics::OpClass cls) const;
   std::optional<TxnId> AwakeConflict(const ObjectState& obj, TxnId sleeper,
                                      TimePoint slept_at) const;
+
+  // Eqs. 1-2 with the options_.mutation defect (if any) applied — the one
+  // funnel both PrepareInternal and CommitPrepared reconcile through.
+  Result<storage::Value> ReconcileCell(semantics::OpClass cls,
+                                       const storage::Value& read,
+                                       const storage::Value& temp,
+                                       const storage::Value& permanent) const;
 
   // Grants (member, op.cls) to txn on obj with a fresh snapshot and applies
   // `op` to the new copy.

@@ -8,6 +8,27 @@
 
 namespace preserial::gtm {
 
+// Deliberate, test-only protocol defects ("MutantGtm"). Each value disables
+// exactly one correctness-critical rule so the check:: oracle can be shown
+// to catch the resulting Definition 1 / eq. 1-2 / Algorithm 9 violations —
+// an oracle never seen failing is itself untested. Always kNone outside
+// tests/check_mutant_test.cc.
+enum class GtmMutation {
+  kNone,
+  // Algorithm 9: skip the staleness comparison X_tc > A_t_sleep when a
+  // sleeper awakes, so commits that overlapped the sleep go unnoticed.
+  kSkipAwakeStalenessCheck,
+  // Eq. 2: reconcile mul/div updates with the additive eq. 1 formula.
+  kReconcileMulDivAsAddSub,
+  // Eq. 1: install A_temp verbatim instead of merging the delta into the
+  // current X_permanent — the classic lost update between compatible
+  // writers.
+  kReconcileAddSubLastWrite,
+  // Table I: admit assignments alongside add/sub holders, violating
+  // Definition 1 on a pair the matrix declares incompatible.
+  kAdmitAssignWithAddSub,
+};
+
 // Tunable behaviour of the Gtm. Defaults reproduce the paper's model;
 // the remaining knobs implement its Sec. VII "future work" mitigations and
 // the ablations in bench/.
@@ -59,6 +80,11 @@ struct GtmOptions {
   // Committed entries (X_tc traces) older than this are pruned; they can
   // only matter to sleepers that slept longer, which the experiments bound.
   Duration committed_retention = 1e9;
+
+  // --- testing ---------------------------------------------------------------
+
+  // Injected protocol defect for oracle self-tests; kNone in production.
+  GtmMutation mutation = GtmMutation::kNone;
 };
 
 // Counts incompatible (w.r.t. `cls` on `member`) wait-queue entries of

@@ -7,7 +7,7 @@ namespace preserial::gtm {
 
 // Adding a TraceEventKind? Extend TraceEventKindName below, then bump this
 // count (and kTraceEventKindCount follows the last enumerator in trace.h).
-static_assert(kTraceEventKindCount == 24,
+static_assert(kTraceEventKindCount == 25,
               "TraceEventKind changed: update TraceEventKindName and this "
               "static_assert together");
 
@@ -17,6 +17,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "BEGIN";
     case TraceEventKind::kGrant:
       return "GRANT";
+    case TraceEventKind::kApply:
+      return "APPLY";
     case TraceEventKind::kWait:
       return "WAIT";
     case TraceEventKind::kPrepare:
@@ -93,10 +95,41 @@ void TraceLog::Record(TimePoint time, TraceEventKind kind, TxnId txn,
   ++total_recorded_;
   if (capacity_ == 0) return;  // Disabled: no context read, no allocation.
   const obs::TraceContext& ctx = obs::CurrentContext();
-  ring_[next_] = TraceEvent{time,          kind,      txn,
-                            std::move(object), std::move(detail),
-                            ctx.trace,     ctx.span,  ctx.parent,
-                            default_shard_};
+  TraceEvent e;
+  e.time = time;
+  e.kind = kind;
+  e.txn = txn;
+  e.object = std::move(object);
+  e.detail = std::move(detail);
+  e.trace = ctx.trace;
+  e.span = ctx.span;
+  e.parent = ctx.parent;
+  e.shard = default_shard_;
+  ring_[next_] = std::move(e);
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+void TraceLog::RecordOp(TimePoint time, TraceEventKind kind, TxnId txn,
+                        std::string object, semantics::MemberId member,
+                        const semantics::Operation& op, std::string detail) {
+  ++total_recorded_;
+  if (capacity_ == 0) return;
+  const obs::TraceContext& ctx = obs::CurrentContext();
+  TraceEvent e;
+  e.time = time;
+  e.kind = kind;
+  e.txn = txn;
+  e.object = std::move(object);
+  e.detail = std::move(detail);
+  e.trace = ctx.trace;
+  e.span = ctx.span;
+  e.parent = ctx.parent;
+  e.shard = default_shard_;
+  e.has_op = true;
+  e.member = member;
+  e.op = op;
+  ring_[next_] = std::move(e);
   next_ = (next_ + 1) % capacity_;
   if (size_ < capacity_) ++size_;
 }

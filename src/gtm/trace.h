@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "common/ids.h"
+#include "semantics/operation.h"
 
 namespace preserial::gtm {
 
@@ -15,6 +16,7 @@ namespace preserial::gtm {
 enum class TraceEventKind {
   kBegin,
   kGrant,        // Invocation admitted (immediately or from the queue).
+  kApply,        // An operation mutated the virtual copy (every success).
   kWait,         // Invocation queued.
   kPrepare,      // Phase-1 vote of a cross-shard commit (parked Committing).
   kCommit,
@@ -64,6 +66,12 @@ struct TraceEvent {
   uint64_t span = 0;
   uint64_t parent = 0;
   int shard = -1;
+  // Structured operation payload, present when has_op (kApply always; kGrant
+  // and kWait when recorded through RecordOp). Offline checkers reconstruct
+  // per-member effects from these instead of parsing `detail`.
+  bool has_op = false;
+  semantics::MemberId member = 0;
+  semantics::Operation op;
 
   std::string ToString() const;
 };
@@ -81,6 +89,12 @@ class TraceLog {
 
   void Record(TimePoint time, TraceEventKind kind, TxnId txn,
               std::string object = "", std::string detail = "");
+
+  // Record() plus the structured (member, op) payload; sets has_op so
+  // history checkers can replay the operation exactly.
+  void RecordOp(TimePoint time, TraceEventKind kind, TxnId txn,
+                std::string object, semantics::MemberId member,
+                const semantics::Operation& op, std::string detail = "");
 
   // Events in chronological order (oldest first), up to capacity.
   std::vector<TraceEvent> Snapshot() const;

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -58,6 +59,45 @@ EventQueue::Entry EventQueue::Pop() {
   assert(live_count_ > 0);
   --live_count_;
   return top;
+}
+
+size_t EventQueue::TiedHeadCount() {
+  if (Empty()) return 0;
+  const TimePoint t = PeekTime();
+  size_t n = 0;
+  for (const Entry& e : heap_) {
+    if (e.time == t && cancelled_.count(e.id) == 0) ++n;
+  }
+  return n;
+}
+
+EventQueue::Entry EventQueue::PopTiedAt(size_t k) {
+  DropDeadHead();
+  assert(!heap_.empty());
+  const TimePoint t = heap_.front().time;
+  // FIFO among ties is ascending id; find the k-th smallest tied id.
+  std::vector<EventId> tied;
+  for (const Entry& e : heap_) {
+    if (e.time == t && cancelled_.count(e.id) == 0) tied.push_back(e.id);
+  }
+  std::sort(tied.begin(), tied.end());
+  assert(k < tied.size());
+  const EventId target = tied[k];
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (heap_[i].id != target) continue;
+    Entry out = std::move(heap_[i]);
+    heap_[i] = std::move(heap_.back());
+    heap_.pop_back();
+    if (i < heap_.size()) {
+      SiftDown(i);
+      SiftUp(i);
+    }
+    assert(live_count_ > 0);
+    --live_count_;
+    return out;
+  }
+  assert(false && "tied event vanished from the heap");
+  return {};
 }
 
 void EventQueue::DropDeadHead() {

@@ -50,6 +50,14 @@ class EventQueue {
   // Removes and returns the earliest live event; undefined when Empty().
   Entry Pop();
 
+  // Number of live events sharing the earliest timestamp; 0 when Empty().
+  // O(n) — meant for schedule-exploration harnesses, not hot loops.
+  size_t TiedHeadCount();
+
+  // Removes and returns the k-th (in FIFO order, k < TiedHeadCount()) of
+  // the live events tied at the earliest timestamp. PopTiedAt(0) == Pop().
+  Entry PopTiedAt(size_t k);
+
  private:
   void SiftUp(size_t i);
   void SiftDown(size_t i);

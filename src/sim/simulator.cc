@@ -19,7 +19,16 @@ EventId Simulator::At(TimePoint when, std::function<void()> action) {
 
 bool Simulator::Step() {
   if (queue_.Empty()) return false;
-  EventQueue::Entry e = queue_.Pop();
+  EventQueue::Entry e;
+  size_t ties;
+  if (tie_breaker_ && (ties = queue_.TiedHeadCount()) > 1) {
+    const size_t pick = tie_breaker_(ties);
+    PRESERIAL_CHECK(pick < ties)
+        << "tie breaker returned " << pick << " of " << ties;
+    e = queue_.PopTiedAt(pick);
+  } else {
+    e = queue_.Pop();
+  }
   clock_.Set(e.time);
   ++events_executed_;
   e.action();

@@ -38,6 +38,15 @@ class Simulator {
   // Cancels a pending event. Safe to call with stale ids.
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 
+  // Installs a tie-break hook consulted when several events share the next
+  // timestamp: called with the tie count n (>= 2), must return an index in
+  // [0, n) selecting which fires first (FIFO order indexing). Unset (the
+  // default) keeps strict FIFO. Lets schedule-exploration harnesses
+  // perturb same-time interleavings without changing the workload.
+  void SetTieBreaker(std::function<size_t(size_t)> tie_breaker) {
+    tie_breaker_ = std::move(tie_breaker);
+  }
+
   // Runs a single event; returns false if none remain.
   bool Step();
 
@@ -53,6 +62,7 @@ class Simulator {
  private:
   ManualClock clock_;
   EventQueue queue_;
+  std::function<size_t(size_t)> tie_breaker_;
   uint64_t events_executed_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "workload/gtm_experiment.h"
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -108,6 +109,12 @@ gtm::ObjectId ObjectIdFor(size_t i) {
   return StrFormat("%s/%zu", kTable, i);
 }
 
+// When both a trace window and a history are requested the two share one
+// ring per domain — size it for whichever asks for more.
+size_t RingCapacity(const GtmExperimentSpec& spec) {
+  return std::max(spec.history_capacity, spec.trace_capacity);
+}
+
 }  // namespace
 
 ExperimentResult RunGtmExperiment(const GtmExperimentSpec& spec,
@@ -116,6 +123,7 @@ ExperimentResult RunGtmExperiment(const GtmExperimentSpec& spec,
   std::unique_ptr<storage::Database> db = BuildDatabase(spec);
 
   sim::Simulator simulator;
+  if (spec.tie_breaker) simulator.SetTieBreaker(spec.tie_breaker);
   gtm::Gtm gtm(db.get(), simulator.clock(), options);
   GtmRunner runner(&gtm, &simulator);
   GtmRunner* runner_ptr = &runner;
@@ -133,6 +141,8 @@ ExperimentResult RunGtmExperiment(const GtmExperimentSpec& spec,
                                   {kColQty, kColPrice}, std::move(deps));
     PRESERIAL_CHECK(s.ok()) << s.ToString();
   }
+  check::HistoryRecorder recorder;
+  if (spec.history_capacity > 0) recorder.Attach(&gtm, RingCapacity(spec));
 
   for (const PlannedTxn& p : BuildPlans(spec, &rng)) {
     mobile::TxnPlan plan;
@@ -166,6 +176,7 @@ ExperimentResult RunGtmExperiment(const GtmExperimentSpec& spec,
     result.trace_events =
         obs::MergeEvents({gtm.trace(), runner.client_trace()});
   }
+  if (recorder.attached()) result.history = recorder.Finish();
   return result;
 }
 
@@ -179,6 +190,7 @@ LossyExperimentResult RunLossyGtmExperiment(const GtmExperimentSpec& spec,
   std::unique_ptr<storage::Database> db = BuildDatabase(spec);
 
   sim::Simulator simulator;
+  if (spec.tie_breaker) simulator.SetTieBreaker(spec.tie_breaker);
   gtm::Gtm gtm(db.get(), simulator.clock(), options);
   GtmRunner runner(&gtm, &simulator);
   if (spec.trace_capacity > 0) {
@@ -205,6 +217,8 @@ LossyExperimentResult RunLossyGtmExperiment(const GtmExperimentSpec& spec,
                                   {kColQty, kColPrice}, std::move(deps));
     PRESERIAL_CHECK(s.ok()) << s.ToString();
   }
+  check::HistoryRecorder recorder;
+  if (spec.history_capacity > 0) recorder.Attach(&gtm, RingCapacity(spec));
 
   for (const PlannedTxn& p : BuildPlans(spec, &rng)) {
     mobile::FtPlan plan;
@@ -247,6 +261,7 @@ LossyExperimentResult RunLossyGtmExperiment(const GtmExperimentSpec& spec,
     result.trace_events =
         obs::MergeEvents({gtm.trace(), runner.client_trace()});
   }
+  if (recorder.attached()) result.history = recorder.Finish();
   return result;
 }
 
@@ -256,6 +271,7 @@ ShardedExperimentResult RunShardedGtmExperiment(
   Rng rng(base.seed);
 
   sim::Simulator simulator;
+  if (base.tie_breaker) simulator.SetTieBreaker(base.tie_breaker);
   cluster::GtmCluster gtm_cluster(spec.num_shards, simulator.clock(), options);
 
   // Same schema as the single-instance run, created on every shard; each
@@ -308,6 +324,10 @@ ShardedExperimentResult RunShardedGtmExperiment(
     }
     router.trace()->Enable(base.trace_capacity);
     runner.client_trace()->Enable(base.trace_capacity);
+  }
+  check::ClusterHistoryRecorder recorder;
+  if (base.history_capacity > 0) {
+    recorder.Attach(&gtm_cluster, RingCapacity(base));
   }
 
   // Whether any cross-shard pairing exists at all (e.g. one shard => no).
@@ -390,6 +410,7 @@ ShardedExperimentResult RunShardedGtmExperiment(
     logs.push_back(runner.client_trace());
     result.trace_events = obs::MergeEvents(logs);
   }
+  if (base.history_capacity > 0) result.shard_histories = recorder.Finish();
   return result;
 }
 
@@ -405,6 +426,7 @@ FailoverExperimentResult RunFailoverExperiment(
   Rng ship_rng(base.seed ^ 0xbf58476d1ce4e5b9ull);
 
   sim::Simulator simulator;
+  if (base.tie_breaker) simulator.SetTieBreaker(base.tie_breaker);
   replica::ReplicaOptions ropts;
   ropts.num_backups = spec.num_backups;
   ropts.ship = spec.ship;
@@ -451,6 +473,8 @@ FailoverExperimentResult RunFailoverExperiment(
     }
     runner.client_trace()->Enable(base.trace_capacity);
   }
+  check::ReplicaHistoryRecorder recorder;
+  if (base.history_capacity > 0) recorder.Attach(&group, RingCapacity(base));
 
   mobile::ChannelFaults faults;
   faults.loss = channel.loss;
@@ -561,6 +585,7 @@ FailoverExperimentResult RunFailoverExperiment(
     logs.push_back(runner.client_trace());
     result.trace_events = obs::MergeEvents(logs);
   }
+  if (base.history_capacity > 0) result.history = recorder.Finish();
   return result;
 }
 

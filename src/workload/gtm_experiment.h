@@ -2,8 +2,10 @@
 #define PRESERIAL_WORKLOAD_GTM_EXPERIMENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "check/history.h"
 #include "cluster/coordinator.h"
 #include "common/clock.h"
 #include "gtm/metrics.h"
@@ -48,6 +50,18 @@ struct GtmExperimentSpec {
   // allocation-free; > 0 fills the result's `trace_events` with the merged
   // chronological event stream, span-correlated per transaction.
   size_t trace_capacity = 0;
+  // Correctness checking: > 0 attaches a check::HistoryRecorder to every
+  // serialization domain the run touches and fills the result's history
+  // field(s) for offline validation with check::CheckHistory. The value
+  // bounds the per-domain event ring — a run recording more events than
+  // this yields History::complete == false, which the checker flags.
+  size_t history_capacity = 0;
+  // Same-timestamp tie-break perturbation for the discrete-event executor
+  // (sim::Simulator::SetTieBreaker): called with the tie count, returns
+  // which tied event fires first. Unset keeps strict FIFO — the paper's
+  // arrival-order semantics. Schedule-exploration harnesses use this to
+  // vary interleavings without touching the planned workload.
+  std::function<size_t(size_t)> tie_breaker;
 };
 
 // SessionStats/RunStats tag values used by the experiment.
@@ -73,6 +87,8 @@ struct ExperimentResult {
   int64_t admission_denials = 0;   // GTM only (Sec. VII policy).
   // Merged server + client trace (empty unless spec.trace_capacity > 0).
   std::vector<gtm::TraceEvent> trace_events;
+  // Recorded execution history (empty unless spec.history_capacity > 0).
+  check::History history;
   // Metrics snapshot of the (single) GTM, for the exporters.
   gtm::GtmMetrics::Snapshot snapshot;
 };
@@ -109,6 +125,8 @@ struct LossyExperimentResult {
   int64_t quantity_consumed = 0;
   // Merged server + client trace (empty unless spec.trace_capacity > 0).
   std::vector<gtm::TraceEvent> trace_events;
+  // Recorded execution history (empty unless spec.history_capacity > 0).
+  check::History history;
   gtm::GtmMetrics::Snapshot snapshot;
 };
 
@@ -153,6 +171,9 @@ struct ShardedExperimentResult {
   // Merged shard + router + client trace (empty unless trace_capacity > 0);
   // shard lanes carry their shard id, router/client events shard = -1.
   std::vector<gtm::TraceEvent> trace_events;
+  // One recorded history per shard — each shard is its own serialization
+  // domain (empty unless base.history_capacity > 0).
+  std::vector<check::History> shard_histories;
 };
 
 ShardedExperimentResult RunShardedGtmExperiment(
@@ -206,6 +227,9 @@ struct FailoverExperimentResult {
   // unless trace_capacity > 0). Events the promoted backup replayed from
   // the shipped log appear on both nodes' lanes — each node's own view.
   std::vector<gtm::TraceEvent> trace_events;
+  // Post-failover primary's recorded history (empty unless
+  // base.history_capacity > 0) — the authoritative surviving timeline.
+  check::History history;
   gtm::GtmMetrics::Snapshot snapshot;  // Post-run primary.
 };
 

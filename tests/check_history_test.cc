@@ -1,0 +1,252 @@
+// The history recorders: a History must be a faithful, complete record of
+// the execution — events in trace order, initial/final permanent state,
+// dependencies — across a single Gtm, a sharded cluster, and a replicated
+// group that fails over mid-run.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/checker.h"
+#include "check/history.h"
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "gtm/gtm.h"
+#include "replica/replica.h"
+#include "semantics/operation.h"
+#include "storage/database.h"
+
+namespace preserial::check {
+namespace {
+
+using gtm::TraceEventKind;
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+constexpr char kTable[] = "t";
+
+std::unique_ptr<storage::Database> BuildDb(int64_t objects,
+                                           int64_t initial = 100) {
+  auto db = std::make_unique<storage::Database>();
+  EXPECT_TRUE(db->Open().ok());
+  Schema schema = Schema::Create(
+                      {
+                          ColumnDef{"id", ValueType::kInt64, false},
+                          ColumnDef{"val", ValueType::kInt64, false},
+                      },
+                      0)
+                      .value();
+  EXPECT_TRUE(db->CreateTable(kTable, std::move(schema)).ok());
+  for (int64_t i = 0; i < objects; ++i) {
+    EXPECT_TRUE(
+        db->InsertRow(kTable, Row({Value::Int(i), Value::Int(initial)})).ok());
+  }
+  return db;
+}
+
+size_t CountKind(const History& h, TraceEventKind kind) {
+  size_t n = 0;
+  for (const gtm::TraceEvent& e : h.events) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(HistoryRecorderTest, CapturesCompleteSingleGtmExecution) {
+  auto db = BuildDb(2);
+  ManualClock clock;
+  gtm::Gtm gtm(db.get(), &clock);
+  ASSERT_TRUE(gtm.RegisterObject("A", kTable, Value::Int(0), {1}).ok());
+  ASSERT_TRUE(gtm.RegisterObject("B", kTable, Value::Int(1), {1}).ok());
+
+  HistoryRecorder recorder;
+  recorder.Attach(&gtm);
+  ASSERT_TRUE(recorder.attached());
+
+  const TxnId t1 = gtm.Begin();
+  const TxnId t2 = gtm.Begin();
+  clock.Advance(1.0);
+  ASSERT_TRUE(gtm.Invoke(t1, "A", 0, Operation::Sub(Value::Int(3))).ok());
+  ASSERT_TRUE(gtm.Invoke(t2, "A", 0, Operation::Sub(Value::Int(4))).ok());
+  clock.Advance(1.0);
+  ASSERT_TRUE(gtm.RequestCommit(t1).ok());
+  ASSERT_TRUE(gtm.RequestCommit(t2).ok());
+
+  History h = recorder.Finish();
+  EXPECT_FALSE(recorder.attached());
+  EXPECT_TRUE(h.complete);
+  // Initial and final permanent state, per cell.
+  EXPECT_EQ(h.initial.at(gtm::Cell{"A", 0}), Value::Int(100));
+  EXPECT_EQ(h.final_state.at(gtm::Cell{"A", 0}), Value::Int(93));
+  EXPECT_EQ(h.final_state.at(gtm::Cell{"B", 0}), Value::Int(100));
+  // The event stream carries the whole lifecycle.
+  EXPECT_EQ(CountKind(h, TraceEventKind::kBegin), 2u);
+  EXPECT_EQ(CountKind(h, TraceEventKind::kApply), 2u);
+  EXPECT_EQ(CountKind(h, TraceEventKind::kCommit), 2u);
+  // Dependencies were snapshotted for both objects.
+  EXPECT_EQ(h.deps.size(), 2u);
+  // Apply events carry the structured operation payload.
+  for (const gtm::TraceEvent& e : h.events) {
+    if (e.kind == TraceEventKind::kApply) {
+      EXPECT_TRUE(e.has_op);
+      EXPECT_EQ(e.object, "A");
+    }
+  }
+  // And the checker certifies it.
+  const CheckReport report = CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.committed_txns, 2u);
+}
+
+TEST(HistoryRecorderTest, FlagsTruncatedRingAsIncomplete) {
+  auto db = BuildDb(1);
+  ManualClock clock;
+  gtm::Gtm gtm(db.get(), &clock);
+  ASSERT_TRUE(gtm.RegisterObject("A", kTable, Value::Int(0), {1}).ok());
+
+  HistoryRecorder recorder;
+  recorder.Attach(&gtm, /*trace_capacity=*/4);
+  for (int i = 0; i < 4; ++i) {
+    clock.Advance(1.0);
+    const TxnId t = gtm.Begin();
+    ASSERT_TRUE(gtm.Invoke(t, "A", 0, Operation::Sub(Value::Int(1))).ok());
+    ASSERT_TRUE(gtm.RequestCommit(t).ok());
+  }
+  History h = recorder.Finish();
+  EXPECT_FALSE(h.complete);
+
+  // An incomplete history cannot be certified: the checker refuses loudly
+  // instead of vacuously passing on the events that survived.
+  const CheckReport report = CheckHistory(h);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].rule, "incomplete-history");
+}
+
+TEST(HistoryRecorderTest, SetupTrafficBeforeAttachIsExcluded) {
+  auto db = BuildDb(1);
+  ManualClock clock;
+  gtm::Gtm gtm(db.get(), &clock);
+  ASSERT_TRUE(gtm.RegisterObject("A", kTable, Value::Int(0), {1}).ok());
+
+  // Pre-attach traffic: a committed setup transaction.
+  gtm.trace()->Enable(64);
+  const TxnId setup = gtm.Begin();
+  ASSERT_TRUE(gtm.Invoke(setup, "A", 0, Operation::Sub(Value::Int(10))).ok());
+  ASSERT_TRUE(gtm.RequestCommit(setup).ok());
+
+  HistoryRecorder recorder;
+  recorder.Attach(&gtm);
+  const TxnId t = gtm.Begin();
+  clock.Advance(1.0);
+  ASSERT_TRUE(gtm.Invoke(t, "A", 0, Operation::Sub(Value::Int(1))).ok());
+  ASSERT_TRUE(gtm.RequestCommit(t).ok());
+  History h = recorder.Finish();
+
+  // The window starts at attach: initial state reflects the setup commit,
+  // and only the second transaction's events are present.
+  EXPECT_TRUE(h.complete);
+  EXPECT_EQ(h.initial.at(gtm::Cell{"A", 0}), Value::Int(90));
+  EXPECT_EQ(CountKind(h, TraceEventKind::kBegin), 1u);
+  EXPECT_TRUE(CheckHistory(h).ok());
+}
+
+TEST(ClusterHistoryRecorderTest, OneHistoryPerShard) {
+  ManualClock clock;
+  cluster::GtmCluster cluster(2, &clock);
+  Schema schema = Schema::Create(
+                      {
+                          ColumnDef{"id", ValueType::kInt64, false},
+                          ColumnDef{"val", ValueType::kInt64, false},
+                      },
+                      0)
+                      .value();
+  ASSERT_TRUE(cluster.CreateTableAllShards(kTable, std::move(schema)).ok());
+  // Register enough objects to land at least one on each shard.
+  std::vector<gtm::ObjectId> ids;
+  for (int64_t i = 0; i < 8; ++i) {
+    const gtm::ObjectId oid = "obj/" + std::to_string(i);
+    ASSERT_TRUE(cluster.db(cluster.ShardOf(oid))
+                    ->InsertRow(kTable, Row({Value::Int(i), Value::Int(100)}))
+                    .ok());
+    ASSERT_TRUE(cluster.RegisterObject(oid, kTable, Value::Int(i), {1}).ok());
+    ids.push_back(oid);
+  }
+
+  ClusterHistoryRecorder recorder;
+  recorder.Attach(&cluster);
+  for (const gtm::ObjectId& oid : ids) {
+    clock.Advance(0.5);
+    gtm::Gtm* shard = cluster.shard(cluster.ShardOf(oid));
+    const TxnId t = shard->Begin();
+    ASSERT_TRUE(shard->Invoke(t, oid, 0, Operation::Sub(Value::Int(2))).ok());
+    ASSERT_TRUE(shard->RequestCommit(t).ok());
+  }
+
+  std::vector<History> histories = recorder.Finish();
+  ASSERT_EQ(histories.size(), 2u);
+  size_t total_commits = 0;
+  for (const History& h : histories) {
+    EXPECT_TRUE(h.complete);
+    total_commits += CountKind(h, TraceEventKind::kCommit);
+    const CheckReport report = CheckHistory(h);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+  // Every commit landed in exactly one shard's history.
+  EXPECT_EQ(total_commits, ids.size());
+}
+
+TEST(ReplicaHistoryRecorderTest, SurvivingTimelineAfterFailover) {
+  ManualClock clock;
+  replica::ReplicaOptions ropts;
+  ropts.num_backups = 1;
+  Rng ship_rng(7);
+  replica::ReplicatedGtm group(&clock, gtm::GtmOptions{}, ropts, &ship_rng);
+  Schema schema = Schema::Create(
+                      {
+                          ColumnDef{"id", ValueType::kInt64, false},
+                          ColumnDef{"val", ValueType::kInt64, false},
+                      },
+                      0)
+                      .value();
+  ASSERT_TRUE(group.CreateTable(kTable, std::move(schema)).ok());
+  ASSERT_TRUE(
+      group.InsertRow(kTable, Row({Value::Int(0), Value::Int(100)})).ok());
+  ASSERT_TRUE(group.RegisterObject("A", kTable, Value::Int(0), {1}).ok());
+
+  ReplicaHistoryRecorder recorder;
+  recorder.Attach(&group);
+
+  const TxnId t1 = group.Begin();
+  clock.Advance(1.0);
+  ASSERT_TRUE(group.Invoke(t1, "A", 0, Operation::Sub(Value::Int(5))).ok());
+  ASSERT_TRUE(group.RequestCommit(t1).ok());
+
+  group.KillPrimary();
+  ASSERT_TRUE(group.Promote().ok());
+
+  // Post-failover traffic lands on the promoted primary.
+  const TxnId t2 = group.Begin();
+  clock.Advance(1.0);
+  ASSERT_TRUE(group.Invoke(t2, "A", 0, Operation::Sub(Value::Int(7))).ok());
+  ASSERT_TRUE(group.RequestCommit(t2).ok());
+
+  History h = recorder.Finish();
+  EXPECT_TRUE(h.complete);
+  // The promoted node replayed the shipped pre-failover commit into its own
+  // trace, so the surviving timeline holds both commits and the final state
+  // reflects them.
+  EXPECT_EQ(CountKind(h, TraceEventKind::kCommit), 2u);
+  EXPECT_EQ(h.final_state.at(gtm::Cell{"A", 0}), Value::Int(88));
+  const CheckReport report = CheckHistory(h);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+}  // namespace
+}  // namespace preserial::check

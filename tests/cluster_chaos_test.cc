@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "check/checker.h"
+#include "check/history.h"
 #include "cluster/cluster.h"
 #include "cluster/coordinator.h"
 #include "cluster/router.h"
@@ -95,6 +97,11 @@ TEST(ClusterChaosTest, CoordinatorCrashStormNeverHalfCommits) {
   std::unique_ptr<GtmCluster> cluster = BuildCluster(kShards, kObjects, &clock);
   storage::MemoryWalStorage wal;
   auto coordinator = std::make_unique<ClusterCoordinator>(cluster.get(), &wal);
+
+  // Record every shard's interleaving — each shard is its own
+  // serialization domain; the oracle validates each independently.
+  check::ClusterHistoryRecorder recorder;
+  recorder.Attach(cluster.get());
 
   Rng rng(20080615);
   std::vector<int64_t> booked(kShards, 0);  // Units committed, per shard.
@@ -182,6 +189,17 @@ TEST(ClusterChaosTest, CoordinatorCrashStormNeverHalfCommits) {
     EXPECT_EQ(ConsumedOnShard(cluster.get(), s, kObjects), booked[s])
         << "shard " << s;
   }
+
+  // Every shard's history — including the prepare/commit-prepared spans of
+  // recovered global transactions — must be semantically serializable.
+  std::vector<check::History> histories = recorder.Finish();
+  ASSERT_EQ(histories.size(), kShards);
+  for (size_t s = 0; s < histories.size(); ++s) {
+    ASSERT_TRUE(histories[s].complete) << "shard " << s;
+    const check::CheckReport report = check::CheckHistory(histories[s]);
+    EXPECT_TRUE(report.ok()) << "shard " << s << ": " << report.ToString();
+    EXPECT_GT(report.committed_txns, 0u) << "shard " << s;
+  }
 }
 
 TEST(ClusterChaosTest, LossySessionsOverRouterConservePerShard) {
@@ -196,6 +214,9 @@ TEST(ClusterChaosTest, LossySessionsOverRouterConservePerShard) {
   ClusterCoordinator coordinator(cluster.get(), &wal);
   GtmRouter router(cluster.get(), &coordinator);
   workload::GtmRunner runner(&router, &simulator);
+
+  check::ClusterHistoryRecorder recorder;
+  recorder.Attach(cluster.get());
 
   mobile::ChannelFaults faults;
   faults.loss = 0.2;
@@ -243,6 +264,17 @@ TEST(ClusterChaosTest, LossySessionsOverRouterConservePerShard) {
                                        : 0;
     EXPECT_EQ(ConsumedOnShard(cluster.get(), s, kObjects), committed_here)
         << "shard " << s;
+  }
+
+  // Oracle pass over each shard's interleaving of the lossy-session storm:
+  // redeliveries absorbed by the reply cache must not show up as
+  // double-applied commits in any serial-equivalence sense.
+  std::vector<check::History> histories = recorder.Finish();
+  ASSERT_EQ(histories.size(), kShards);
+  for (size_t s = 0; s < histories.size(); ++s) {
+    ASSERT_TRUE(histories[s].complete) << "shard " << s;
+    const check::CheckReport report = check::CheckHistory(histories[s]);
+    EXPECT_TRUE(report.ok()) << "shard " << s << ": " << report.ToString();
   }
 }
 

@@ -1,0 +1,74 @@
+// Replays every seed file under tests/corpus/. Two uses: (1) checked-in
+// seeds are permanent regressions — schedules or fuzz runs that once
+// failed (or that pin tricky coverage) must stay green forever; (2) when a
+// fuzz/property test fails it emits its seed here, so committing the file
+// turns the failure into a regression test with zero extra work.
+//
+// Explorer-kind seeds (single-node / sharded-2pc / failover) replay
+// through check::RunSchedule; fuzz-kind seeds replay through the same
+// harnesses the fuzz tests use (gtm_fuzzer.h).
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/explorer.h"
+#include "check/seed.h"
+#include "gtm_fuzzer.h"
+#include "test_util.h"
+
+namespace preserial::check {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  const std::filesystem::path dir(testutil::CorpusDir());
+  if (!std::filesystem::is_directory(dir)) return files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".seed") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void ReplaySeed(const ScheduleSeed& seed) {
+  switch (seed.scenario) {
+    case ScenarioKind::kSingleNode:
+    case ScenarioKind::kShardedTwoPc:
+    case ScenarioKind::kFailover: {
+      const ScheduleOutcome outcome = RunSchedule(seed);
+      EXPECT_TRUE(outcome.ok()) << outcome.Describe();
+      return;
+    }
+    case ScenarioKind::kPropertyFuzz: {
+      const uint32_t variant = seed.choices.empty() ? 0 : seed.choices[0];
+      gtm::RunPropertyFuzz(seed.seed, static_cast<int>(seed.steps), variant);
+      return;
+    }
+    case ScenarioKind::kMemberFuzz:
+      gtm::RunMemberFuzz(seed.seed, static_cast<int>(seed.steps));
+      return;
+  }
+  FAIL() << "unhandled scenario kind";
+}
+
+TEST(CorpusReplayTest, EverySeedReplaysClean) {
+  const std::vector<std::string> files = CorpusFiles();
+  // The checked-in corpus always ships at least one seed per scenario
+  // kind; an empty list means the corpus dir wasn't found.
+  ASSERT_GE(files.size(), 5u) << "corpus dir: " << testutil::CorpusDir();
+  for (const std::string& path : files) {
+    SCOPED_TRACE(path);
+    Result<ScheduleSeed> seed = LoadScheduleSeedFile(path);
+    ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+    ReplaySeed(seed.value());
+  }
+}
+
+}  // namespace
+}  // namespace preserial::check

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "check/checker.h"
+#include "check/history.h"
 #include "common/random.h"
 #include "gtm/gtm_service.h"
 #include "storage/database.h"
@@ -70,6 +72,12 @@ TEST_F(GtmChaosTest, CommittedDeltasExactUnderFailuresAndSleeps) {
         }
         return Status::Ok();
       });
+
+  // Record the full interleaving for the serializability oracle: the trace
+  // ring is written under the GTM lock, so the recorded order is the real
+  // execution order even with six client threads.
+  check::HistoryRecorder recorder;
+  recorder.Attach(service_->gtm());
 
   constexpr int kThreads = 6;
   constexpr int kTxnsPerThread = 40;
@@ -140,11 +148,22 @@ TEST_F(GtmChaosTest, CommittedDeltasExactUnderFailuresAndSleeps) {
   const GtmCounters& c = service_->gtm()->metrics().counters();
   EXPECT_EQ(c.begun, kThreads * kTxnsPerThread);
   EXPECT_EQ(c.committed + c.aborted, c.begun);
+
+  // Beyond conservation: the recorded history must be semantically
+  // serializable — Definition 1 admissions, eq. 1-2 reconciliation, an
+  // equivalent serial order, and the Algorithm 9 awake rule.
+  const check::History history = recorder.Finish();
+  ASSERT_TRUE(history.complete);
+  const check::CheckReport report = check::CheckHistory(history);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.committed_txns, static_cast<size_t>(c.committed));
 }
 
 TEST_F(GtmChaosTest, HardSstOutageAbortsEverythingCleanly) {
   service_->gtm()->mutable_sst()->set_failure_injector(
       [](const auto&) { return Status::Unavailable("LDBS offline"); });
+  check::HistoryRecorder recorder;
+  recorder.Attach(service_->gtm());
   constexpr int kThreads = 4;
   std::vector<std::thread> threads;
   std::atomic<int> commit_ok{0};
@@ -171,6 +190,13 @@ TEST_F(GtmChaosTest, HardSstOutageAbortsEverythingCleanly) {
                 .value(),
             Value::Int(kInitial));
   EXPECT_TRUE(service_->gtm()->CheckInvariants().ok());
+  // A run where everything aborts is trivially serializable — and the
+  // oracle must agree (aborted work leaves no trace in the final state).
+  const check::History history = recorder.Finish();
+  ASSERT_TRUE(history.complete);
+  const check::CheckReport report = check::CheckHistory(history);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.committed_txns, 0u);
 }
 
 }  // namespace

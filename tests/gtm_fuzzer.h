@@ -1,0 +1,582 @@
+// Shared randomized-fuzz harnesses for the GTM, extracted so that both the
+// fuzz tests and the corpus replay test drive the *same* code: a failing
+// seed emitted by gtm_property_test / gtm_member_fuzz_test replays
+// bit-for-bit through corpus_replay_test.
+//
+//   GtmFuzzer / RunPropertyFuzz  object-level fuzz with an independent
+//                                commit-order oracle (gtm_property_test)
+//   RunMemberFuzz                member-level fuzz of one object with two
+//                                logically dependent members
+//                                (gtm_member_fuzz_test)
+
+#ifndef PRESERIAL_TESTS_GTM_FUZZER_H_
+#define PRESERIAL_TESTS_GTM_FUZZER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "gtm/gtm.h"
+#include "storage/database.h"
+
+namespace preserial::gtm {
+
+namespace fuzz_internal {
+using semantics::OpClass;
+using semantics::Operation;
+using storage::ColumnDef;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+}  // namespace fuzz_internal
+
+inline constexpr size_t kFuzzNumObjects = 4;
+inline constexpr int64_t kFuzzInitial = 1000;
+
+// What the fuzzer believes one transaction has done to one object.
+struct FuzzTxnObjectModel {
+  fuzz_internal::OpClass cls = fuzz_internal::OpClass::kRead;
+  int64_t delta = 0;     // Net add/sub effect.
+  int64_t assigned = 0;  // Last assigned value (cls == kUpdateAssign).
+};
+
+struct FuzzTxnModel {
+  std::map<size_t, FuzzTxnObjectModel> objects;
+  bool waiting = false;
+  bool sleeping = false;
+};
+
+// Randomized end-to-end driver: many interleaved transactions through
+// invoke / commit / abort / sleep / awake with every operation class, and
+// an independent oracle replaying the *committed* transactions in commit
+// order. The paper's serializability claim (Sec. V) reduces to: the final
+// database state equals the oracle's, for every interleaving.
+class GtmFuzzer {
+ public:
+  explicit GtmFuzzer(uint64_t seed, GtmOptions options) : rng_(seed) {
+    using namespace fuzz_internal;
+    db_ = std::make_unique<storage::Database>();
+    EXPECT_TRUE(db_->Open().ok());
+    Schema schema = Schema::Create(
+                        {
+                            ColumnDef{"id", ValueType::kInt64, false},
+                            ColumnDef{"val", ValueType::kInt64, false},
+                        },
+                        0)
+                        .value();
+    EXPECT_TRUE(db_->CreateTable("t", std::move(schema)).ok());
+    for (size_t i = 0; i < kFuzzNumObjects; ++i) {
+      EXPECT_TRUE(db_->InsertRow("t", Row({Value::Int(static_cast<int64_t>(i)),
+                                           Value::Int(kFuzzInitial)}))
+                      .ok());
+      expected_[i] = kFuzzInitial;
+    }
+    gtm_ = std::make_unique<Gtm>(db_.get(), &clock_, options);
+    for (size_t i = 0; i < kFuzzNumObjects; ++i) {
+      EXPECT_TRUE(gtm_->RegisterObject(ObjName(i), "t",
+                                       Value::Int(static_cast<int64_t>(i)),
+                                       {1})
+                      .ok());
+    }
+  }
+
+  static ObjectId ObjName(size_t i) { return "obj/" + std::to_string(i); }
+
+  // The live Gtm, for callers that attach recorders before RunSteps.
+  Gtm* gtm() { return gtm_.get(); }
+
+  void RunSteps(int steps) {
+    for (int s = 0; s < steps; ++s) {
+      Step();
+      if (s % 37 == 0) {
+        const Status inv = gtm_->CheckInvariants();
+        ASSERT_TRUE(inv.ok()) << "step " << s << ": " << inv.ToString();
+      }
+    }
+    Drain();
+    Verify();
+  }
+
+ private:
+  using Operation = fuzz_internal::Operation;
+  using OpClass = fuzz_internal::OpClass;
+  using Value = fuzz_internal::Value;
+
+  void Step() {
+    clock_.Advance(0.1 + rng_.NextDouble());
+    DrainEvents();
+    const uint64_t action = rng_.NextBounded(10);
+    if (live_.empty() || action == 0) {
+      // Start a new transaction.
+      const TxnId t = gtm_->Begin(static_cast<int>(rng_.NextBounded(3)));
+      live_[t] = FuzzTxnModel{};
+      return;
+    }
+    // Pick a random live transaction.
+    auto it = live_.begin();
+    std::advance(it, rng_.NextBounded(live_.size()));
+    const TxnId t = it->first;
+    FuzzTxnModel& model = it->second;
+
+    if (model.sleeping) {
+      // Sleeping transactions can only awake (or be user-aborted).
+      if (rng_.NextBool(0.7)) {
+        const Status s = gtm_->Awake(t);
+        if (s.ok()) {
+          model.sleeping = false;
+          model.waiting = false;  // A queued invocation was admitted...
+          ReconcileWaitingModel(t, model);
+        } else {
+          // Awake-abort: the transaction is gone, nothing committed.
+          live_.erase(t);
+        }
+      } else {
+        EXPECT_TRUE(gtm_->RequestAbort(t).ok());
+        live_.erase(t);
+      }
+      return;
+    }
+    if (model.waiting) {
+      // Waiting: may sleep, abort, or just let time pass.
+      const uint64_t choice = rng_.NextBounded(3);
+      if (choice == 0) {
+        if (gtm_->Sleep(t).ok()) model.sleeping = true;
+      } else if (choice == 1) {
+        EXPECT_TRUE(gtm_->RequestAbort(t).ok());
+        live_.erase(t);
+      }
+      return;
+    }
+
+    // Active transaction: invoke / commit / abort / sleep.
+    switch (rng_.NextBounded(8)) {
+      case 0: {  // Commit.
+        const Status s = gtm_->RequestCommit(t);
+        if (s.ok()) {
+          ApplyToOracle(model);
+        }
+        // Failed commits (reconciliation/SST) abort the txn either way.
+        live_.erase(t);
+        return;
+      }
+      case 1: {  // Abort.
+        EXPECT_TRUE(gtm_->RequestAbort(t).ok());
+        live_.erase(t);
+        return;
+      }
+      case 2: {  // Sleep.
+        if (gtm_->Sleep(t).ok()) model.sleeping = true;
+        return;
+      }
+      default: {  // Invoke an operation.
+        InvokeRandom(t, model);
+        return;
+      }
+    }
+  }
+
+  void InvokeRandom(TxnId t, FuzzTxnModel& model) {
+    const size_t obj = rng_.NextBounded(kFuzzNumObjects);
+    auto existing = model.objects.find(obj);
+    Operation op;
+    if (existing != model.objects.end() &&
+        existing->second.cls != OpClass::kRead) {
+      // Must stay within the granted class on this member.
+      if (existing->second.cls == OpClass::kUpdateAssign) {
+        op = Operation::Assign(Value::Int(rng_.NextInt(0, 500)));
+      } else {
+        op = rng_.NextBool(0.5)
+                 ? Operation::Add(Value::Int(rng_.NextInt(1, 5)))
+                 : Operation::Sub(Value::Int(rng_.NextInt(1, 5)));
+      }
+    } else {
+      switch (rng_.NextBounded(4)) {
+        case 0:
+          op = Operation::Read();
+          break;
+        case 1:
+          op = Operation::Assign(Value::Int(rng_.NextInt(0, 500)));
+          break;
+        default:
+          op = rng_.NextBool(0.5)
+                   ? Operation::Add(Value::Int(rng_.NextInt(1, 5)))
+                   : Operation::Sub(Value::Int(rng_.NextInt(1, 5)));
+          break;
+      }
+    }
+    const Status s = gtm_->Invoke(t, ObjName(obj), 0, op);
+    switch (s.code()) {
+      case StatusCode::kOk:
+        NoteApplied(model, obj, op);
+        return;
+      case StatusCode::kWaiting:
+        model.waiting = true;
+        pending_wait_[t] = {obj, op};
+        return;
+      case StatusCode::kDeadlock:
+        EXPECT_TRUE(gtm_->RequestAbort(t).ok());
+        live_.erase(t);
+        return;
+      case StatusCode::kConflict:            // Upgrade refusal.
+      case StatusCode::kFailedPrecondition:  // Class mixing refusal.
+        return;  // Transaction stays active, op not applied.
+      default:
+        FAIL() << "unexpected invoke status " << s.ToString();
+    }
+  }
+
+  void NoteApplied(FuzzTxnModel& model, size_t obj, const Operation& op) {
+    FuzzTxnObjectModel& om = model.objects[obj];
+    switch (op.cls) {
+      case OpClass::kRead:
+        if (om.cls == OpClass::kRead) om.cls = OpClass::kRead;
+        break;
+      case OpClass::kUpdateAssign:
+        om.cls = OpClass::kUpdateAssign;
+        om.assigned = op.operand.as_int();
+        break;
+      case OpClass::kUpdateAddSub: {
+        om.cls = OpClass::kUpdateAddSub;
+        const int64_t c = op.operand.as_int();
+        om.delta += op.inverse ? -c : c;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // A grant event delivered a queued invocation: fold it into the model.
+  void ReconcileWaitingModel(TxnId t, FuzzTxnModel& model) {
+    auto it = pending_wait_.find(t);
+    if (it == pending_wait_.end()) return;
+    NoteApplied(model, it->second.first, it->second.second);
+    pending_wait_.erase(it);
+  }
+
+  void DrainEvents() {
+    for (const GtmEvent& e : gtm_->TakeEvents()) {
+      auto it = live_.find(e.txn);
+      if (it == live_.end()) continue;
+      it->second.waiting = false;
+      ReconcileWaitingModel(e.txn, it->second);
+    }
+  }
+
+  void ApplyToOracle(const FuzzTxnModel& model) {
+    for (const auto& [obj, om] : model.objects) {
+      switch (om.cls) {
+        case OpClass::kUpdateAssign:
+          expected_[obj] = om.assigned;
+          break;
+        case OpClass::kUpdateAddSub:
+          expected_[obj] += om.delta;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Finish every live transaction: awake sleepers, abort waiters, commit
+  // the rest.
+  void Drain() {
+    bool progress = true;
+    while (!live_.empty() && progress) {
+      progress = false;
+      DrainEvents();
+      std::vector<TxnId> ids;
+      ids.reserve(live_.size());
+      for (const auto& [id, _] : live_) ids.push_back(id);
+      for (TxnId t : ids) {
+        auto it = live_.find(t);
+        if (it == live_.end()) continue;
+        FuzzTxnModel& model = it->second;
+        clock_.Advance(0.5);
+        if (model.sleeping) {
+          const Status s = gtm_->Awake(t);
+          if (s.ok()) {
+            model.sleeping = false;
+            model.waiting = false;
+            ReconcileWaitingModel(t, model);
+          } else {
+            live_.erase(t);
+          }
+          progress = true;
+        } else if (model.waiting) {
+          // Still queued; give grants a chance, then abort if stuck.
+          DrainEvents();
+          if (live_.count(t) > 0 && live_[t].waiting) {
+            EXPECT_TRUE(gtm_->RequestAbort(t).ok());
+            live_.erase(t);
+          }
+          progress = true;
+        } else {
+          const Status s = gtm_->RequestCommit(t);
+          if (s.ok()) ApplyToOracle(model);
+          live_.erase(t);
+          progress = true;
+        }
+      }
+    }
+    ASSERT_TRUE(live_.empty());
+  }
+
+  void Verify() {
+    const Status inv = gtm_->CheckInvariants();
+    ASSERT_TRUE(inv.ok()) << inv.ToString();
+    for (size_t i = 0; i < kFuzzNumObjects; ++i) {
+      // Middleware cache, oracle and database must all agree.
+      const Value permanent = gtm_->PermanentValue(ObjName(i), 0).value();
+      ASSERT_EQ(permanent, Value::Int(expected_[i])) << "object " << i;
+      const Value in_db = db_->GetTable("t")
+                              .value()
+                              ->GetColumnByKey(
+                                  Value::Int(static_cast<int64_t>(i)), 1)
+                              .value();
+      ASSERT_EQ(in_db, permanent) << "object " << i;
+    }
+  }
+
+  Rng rng_;
+  ManualClock clock_;
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<Gtm> gtm_;
+  std::map<TxnId, FuzzTxnModel> live_;
+  std::map<TxnId, std::pair<size_t, Operation>> pending_wait_;
+  std::map<size_t, int64_t> expected_;
+};
+
+// Property-fuzz option variants, encoded as choices[0] of a property-fuzz
+// ScheduleSeed so corpus files name the exact configuration that failed.
+inline constexpr uint32_t kPropertyVariantDefault = 0;
+inline constexpr uint32_t kPropertyVariantExclusive = 1;   // No sharing.
+inline constexpr uint32_t kPropertyVariantStarvation = 2;  // Guard on.
+
+inline void RunPropertyFuzz(uint64_t seed, int steps, uint32_t variant) {
+  GtmOptions options;
+  switch (variant) {
+    case kPropertyVariantExclusive:
+      options.semantic_sharing = false;
+      break;
+    case kPropertyVariantStarvation:
+      options.starvation_waiter_threshold = 2;
+      break;
+    default:
+      break;
+  }
+  GtmFuzzer fuzzer(seed, options);
+  fuzzer.RunSteps(steps);
+}
+
+// Member-level fuzz of one structured object whose two members (quantity,
+// price) are logically dependent — the paper's own example. Mobile
+// subtractions hit member 0, admin assignments hit member 1; the
+// dependence makes them conflict while subtractions share. An oracle
+// replays committed transactions in commit order per member.
+inline void RunMemberFuzz(uint64_t seed, int steps) {
+  using namespace fuzz_internal;
+
+  struct TxnShape {
+    bool is_admin = false;    // Assign on member 1; else Sub on member 0.
+    int64_t qty_delta = 0;    // Cumulative applied subtractions (negative).
+    int64_t price_value = 0;  // Last applied assignment.
+    bool waiting = false;
+    bool sleeping = false;
+    // An op queued while waiting, folded into the model at grant/awake time.
+    int64_t pending_amount = 0;
+    bool has_pending = false;
+  };
+
+  Rng rng(seed);
+  auto db = std::make_unique<storage::Database>();
+  ASSERT_TRUE(db->Open().ok());
+  Schema schema = Schema::Create(
+                      {
+                          ColumnDef{"id", ValueType::kInt64, false},
+                          ColumnDef{"qty", ValueType::kInt64, false},
+                          ColumnDef{"price", ValueType::kInt64, false},
+                      },
+                      0)
+                      .value();
+  ASSERT_TRUE(db->CreateTable("p", std::move(schema)).ok());
+  ASSERT_TRUE(db->InsertRow("p", Row({Value::Int(0), Value::Int(100000),
+                                      Value::Int(100)}))
+                  .ok());
+  ManualClock clock;
+  Gtm gtm(db.get(), &clock);
+  semantics::LogicalDependencies deps;
+  deps.AddDependency(0, 1);  // quantity ~ price, per the paper.
+  ASSERT_TRUE(gtm.RegisterObject("P", "p", Value::Int(0), {1, 2}, deps).ok());
+
+  int64_t expected_qty = 100000;
+  int64_t expected_price = 100;
+  std::map<TxnId, TxnShape> live;
+
+  auto fold_grant = [&live](TxnId id) {
+    auto it = live.find(id);
+    if (it == live.end()) return;
+    TxnShape& shape = it->second;
+    shape.waiting = false;
+    if (shape.has_pending) {
+      if (shape.is_admin) {
+        shape.price_value = shape.pending_amount;
+      } else {
+        shape.qty_delta -= shape.pending_amount;
+      }
+      shape.has_pending = false;
+    }
+  };
+
+  auto drain = [&gtm, &fold_grant] {
+    for (const GtmEvent& e : gtm.TakeEvents()) fold_grant(e.txn);
+  };
+
+  for (int step = 0; step < steps; ++step) {
+    clock.Advance(0.5);
+    drain();
+    const uint64_t action = rng.NextBounded(10);
+    if (live.empty() || action == 0) {
+      const TxnId id = gtm.Begin();
+      TxnShape shape;
+      shape.is_admin = rng.NextBool(0.3);
+      live.emplace(id, shape);
+      continue;
+    }
+    auto it = live.begin();
+    std::advance(it, rng.NextBounded(live.size()));
+    const TxnId id = it->first;
+    TxnShape& shape = it->second;
+
+    if (shape.sleeping) {
+      if (rng.NextBool(0.7)) {
+        if (gtm.Awake(id).ok()) {
+          shape.sleeping = false;
+          fold_grant(id);
+        } else {
+          live.erase(id);  // Awake-abort.
+        }
+      } else {
+        ASSERT_TRUE(gtm.RequestAbort(id).ok());
+        live.erase(id);
+      }
+      continue;
+    }
+    if (shape.waiting) {
+      if (rng.NextBool(0.3) && gtm.Sleep(id).ok()) shape.sleeping = true;
+      continue;
+    }
+
+    switch (rng.NextBounded(6)) {
+      case 0: {  // Commit.
+        const Status s = gtm.RequestCommit(id);
+        if (s.ok()) {
+          if (shape.is_admin) {
+            if (shape.price_value != 0) expected_price = shape.price_value;
+          } else {
+            expected_qty += shape.qty_delta;
+          }
+        }
+        live.erase(id);
+        break;
+      }
+      case 1:  // Abort.
+        ASSERT_TRUE(gtm.RequestAbort(id).ok());
+        live.erase(id);
+        break;
+      case 2:  // Sleep.
+        if (gtm.Sleep(id).ok()) shape.sleeping = true;
+        break;
+      default: {  // Invoke.
+        const int64_t amount = rng.NextInt(1, 9);
+        const semantics::MemberId member = shape.is_admin ? 1 : 0;
+        const Operation op =
+            shape.is_admin ? Operation::Assign(Value::Int(amount * 100))
+                           : Operation::Sub(Value::Int(amount));
+        const Status s = gtm.Invoke(id, "P", member, op);
+        if (s.ok()) {
+          if (shape.is_admin) {
+            shape.price_value = amount * 100;
+          } else {
+            shape.qty_delta -= amount;
+          }
+        } else if (s.code() == StatusCode::kWaiting) {
+          shape.waiting = true;
+          shape.has_pending = true;
+          shape.pending_amount = shape.is_admin ? amount * 100 : amount;
+        } else if (s.code() == StatusCode::kDeadlock) {
+          ASSERT_TRUE(gtm.RequestAbort(id).ok());
+          live.erase(id);
+        } else {
+          ADD_FAILURE() << "unexpected invoke status " << s.ToString();
+        }
+        break;
+      }
+    }
+    if (step % 61 == 0) {
+      const Status inv = gtm.CheckInvariants();
+      ASSERT_TRUE(inv.ok()) << "step " << step << ": " << inv.ToString();
+    }
+  }
+
+  // Drain every live transaction.
+  bool progress = true;
+  while (!live.empty() && progress) {
+    progress = false;
+    drain();
+    std::vector<TxnId> ids;
+    for (const auto& [id, _] : live) ids.push_back(id);
+    for (TxnId id : ids) {
+      auto it = live.find(id);
+      if (it == live.end()) continue;
+      TxnShape& shape = it->second;
+      clock.Advance(0.5);
+      if (shape.sleeping) {
+        if (gtm.Awake(id).ok()) {
+          shape.sleeping = false;
+          fold_grant(id);
+        } else {
+          live.erase(id);
+        }
+      } else if (shape.waiting) {
+        drain();
+        if (live.count(id) > 0 && live[id].waiting) {
+          ASSERT_TRUE(gtm.RequestAbort(id).ok());
+          live.erase(id);
+        }
+      } else {
+        const Status s = gtm.RequestCommit(id);
+        if (s.ok()) {
+          if (shape.is_admin) {
+            if (shape.price_value != 0) expected_price = shape.price_value;
+          } else {
+            expected_qty += shape.qty_delta;
+          }
+        }
+        live.erase(id);
+      }
+      progress = true;
+    }
+  }
+  ASSERT_TRUE(live.empty());
+
+  // Oracle vs middleware cache vs database, per member.
+  EXPECT_EQ(gtm.PermanentValue("P", 0).value(), Value::Int(expected_qty));
+  EXPECT_EQ(gtm.PermanentValue("P", 1).value(), Value::Int(expected_price));
+  storage::Table* table = db->GetTable("p").value();
+  EXPECT_EQ(table->GetColumnByKey(Value::Int(0), 1).value(),
+            Value::Int(expected_qty));
+  EXPECT_EQ(table->GetColumnByKey(Value::Int(0), 2).value(),
+            Value::Int(expected_price));
+  EXPECT_TRUE(gtm.CheckInvariants().ok());
+}
+
+}  // namespace preserial::gtm
+
+#endif  // PRESERIAL_TESTS_GTM_FUZZER_H_

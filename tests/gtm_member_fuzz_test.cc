@@ -3,221 +3,35 @@
 // example. Mobile subtractions hit member 0, admin assignments hit member
 // 1; the dependence makes them conflict while subtractions share. An
 // oracle replays committed transactions in commit order per member.
-
-#include <map>
-#include <memory>
+//
+// The harness lives in gtm_fuzzer.h so corpus_replay_test drives the same
+// code; a failing run writes its seed into tests/corpus/ to be committed
+// as a permanent regression.
 
 #include <gtest/gtest.h>
 
-#include "common/random.h"
-#include "gtm/gtm.h"
-#include "storage/database.h"
+#include "common/strings.h"
+#include "gtm_fuzzer.h"
+#include "test_util.h"
 
 namespace preserial::gtm {
 namespace {
 
-using semantics::Operation;
-using storage::ColumnDef;
-using storage::Row;
-using storage::Schema;
-using storage::Value;
-using storage::ValueType;
-
-struct TxnShape {
-  bool is_admin = false;   // Assign on member 1; else Sub on member 0.
-  int64_t qty_delta = 0;   // Cumulative applied subtractions (negative).
-  int64_t price_value = 0; // Last applied assignment.
-  bool waiting = false;
-  bool sleeping = false;
-  // An op queued while waiting, folded into the model at grant/awake time.
-  int64_t pending_amount = 0;
-  bool has_pending = false;
-};
+constexpr int kSteps = 2000;
 
 class MemberFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(MemberFuzzTest, DependentMembersStayConsistent) {
-  Rng rng(GetParam());
-  auto db = std::make_unique<storage::Database>();
-  ASSERT_TRUE(db->Open().ok());
-  Schema schema = Schema::Create(
-                      {
-                          ColumnDef{"id", ValueType::kInt64, false},
-                          ColumnDef{"qty", ValueType::kInt64, false},
-                          ColumnDef{"price", ValueType::kInt64, false},
-                      },
-                      0)
-                      .value();
-  ASSERT_TRUE(db->CreateTable("p", std::move(schema)).ok());
-  ASSERT_TRUE(db->InsertRow("p", Row({Value::Int(0), Value::Int(100000),
-                                      Value::Int(100)}))
-                  .ok());
-  ManualClock clock;
-  Gtm gtm(db.get(), &clock);
-  semantics::LogicalDependencies deps;
-  deps.AddDependency(0, 1);  // quantity ~ price, per the paper.
-  ASSERT_TRUE(gtm.RegisterObject("P", "p", Value::Int(0), {1, 2}, deps).ok());
-
-  int64_t expected_qty = 100000;
-  int64_t expected_price = 100;
-  std::map<TxnId, TxnShape> live;
-
-  auto fold_grant = [&live](TxnId id) {
-    auto it = live.find(id);
-    if (it == live.end()) return;
-    TxnShape& shape = it->second;
-    shape.waiting = false;
-    if (shape.has_pending) {
-      if (shape.is_admin) {
-        shape.price_value = shape.pending_amount;
-      } else {
-        shape.qty_delta -= shape.pending_amount;
-      }
-      shape.has_pending = false;
-    }
-  };
-
-  auto drain = [&gtm, &fold_grant] {
-    for (const GtmEvent& e : gtm.TakeEvents()) fold_grant(e.txn);
-  };
-
-  for (int step = 0; step < 2000; ++step) {
-    clock.Advance(0.5);
-    drain();
-    const uint64_t action = rng.NextBounded(10);
-    if (live.empty() || action == 0) {
-      const TxnId id = gtm.Begin();
-      TxnShape shape;
-      shape.is_admin = rng.NextBool(0.3);
-      live.emplace(id, shape);
-      continue;
-    }
-    auto it = live.begin();
-    std::advance(it, rng.NextBounded(live.size()));
-    const TxnId id = it->first;
-    TxnShape& shape = it->second;
-
-    if (shape.sleeping) {
-      if (rng.NextBool(0.7)) {
-        if (gtm.Awake(id).ok()) {
-          shape.sleeping = false;
-          fold_grant(id);
-        } else {
-          live.erase(id);  // Awake-abort.
-        }
-      } else {
-        ASSERT_TRUE(gtm.RequestAbort(id).ok());
-        live.erase(id);
-      }
-      continue;
-    }
-    if (shape.waiting) {
-      if (rng.NextBool(0.3) && gtm.Sleep(id).ok()) shape.sleeping = true;
-      continue;
-    }
-
-    switch (rng.NextBounded(6)) {
-      case 0: {  // Commit.
-        const Status s = gtm.RequestCommit(id);
-        if (s.ok()) {
-          if (shape.is_admin) {
-            if (shape.price_value != 0) expected_price = shape.price_value;
-          } else {
-            expected_qty += shape.qty_delta;
-          }
-        }
-        live.erase(id);
-        break;
-      }
-      case 1:  // Abort.
-        ASSERT_TRUE(gtm.RequestAbort(id).ok());
-        live.erase(id);
-        break;
-      case 2:  // Sleep.
-        if (gtm.Sleep(id).ok()) shape.sleeping = true;
-        break;
-      default: {  // Invoke.
-        const int64_t amount = rng.NextInt(1, 9);
-        const semantics::MemberId member = shape.is_admin ? 1 : 0;
-        const Operation op =
-            shape.is_admin ? Operation::Assign(Value::Int(amount * 100))
-                           : Operation::Sub(Value::Int(amount));
-        const Status s = gtm.Invoke(id, "P", member, op);
-        if (s.ok()) {
-          if (shape.is_admin) {
-            shape.price_value = amount * 100;
-          } else {
-            shape.qty_delta -= amount;
-          }
-        } else if (s.code() == StatusCode::kWaiting) {
-          shape.waiting = true;
-          shape.has_pending = true;
-          shape.pending_amount = shape.is_admin ? amount * 100 : amount;
-        } else if (s.code() == StatusCode::kDeadlock) {
-          ASSERT_TRUE(gtm.RequestAbort(id).ok());
-          live.erase(id);
-        } else {
-          ADD_FAILURE() << "unexpected invoke status " << s.ToString();
-        }
-        break;
-      }
-    }
-    if (step % 61 == 0) {
-      const Status inv = gtm.CheckInvariants();
-      ASSERT_TRUE(inv.ok()) << "step " << step << ": " << inv.ToString();
-    }
+  RunMemberFuzz(GetParam(), kSteps);
+  if (HasFailure()) {
+    check::ScheduleSeed failing;
+    failing.scenario = check::ScenarioKind::kMemberFuzz;
+    failing.steps = kSteps;
+    failing.seed = GetParam();
+    testutil::EmitFailingSeed(
+        failing, StrFormat("member-fuzz-%llu",
+                           static_cast<unsigned long long>(GetParam())));
   }
-
-  // Drain every live transaction.
-  bool progress = true;
-  while (!live.empty() && progress) {
-    progress = false;
-    drain();
-    std::vector<TxnId> ids;
-    for (const auto& [id, _] : live) ids.push_back(id);
-    for (TxnId id : ids) {
-      auto it = live.find(id);
-      if (it == live.end()) continue;
-      TxnShape& shape = it->second;
-      clock.Advance(0.5);
-      if (shape.sleeping) {
-        if (gtm.Awake(id).ok()) {
-          shape.sleeping = false;
-          fold_grant(id);
-        } else {
-          live.erase(id);
-        }
-      } else if (shape.waiting) {
-        drain();
-        if (live.count(id) > 0 && live[id].waiting) {
-          ASSERT_TRUE(gtm.RequestAbort(id).ok());
-          live.erase(id);
-        }
-      } else {
-        const Status s = gtm.RequestCommit(id);
-        if (s.ok()) {
-          if (shape.is_admin) {
-            if (shape.price_value != 0) expected_price = shape.price_value;
-          } else {
-            expected_qty += shape.qty_delta;
-          }
-        }
-        live.erase(id);
-      }
-      progress = true;
-    }
-  }
-  ASSERT_TRUE(live.empty());
-
-  // Oracle vs middleware cache vs database, per member.
-  EXPECT_EQ(gtm.PermanentValue("P", 0).value(), Value::Int(expected_qty));
-  EXPECT_EQ(gtm.PermanentValue("P", 1).value(), Value::Int(expected_price));
-  storage::Table* table = db->GetTable("p").value();
-  EXPECT_EQ(table->GetColumnByKey(Value::Int(0), 1).value(),
-            Value::Int(expected_qty));
-  EXPECT_EQ(table->GetColumnByKey(Value::Int(0), 2).value(),
-            Value::Int(expected_price));
-  EXPECT_TRUE(gtm.CheckInvariants().ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MemberFuzzTest,

@@ -4,353 +4,48 @@
 // *committed* transactions in commit order. The paper's serializability
 // claim (Sec. V) reduces to: the final database state equals the oracle's,
 // for every interleaving.
-
-#include <map>
-#include <memory>
-#include <set>
-#include <vector>
+//
+// The harness lives in gtm_fuzzer.h so corpus_replay_test drives the same
+// code; a failing run writes its seed into tests/corpus/ to be committed
+// as a permanent regression.
 
 #include <gtest/gtest.h>
 
-#include "common/random.h"
-#include "gtm/gtm.h"
-#include "storage/database.h"
+#include "common/strings.h"
+#include "gtm_fuzzer.h"
+#include "test_util.h"
 
 namespace preserial::gtm {
 namespace {
 
-using semantics::OpClass;
-using semantics::Operation;
-using storage::ColumnDef;
-using storage::Row;
-using storage::Schema;
-using storage::Value;
-using storage::ValueType;
-
-constexpr size_t kNumObjects = 4;
-constexpr int64_t kInitial = 1000;
-
-// What the fuzzer believes one transaction has done to one object.
-struct TxnObjectModel {
-  OpClass cls = OpClass::kRead;
-  int64_t delta = 0;          // Net add/sub effect.
-  int64_t assigned = 0;       // Last assigned value (cls == kUpdateAssign).
-};
-
-struct TxnModel {
-  std::map<size_t, TxnObjectModel> objects;
-  bool waiting = false;
-  bool sleeping = false;
-};
-
-class GtmFuzzer {
- public:
-  explicit GtmFuzzer(uint64_t seed, GtmOptions options)
-      : rng_(seed) {
-    db_ = std::make_unique<storage::Database>();
-    EXPECT_TRUE(db_->Open().ok());
-    Schema schema = Schema::Create(
-                        {
-                            ColumnDef{"id", ValueType::kInt64, false},
-                            ColumnDef{"val", ValueType::kInt64, false},
-                        },
-                        0)
-                        .value();
-    EXPECT_TRUE(db_->CreateTable("t", std::move(schema)).ok());
-    for (size_t i = 0; i < kNumObjects; ++i) {
-      EXPECT_TRUE(db_->InsertRow("t", Row({Value::Int(static_cast<int64_t>(i)),
-                                           Value::Int(kInitial)}))
-                      .ok());
-      expected_[i] = kInitial;
-    }
-    gtm_ = std::make_unique<Gtm>(db_.get(), &clock_, options);
-    for (size_t i = 0; i < kNumObjects; ++i) {
-      EXPECT_TRUE(gtm_->RegisterObject(ObjName(i), "t",
-                                       Value::Int(static_cast<int64_t>(i)),
-                                       {1})
-                      .ok());
-    }
+// Runs one property-fuzz configuration; on failure, emits a replayable
+// corpus seed naming the exact (seed, steps, variant) that broke.
+void RunAndRecord(uint64_t seed, int steps, uint32_t variant) {
+  RunPropertyFuzz(seed, steps, variant);
+  if (::testing::Test::HasFailure()) {
+    check::ScheduleSeed failing;
+    failing.scenario = check::ScenarioKind::kPropertyFuzz;
+    failing.steps = static_cast<size_t>(steps);
+    failing.seed = seed;
+    failing.choices = {variant};
+    testutil::EmitFailingSeed(
+        failing, StrFormat("property-fuzz-%llu-v%u",
+                           static_cast<unsigned long long>(seed), variant));
   }
-
-  static ObjectId ObjName(size_t i) { return "obj/" + std::to_string(i); }
-
-  void RunSteps(int steps) {
-    for (int s = 0; s < steps; ++s) {
-      Step();
-      if (s % 37 == 0) {
-        const Status inv = gtm_->CheckInvariants();
-        ASSERT_TRUE(inv.ok()) << "step " << s << ": " << inv.ToString();
-      }
-    }
-    Drain();
-    Verify();
-  }
-
- private:
-  void Step() {
-    clock_.Advance(0.1 + rng_.NextDouble());
-    DrainEvents();
-    const uint64_t action = rng_.NextBounded(10);
-    if (live_.empty() || action == 0) {
-      // Start a new transaction.
-      const TxnId t = gtm_->Begin(static_cast<int>(rng_.NextBounded(3)));
-      live_[t] = TxnModel{};
-      return;
-    }
-    // Pick a random live transaction.
-    auto it = live_.begin();
-    std::advance(it, rng_.NextBounded(live_.size()));
-    const TxnId t = it->first;
-    TxnModel& model = it->second;
-
-    if (model.sleeping) {
-      // Sleeping transactions can only awake (or be user-aborted).
-      if (rng_.NextBool(0.7)) {
-        const Status s = gtm_->Awake(t);
-        if (s.ok()) {
-          model.sleeping = false;
-          model.waiting = false;  // A queued invocation was admitted...
-          ReconcileWaitingModel(t, model);
-        } else {
-          // Awake-abort: the transaction is gone, nothing committed.
-          live_.erase(t);
-        }
-      } else {
-        EXPECT_TRUE(gtm_->RequestAbort(t).ok());
-        live_.erase(t);
-      }
-      return;
-    }
-    if (model.waiting) {
-      // Waiting: may sleep, abort, or just let time pass.
-      const uint64_t choice = rng_.NextBounded(3);
-      if (choice == 0) {
-        if (gtm_->Sleep(t).ok()) model.sleeping = true;
-      } else if (choice == 1) {
-        EXPECT_TRUE(gtm_->RequestAbort(t).ok());
-        live_.erase(t);
-      }
-      return;
-    }
-
-    // Active transaction: invoke / commit / abort / sleep.
-    switch (rng_.NextBounded(8)) {
-      case 0: {  // Commit.
-        const Status s = gtm_->RequestCommit(t);
-        if (s.ok()) {
-          ApplyToOracle(model);
-        }
-        // Failed commits (reconciliation/SST) abort the txn either way.
-        live_.erase(t);
-        return;
-      }
-      case 1: {  // Abort.
-        EXPECT_TRUE(gtm_->RequestAbort(t).ok());
-        live_.erase(t);
-        return;
-      }
-      case 2: {  // Sleep.
-        if (gtm_->Sleep(t).ok()) model.sleeping = true;
-        return;
-      }
-      default: {  // Invoke an operation.
-        InvokeRandom(t, model);
-        return;
-      }
-    }
-  }
-
-  void InvokeRandom(TxnId t, TxnModel& model) {
-    const size_t obj = rng_.NextBounded(kNumObjects);
-    auto existing = model.objects.find(obj);
-    Operation op;
-    if (existing != model.objects.end() &&
-        existing->second.cls != OpClass::kRead) {
-      // Must stay within the granted class on this member.
-      if (existing->second.cls == OpClass::kUpdateAssign) {
-        op = Operation::Assign(Value::Int(rng_.NextInt(0, 500)));
-      } else {
-        op = rng_.NextBool(0.5)
-                 ? Operation::Add(Value::Int(rng_.NextInt(1, 5)))
-                 : Operation::Sub(Value::Int(rng_.NextInt(1, 5)));
-      }
-    } else {
-      switch (rng_.NextBounded(4)) {
-        case 0:
-          op = Operation::Read();
-          break;
-        case 1:
-          op = Operation::Assign(Value::Int(rng_.NextInt(0, 500)));
-          break;
-        default:
-          op = rng_.NextBool(0.5)
-                   ? Operation::Add(Value::Int(rng_.NextInt(1, 5)))
-                   : Operation::Sub(Value::Int(rng_.NextInt(1, 5)));
-          break;
-      }
-    }
-    const Status s = gtm_->Invoke(t, ObjName(obj), 0, op);
-    switch (s.code()) {
-      case StatusCode::kOk:
-        NoteApplied(model, obj, op);
-        return;
-      case StatusCode::kWaiting:
-        model.waiting = true;
-        pending_wait_[t] = {obj, op};
-        return;
-      case StatusCode::kDeadlock:
-        EXPECT_TRUE(gtm_->RequestAbort(t).ok());
-        live_.erase(t);
-        return;
-      case StatusCode::kConflict:           // Upgrade refusal.
-      case StatusCode::kFailedPrecondition:  // Class mixing refusal.
-        return;  // Transaction stays active, op not applied.
-      default:
-        FAIL() << "unexpected invoke status " << s.ToString();
-    }
-  }
-
-  void NoteApplied(TxnModel& model, size_t obj, const Operation& op) {
-    TxnObjectModel& om = model.objects[obj];
-    switch (op.cls) {
-      case OpClass::kRead:
-        if (om.cls == OpClass::kRead) om.cls = OpClass::kRead;
-        break;
-      case OpClass::kUpdateAssign:
-        om.cls = OpClass::kUpdateAssign;
-        om.assigned = op.operand.as_int();
-        break;
-      case OpClass::kUpdateAddSub: {
-        om.cls = OpClass::kUpdateAddSub;
-        const int64_t c = op.operand.as_int();
-        om.delta += op.inverse ? -c : c;
-        break;
-      }
-      default:
-        break;
-    }
-  }
-
-  // A grant event delivered a queued invocation: fold it into the model.
-  void ReconcileWaitingModel(TxnId t, TxnModel& model) {
-    auto it = pending_wait_.find(t);
-    if (it == pending_wait_.end()) return;
-    NoteApplied(model, it->second.first, it->second.second);
-    pending_wait_.erase(it);
-  }
-
-  void DrainEvents() {
-    for (const GtmEvent& e : gtm_->TakeEvents()) {
-      auto it = live_.find(e.txn);
-      if (it == live_.end()) continue;
-      it->second.waiting = false;
-      ReconcileWaitingModel(e.txn, it->second);
-    }
-  }
-
-  void ApplyToOracle(const TxnModel& model) {
-    for (const auto& [obj, om] : model.objects) {
-      switch (om.cls) {
-        case OpClass::kUpdateAssign:
-          expected_[obj] = om.assigned;
-          break;
-        case OpClass::kUpdateAddSub:
-          expected_[obj] += om.delta;
-          break;
-        default:
-          break;
-      }
-    }
-  }
-
-  // Finish every live transaction: awake sleepers, abort waiters, commit
-  // the rest.
-  void Drain() {
-    bool progress = true;
-    while (!live_.empty() && progress) {
-      progress = false;
-      DrainEvents();
-      std::vector<TxnId> ids;
-      ids.reserve(live_.size());
-      for (const auto& [id, _] : live_) ids.push_back(id);
-      for (TxnId t : ids) {
-        auto it = live_.find(t);
-        if (it == live_.end()) continue;
-        TxnModel& model = it->second;
-        clock_.Advance(0.5);
-        if (model.sleeping) {
-          const Status s = gtm_->Awake(t);
-          if (s.ok()) {
-            model.sleeping = false;
-            model.waiting = false;
-            ReconcileWaitingModel(t, model);
-          } else {
-            live_.erase(t);
-          }
-          progress = true;
-        } else if (model.waiting) {
-          // Still queued; give grants a chance, then abort if stuck.
-          DrainEvents();
-          if (live_.count(t) > 0 && live_[t].waiting) {
-            EXPECT_TRUE(gtm_->RequestAbort(t).ok());
-            live_.erase(t);
-          }
-          progress = true;
-        } else {
-          const Status s = gtm_->RequestCommit(t);
-          if (s.ok()) ApplyToOracle(model);
-          live_.erase(t);
-          progress = true;
-        }
-      }
-    }
-    ASSERT_TRUE(live_.empty());
-  }
-
-  void Verify() {
-    const Status inv = gtm_->CheckInvariants();
-    ASSERT_TRUE(inv.ok()) << inv.ToString();
-    for (size_t i = 0; i < kNumObjects; ++i) {
-      // Middleware cache, oracle and database must all agree.
-      const Value permanent = gtm_->PermanentValue(ObjName(i), 0).value();
-      ASSERT_EQ(permanent, Value::Int(expected_[i])) << "object " << i;
-      const Value in_db = db_->GetTable("t")
-                              .value()
-                              ->GetColumnByKey(
-                                  Value::Int(static_cast<int64_t>(i)), 1)
-                              .value();
-      ASSERT_EQ(in_db, permanent) << "object " << i;
-    }
-  }
-
-  Rng rng_;
-  ManualClock clock_;
-  std::unique_ptr<storage::Database> db_;
-  std::unique_ptr<Gtm> gtm_;
-  std::map<TxnId, TxnModel> live_;
-  std::map<TxnId, std::pair<size_t, Operation>> pending_wait_;
-  std::map<size_t, int64_t> expected_;
-};
+}
 
 class GtmPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(GtmPropertyTest, CommittedEffectsMatchOracle) {
-  GtmFuzzer fuzzer(GetParam(), GtmOptions());
-  fuzzer.RunSteps(1500);
+  RunAndRecord(GetParam(), 1500, kPropertyVariantDefault);
 }
 
 TEST_P(GtmPropertyTest, HoldsUnderExclusiveAblation) {
-  GtmOptions options;
-  options.semantic_sharing = false;
-  GtmFuzzer fuzzer(GetParam() + 1000, options);
-  fuzzer.RunSteps(1000);
+  RunAndRecord(GetParam() + 1000, 1000, kPropertyVariantExclusive);
 }
 
 TEST_P(GtmPropertyTest, HoldsWithStarvationGuard) {
-  GtmOptions options;
-  options.starvation_waiter_threshold = 2;
-  GtmFuzzer fuzzer(GetParam() + 2000, options);
-  fuzzer.RunSteps(1000);
+  RunAndRecord(GetParam() + 2000, 1000, kPropertyVariantStarvation);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GtmPropertyTest,

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "storage/database.h"
+#include "test_util.h"
 
 namespace preserial::gtm {
 namespace {
@@ -91,8 +92,10 @@ TEST_F(GtmServiceTest, BlockedInvokeResumesOnCommit) {
       service_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(7)))
           .ok());
   std::atomic<bool> waiter_done{false};
-  std::thread waiter([this, &waiter_done] {
+  std::atomic<TxnId> waiter_txn{0};
+  std::thread waiter([this, &waiter_done, &waiter_txn] {
     const TxnId t = service_->Begin();
+    waiter_txn.store(t);
     // Blocks until the holder commits.
     EXPECT_TRUE(
         service_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1)), 30.0)
@@ -100,8 +103,13 @@ TEST_F(GtmServiceTest, BlockedInvokeResumesOnCommit) {
     EXPECT_TRUE(service_->Commit(t).ok());
     waiter_done.store(true);
   });
-  // Give the waiter time to queue, then release it.
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Wait until the waiter has actually queued, then release it.
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    const TxnId t = waiter_txn.load();
+    if (t == 0) return false;
+    Result<TxnState> st = service_->StateOf(t);
+    return st.ok() && st.value() == TxnState::kWaiting;
+  }));
   EXPECT_FALSE(waiter_done.load());
   ASSERT_TRUE(service_->Commit(holder).ok());
   waiter.join();
@@ -132,15 +140,22 @@ TEST_F(GtmServiceTest, DefaultNoTimeoutWaitsOutLongHolds) {
       service_->Invoke(holder, "X", 0, Operation::Assign(Value::Int(7)))
           .ok());
   std::atomic<bool> waiter_done{false};
-  std::thread waiter([this, &waiter_done] {
+  std::atomic<TxnId> waiter_txn{0};
+  std::thread waiter([this, &waiter_done, &waiter_txn] {
     const TxnId t = service_->Begin();
+    waiter_txn.store(t);
     // No timeout argument: waits on the unbounded path.
     EXPECT_TRUE(
         service_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
     EXPECT_TRUE(service_->Commit(t).ok());
     waiter_done.store(true);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    const TxnId t = waiter_txn.load();
+    if (t == 0) return false;
+    Result<TxnState> st = service_->StateOf(t);
+    return st.ok() && st.value() == TxnState::kWaiting;
+  }));
   EXPECT_FALSE(waiter_done.load());
   ASSERT_TRUE(service_->Commit(holder).ok());
   waiter.join();
@@ -227,8 +242,10 @@ TEST_F(GtmServiceTest, BlockingReadWaitsOutIncompatibleHolder) {
   ASSERT_TRUE(
       service_->Invoke(holder, "X", 0, Operation::Delete()).ok());
   std::atomic<bool> read_done{false};
-  std::thread reader([this, &read_done] {
+  std::atomic<TxnId> reader_txn{0};
+  std::thread reader([this, &read_done, &reader_txn] {
     const TxnId t = service_->Begin();
+    reader_txn.store(t);
     Result<Value> v = service_->Read(t, "X", 0, 30.0);
     EXPECT_TRUE(v.ok());
     if (v.ok()) {
@@ -237,7 +254,13 @@ TEST_F(GtmServiceTest, BlockingReadWaitsOutIncompatibleHolder) {
     (void)service_->Commit(t);
     read_done.store(true);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // A blocked read parks through the same wait machinery as Invoke.
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    const TxnId t = reader_txn.load();
+    if (t == 0) return false;
+    Result<TxnState> st = service_->StateOf(t);
+    return st.ok() && st.value() == TxnState::kWaiting;
+  }));
   EXPECT_FALSE(read_done.load());
   ASSERT_TRUE(service_->Abort(holder).ok());
   reader.join();
@@ -248,9 +271,14 @@ TEST_F(GtmServiceTest, IdleSweepParksAndAwakeResumes) {
   const TxnId quiet = service_->Begin();
   ASSERT_TRUE(
       service_->Invoke(quiet, "X", 0, Operation::Sub(Value::Int(1))).ok());
-  // Wall-clock idle period, then the housekeeping sweep parks it.
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  std::vector<TxnId> parked = service_->SleepIdleTransactions(0.01);
+  // Poll the housekeeping sweep until the wall-clock idle age crosses the
+  // threshold and the sweep parks the transaction.
+  std::vector<TxnId> parked;
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    std::vector<TxnId> swept = service_->SleepIdleTransactions(0.01);
+    parked.insert(parked.end(), swept.begin(), swept.end());
+    return !parked.empty();
+  }));
   ASSERT_EQ(parked.size(), 1u);
   EXPECT_EQ(parked[0], quiet);
   EXPECT_EQ(service_->StateOf(quiet).value(), TxnState::kSleeping);
@@ -271,10 +299,15 @@ TEST_F(GtmServiceTest, ExpiredWaitSweepWakesTheVictimThread) {
         service_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1)), 60.0);
     victim_aborted.store(s.code() == StatusCode::kAborted);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(80));
   // The housekeeping sweep kills over-age waiters; the parked thread must
-  // observe its own abort and return.
-  std::vector<TxnId> victims = service_->AbortExpiredWaits(0.01);
+  // observe its own abort and return. Poll until the victim has queued and
+  // its wait has aged past the threshold.
+  std::vector<TxnId> victims;
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    std::vector<TxnId> swept = service_->AbortExpiredWaits(0.01);
+    victims.insert(victims.end(), swept.begin(), swept.end());
+    return !victims.empty();
+  }));
   ASSERT_EQ(victims.size(), 1u);
   victim.join();
   EXPECT_TRUE(victim_aborted.load());
@@ -389,10 +422,10 @@ TEST_F(GtmServiceTest, DeadlockSweepBreaksCrossObjectCycle) {
   std::thread th2([&] { cross(t2, "A"); });
   // Poll the sweep until the cycle has formed (thread startup may lag).
   std::vector<TxnId> victims;
-  for (int i = 0; i < 500 && victims.empty(); ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(testutil::WaitUntil([&] {
     victims = service.DetectAndResolveDeadlocks();
-  }
+    return !victims.empty();
+  }));
   EXPECT_EQ(victims.size(), 1u);
   th1.join();
   th2.join();

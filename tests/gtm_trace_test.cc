@@ -109,8 +109,10 @@ TEST_F(GtmTraceTest, HappyPathLifecycle) {
   const TxnId t = gtm_->Begin();
   ASSERT_TRUE(gtm_->Invoke(t, "X", 0, Operation::Sub(Value::Int(1))).ok());
   ASSERT_TRUE(gtm_->RequestCommit(t).ok());
+  // The structured apply (the checker's replay feed) precedes its grant.
   EXPECT_EQ(KindsFor(t),
             (std::vector<TraceEventKind>{TraceEventKind::kBegin,
+                                         TraceEventKind::kApply,
                                          TraceEventKind::kGrant,
                                          TraceEventKind::kCommit}));
 }
@@ -127,14 +129,16 @@ TEST_F(GtmTraceTest, WaitGrantAndSharedAnnotations) {
   ASSERT_TRUE(gtm_->RequestCommit(b).ok());
   // b's grant was shared; c waited, then was granted from the queue.
   std::vector<TraceEvent> b_events = gtm_->trace()->ForTxn(b);
-  ASSERT_GE(b_events.size(), 2u);
-  EXPECT_NE(b_events[1].detail.find("[shared]"), std::string::npos);
+  ASSERT_GE(b_events.size(), 3u);
+  ASSERT_EQ(b_events[2].kind, TraceEventKind::kGrant);
+  EXPECT_NE(b_events[2].detail.find("[shared]"), std::string::npos);
   EXPECT_EQ(KindsFor(c),
             (std::vector<TraceEventKind>{TraceEventKind::kBegin,
                                          TraceEventKind::kWait,
+                                         TraceEventKind::kApply,
                                          TraceEventKind::kGrant}));
   std::vector<TraceEvent> c_events = gtm_->trace()->ForTxn(c);
-  EXPECT_NE(c_events[2].detail.find("[from queue]"), std::string::npos);
+  EXPECT_NE(c_events[3].detail.find("[from queue]"), std::string::npos);
 }
 
 TEST_F(GtmTraceTest, SleepAwakeAbortKinds) {
@@ -152,6 +156,7 @@ TEST_F(GtmTraceTest, SleepAwakeAbortKinds) {
   EXPECT_EQ(gtm_->Awake(sleeper).code(), StatusCode::kAborted);
   EXPECT_EQ(KindsFor(sleeper),
             (std::vector<TraceEventKind>{TraceEventKind::kBegin,
+                                         TraceEventKind::kApply,
                                          TraceEventKind::kGrant,
                                          TraceEventKind::kSleep,
                                          TraceEventKind::kAwakeAbort}));
@@ -164,6 +169,7 @@ TEST_F(GtmTraceTest, SuccessfulAwakeTraced) {
   ASSERT_TRUE(gtm_->Awake(t).ok());
   EXPECT_EQ(KindsFor(t),
             (std::vector<TraceEventKind>{TraceEventKind::kBegin,
+                                         TraceEventKind::kApply,
                                          TraceEventKind::kGrant,
                                          TraceEventKind::kSleep,
                                          TraceEventKind::kAwake}));

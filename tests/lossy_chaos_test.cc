@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "check/checker.h"
+#include "check/history.h"
 #include "workload/gtm_experiment.h"
 
 namespace preserial::workload {
@@ -22,7 +24,17 @@ GtmExperimentSpec ChaosSpec() {
   spec.work_time = 2.0;
   spec.initial_quantity = 1000000;
   spec.seed = 20080406;
+  spec.history_capacity = 1 << 17;  // Record for the serializability oracle.
   return spec;
+}
+
+// The conservation equations prove nothing was double-applied; the oracle
+// additionally proves the surviving interleaving is semantically
+// serializable (Definition 1, eq. 1-2 reconciliation, Algorithm 9).
+void ExpectSerializable(const LossyExperimentResult& r) {
+  ASSERT_TRUE(r.history.complete);
+  const check::CheckReport report = check::CheckHistory(r.history);
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 ChannelSpec ChaosChannel(bool degrade_to_sleep) {
@@ -77,6 +89,9 @@ TEST(LossyChaosTest, ThousandSessionsNoDoubleAppliesAndDegradeWins) {
           : 0;
   EXPECT_GT(naive_loss_aborts, 0);
   EXPECT_GT(degrade.run.committed, naive.run.committed);
+
+  ExpectSerializable(degrade);
+  ExpectSerializable(naive);
 }
 
 TEST(LossyChaosTest, ReliableChannelDegradesToPlainRun) {
@@ -98,6 +113,7 @@ TEST(LossyChaosTest, ReliableChannelDegradesToPlainRun) {
           ? r.run.latency_by_tag.at(kTagSubtract).count()
           : 0;
   EXPECT_EQ(r.quantity_consumed, committed_subtracts);
+  ExpectSerializable(r);
 }
 
 }  // namespace

@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include "check/checker.h"
+#include "check/history.h"
 #include "cluster/cluster.h"
 #include "cluster/coordinator.h"
 #include "common/logging.h"
@@ -65,6 +67,7 @@ TEST(ReplicaChaosTest, SeededFailoverStormNeverLosesSleepers) {
     spec.ship.loss = 0.1;  // The ship link is flaky too; sync rides it out.
     spec.fail_at = 1.0 + meta_rng.NextDouble() * 30.0;
     spec.detect_delay = 0.5 + meta_rng.NextDouble() * 2.0;
+    spec.base.history_capacity = 1 << 16;  // Record for the oracle.
 
     const workload::FailoverExperimentResult r =
         workload::RunFailoverExperiment(spec);
@@ -91,6 +94,13 @@ TEST(ReplicaChaosTest, SeededFailoverStormNeverLosesSleepers) {
     total_sleeping_at_kill += r.sleeping_at_kill;
     total_committed += r.run.committed;
     total_degrades += r.run.degraded_to_sleep;
+
+    // The promoted primary's surviving timeline must be semantically
+    // serializable — failover preserved Definition 1, reconciliation and
+    // the Algorithm 9 discipline, not just counters.
+    ASSERT_TRUE(r.history.complete);
+    const check::CheckReport report = check::CheckHistory(r.history);
+    EXPECT_TRUE(report.ok()) << report.ToString();
   }
   // The storm really exercised the interesting states.
   EXPECT_GT(total_sleeping_at_kill, 0);
@@ -132,6 +142,12 @@ TEST(ReplicaChaosTest, ShardPrimaryDeathDuringTwoPcNeverHalfCommits) {
   storage::MemoryWalStorage wal;
   auto coordinator =
       std::make_unique<cluster::ClusterCoordinator>(&cluster, &wal);
+
+  // One recorder per shard's replica group: whichever node ends up primary
+  // after the kills holds that shard's authoritative timeline.
+  std::vector<check::ReplicaHistoryRecorder> recorders(kShards);
+  for (size_t s = 0; s < kShards; ++s) recorders[s].Attach(cluster.group(s));
+
   Rng rng(0x2bc5eed1u);
   std::vector<int64_t> booked(kShards, 0);
   std::vector<size_t> kills(kShards, 0);
@@ -238,6 +254,17 @@ TEST(ReplicaChaosTest, ShardPrimaryDeathDuringTwoPcNeverHalfCommits) {
           << "shard " << s << " node " << n;
       EXPECT_TRUE(group->node(n)->gtm()->CheckInvariants().ok());
     }
+  }
+
+  // Oracle pass per shard over the post-failover primary's timeline:
+  // prepared branches driven to decision on a promoted node must read as
+  // ordinary serializable commits/aborts.
+  for (size_t s = 0; s < kShards; ++s) {
+    const check::History history = recorders[s].Finish();
+    ASSERT_TRUE(history.complete) << "shard " << s;
+    const check::CheckReport report = check::CheckHistory(history);
+    EXPECT_TRUE(report.ok()) << "shard " << s << ": " << report.ToString();
+    EXPECT_GT(report.committed_txns, 0u) << "shard " << s;
   }
 }
 

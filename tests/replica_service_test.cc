@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "replica/service.h"
+#include "test_util.h"
 
 namespace preserial::replica {
 namespace {
@@ -89,7 +90,9 @@ int64_t RunStorm(ReplicaService* service) {
     }
   });
   std::thread monitor([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // Kill mid-run: wait for the storm to have real work acknowledged
+    // instead of guessing a startup delay.
+    (void)testutil::WaitUntil([&] { return successes.load() > 0; });
     service->KillPrimary();
     // Detection delay: the dead-primary window the clients must ride out.
     std::this_thread::sleep_for(std::chrono::milliseconds(1));

@@ -1,0 +1,66 @@
+// Shared helpers for the test suite: wall-clock polling (instead of fixed
+// sleeps) and the failing-seed corpus protocol.
+
+#ifndef PRESERIAL_TESTS_TEST_UTIL_H_
+#define PRESERIAL_TESTS_TEST_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "check/seed.h"
+#include "common/status.h"
+
+namespace preserial::testutil {
+
+// Polls `pred` every `poll` until it returns true or `timeout` elapses.
+// Returns whether the predicate became true. Use this instead of a fixed
+// sleep_for: it settles as soon as the condition holds (fast machines) and
+// tolerates slow ones (sanitizer / coverage builds) up to the deadline.
+inline bool WaitUntil(
+    const std::function<bool()>& pred,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(5000),
+    std::chrono::milliseconds poll = std::chrono::milliseconds(1)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(poll);
+  }
+  return true;
+}
+
+// Directory holding the checked-in failing-seed corpus. The build points
+// this at <source>/tests/corpus so seeds emitted by a failing run land in
+// the tree, ready to be committed as regressions.
+inline std::string CorpusDir() {
+#ifdef PRESERIAL_CORPUS_DIR
+  return PRESERIAL_CORPUS_DIR;
+#else
+  return "tests/corpus";
+#endif
+}
+
+// Writes `seed` into the corpus as <tag>.seed and prints the path. Called
+// by the fuzz/property harnesses when a run fails: the file replays the
+// failure via corpus_replay_test, turning every fuzz failure into a
+// permanent regression test once committed.
+inline void EmitFailingSeed(const check::ScheduleSeed& seed,
+                            const std::string& tag) {
+  const std::string path = CorpusDir() + "/" + tag + ".seed";
+  const Status st = check::SaveScheduleSeedFile(path, seed);
+  if (st.ok()) {
+    std::fprintf(stderr,
+                 "[corpus] wrote failing seed to %s — commit it to make "
+                 "this failure a regression test\n",
+                 path.c_str());
+  } else {
+    std::fprintf(stderr, "[corpus] could not write %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+  }
+}
+
+}  // namespace preserial::testutil
+
+#endif  // PRESERIAL_TESTS_TEST_UTIL_H_

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "storage/database.h"
+#include "test_util.h"
 
 namespace preserial::txn {
 namespace {
@@ -60,6 +61,7 @@ TEST_F(TwoPlServiceTest, BlockedWriterResumesAfterCommit) {
   ASSERT_TRUE(
       service_->Write(holder, "t", Value::Int(0), 1, Value::Int(5)).ok());
   std::atomic<bool> done{false};
+  const int64_t waits_before = service_->engine()->counters().lock_waits;
   std::thread waiter([this, &done] {
     const TxnId t = service_->Begin();
     EXPECT_TRUE(
@@ -67,7 +69,10 @@ TEST_F(TwoPlServiceTest, BlockedWriterResumesAfterCommit) {
     EXPECT_TRUE(service_->Commit(t).ok());
     done.store(true);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Wait until the writer has actually queued behind the holder's lock.
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    return service_->engine()->counters().lock_waits > waits_before;
+  }));
   EXPECT_FALSE(done.load());
   ASSERT_TRUE(service_->Commit(holder).ok());
   waiter.join();
@@ -95,13 +100,17 @@ TEST_F(TwoPlServiceTest, DeadlockVictimAutoAborted) {
   const TxnId b = service_->Begin();
   ASSERT_TRUE(service_->Write(a, "t", Value::Int(0), 1, Value::Int(1)).ok());
   ASSERT_TRUE(service_->Write(b, "t", Value::Int(1), 1, Value::Int(2)).ok());
+  const int64_t waits_before = service_->engine()->counters().lock_waits;
   std::thread a_thread([this, a] {
     // Blocks on row 1 until b dies, then succeeds.
     EXPECT_TRUE(
         service_->Write(a, "t", Value::Int(1), 1, Value::Int(3), 30.0).ok());
     EXPECT_TRUE(service_->Commit(a).ok());
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // a must be queued on row 1 before b's request can close the cycle.
+  ASSERT_TRUE(testutil::WaitUntil([&] {
+    return service_->engine()->counters().lock_waits > waits_before;
+  }));
   // b closing the cycle is refused and auto-aborted.
   const Status s =
       service_->Write(b, "t", Value::Int(0), 1, Value::Int(4), 30.0);
